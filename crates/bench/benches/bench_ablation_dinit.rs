@@ -1,0 +1,31 @@
+//! Ablation: the intermediate degree `d_init` (paper uses 2d or 3d).
+//! Larger d_init costs more NN-Descent time but gives the optimizer a
+//! richer candidate pool.
+
+use bench::{deep_like, DEGREE};
+use cagra::build::{build_graph, GraphConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+
+fn bench(c: &mut Criterion) {
+    let (base, _) = deep_like(0);
+    let mut g = c.benchmark_group("ablation_dinit");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for mult in [2usize, 3] {
+        g.bench_function(format!("dinit_{mult}d"), |b| {
+            b.iter(|| {
+                let config = GraphConfig {
+                    intermediate_degree: mult * DEGREE,
+                    ..GraphConfig::new(DEGREE)
+                };
+                build_graph(&base, Metric::SquaredL2, &config)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

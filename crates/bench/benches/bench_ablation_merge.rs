@@ -1,0 +1,33 @@
+//! Ablation: the reverse-edge merge (on/off) and the reordering step
+//! (on/off) — the Fig. 3 variants, timed.
+
+use bench::{deep_like, knn_lists, DEGREE};
+use cagra::optimize::{optimize, reverse_lists, OptimizeOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+
+fn bench(c: &mut Criterion) {
+    let (base, _) = deep_like(0);
+    let knn = knn_lists(&base, 2 * DEGREE);
+    let mut g = c.benchmark_group("ablation_merge");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("with_reverse_merge", |b| {
+        b.iter(|| optimize(&knn, &base, Metric::SquaredL2, &OptimizeOptions::new(DEGREE)))
+    });
+    g.bench_function("pruned_only", |b| {
+        b.iter(|| {
+            let opts = OptimizeOptions { reverse: false, ..OptimizeOptions::new(DEGREE) };
+            optimize(&knn, &base, Metric::SquaredL2, &opts)
+        })
+    });
+    // The reverse-list construction in isolation.
+    let pruned: Vec<Vec<u32>> =
+        knn.iter().map(|l| l[..DEGREE].iter().map(|n| n.id).collect()).collect();
+    g.bench_function("reverse_lists_only", |b| b.iter(|| reverse_lists(&pruned, DEGREE)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

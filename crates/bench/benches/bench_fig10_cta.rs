@@ -1,0 +1,33 @@
+//! Fig. 10 bench: single- vs multi-CTA functional search cost, single
+//! query and batch.
+
+use bench::{cagra_index, deep_like};
+use cagra::search::planner::Mode;
+use cagra::{HashPolicy, SearchParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (base, queries) = deep_like(50);
+    let index = cagra_index(&base);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, mode, hash) in [
+        ("single_cta", Mode::SingleCta, HashPolicy::Forgettable { bits: 11, reset_interval: 1 }),
+        ("multi_cta", Mode::MultiCta, HashPolicy::Standard),
+    ] {
+        let mut params = SearchParams::for_k(10);
+        params.hash = hash;
+        g.bench_function(format!("{label}/one_query"), |b| {
+            b.iter(|| index.search_mode(queries.row(0), 10, &params, mode))
+        });
+        g.bench_function(format!("{label}/batch"), |b| {
+            b.iter(|| index.search_batch_mode(&queries, 10, &params, mode))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

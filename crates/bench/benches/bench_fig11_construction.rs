@@ -1,0 +1,37 @@
+//! Fig. 11 bench: construction time per method.
+
+use bench::{clone_ds, deep_like, DEGREE};
+use cagra::build::{build_graph, GraphConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+use ganns::{Ganns, GannsParams};
+use ggnn::{Ggnn, GgnnParams};
+use hnsw::{Hnsw, HnswParams};
+use nssg::{Nssg, NssgParams};
+
+fn bench(c: &mut Criterion) {
+    let (base, _) = deep_like(0);
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("cagra", |b| {
+        b.iter(|| build_graph(&base, Metric::SquaredL2, &GraphConfig::new(DEGREE)))
+    });
+    g.bench_function("nssg", |b| {
+        b.iter(|| Nssg::build(clone_ds(&base), Metric::SquaredL2, NssgParams::new(DEGREE)))
+    });
+    g.bench_function("hnsw", |b| {
+        b.iter(|| Hnsw::build(clone_ds(&base), Metric::SquaredL2, HnswParams::new(DEGREE / 2)))
+    });
+    g.bench_function("ggnn", |b| {
+        b.iter(|| Ggnn::build(clone_ds(&base), Metric::SquaredL2, GgnnParams::new(DEGREE)))
+    });
+    g.bench_function("ganns", |b| {
+        b.iter(|| Ganns::build(clone_ds(&base), Metric::SquaredL2, GannsParams::new(DEGREE / 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 12 bench: NSSG's beam search over the CAGRA graph vs the NSSG
+//! graph (single query, single thread — the paper's protocol).
+
+use bench::{cagra_index, clone_ds, deep_like, DEGREE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+use nssg::{beam_search, Nssg, NssgParams};
+
+fn bench(c: &mut Criterion) {
+    let (base, queries) = deep_like(10);
+    let index = cagra_index(&base);
+    let cagra_adj: Vec<Vec<u32>> =
+        (0..index.graph().len()).map(|v| index.graph().neighbors(v).to_vec()).collect();
+    let (nssg_index, _) = Nssg::build(clone_ds(&base), Metric::SquaredL2, NssgParams::new(DEGREE));
+
+    let mut g = c.benchmark_group("fig12");
+    for (label, adj) in [("cagra_graph", &cagra_adj), ("nssg_graph", &nssg_index.adjacency().to_vec())] {
+        g.bench_function(label, |b| {
+            b.iter(|| beam_search(adj, &base, Metric::SquaredL2, queries.row(0), 10, 64, 8, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 13 bench: batch search per method (host-side functional cost;
+//! the figure's simulated-GPU numbers come from `eval fig13`).
+
+use bench::{cagra_index, clone_ds, deep_like, DEGREE};
+use cagra::{CagraIndex, SearchParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+use ganns::{Ganns, GannsParams};
+use ggnn::{Ggnn, GgnnParams};
+use hnsw::{Hnsw, HnswParams};
+use nssg::{Nssg, NssgParams};
+
+fn bench(c: &mut Criterion) {
+    let (base, queries) = deep_like(50);
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    let index = cagra_index(&base);
+    let params = SearchParams::for_k(10);
+    g.bench_function("cagra_fp32", |b| b.iter(|| index.search_batch(&queries, 10, &params)));
+
+    let index16 =
+        CagraIndex::from_parts(index.store().to_f16(), index.graph().clone(), Metric::SquaredL2);
+    g.bench_function("cagra_fp16", |b| b.iter(|| index16.search_batch(&queries, 10, &params)));
+
+    let (gg, _) = Ggnn::build(clone_ds(&base), Metric::SquaredL2, GgnnParams::new(DEGREE));
+    g.bench_function("ggnn", |b| b.iter(|| gg.search_batch(&queries, 10, 64)));
+
+    let (ga, _) = Ganns::build(clone_ds(&base), Metric::SquaredL2, GannsParams::new(DEGREE / 2));
+    g.bench_function("ganns", |b| b.iter(|| ga.search_batch(&queries, 10, 64)));
+
+    let h = Hnsw::build(clone_ds(&base), Metric::SquaredL2, HnswParams::new(DEGREE / 2));
+    g.bench_function("hnsw", |b| b.iter(|| h.search_batch(&queries, 10, 64)));
+
+    let (ns, _) = Nssg::build(clone_ds(&base), Metric::SquaredL2, NssgParams::new(DEGREE));
+    g.bench_function("nssg", |b| b.iter(|| ns.search_batch(&queries, 10, 64)));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 14 bench: single-query latency, CAGRA multi-CTA vs HNSW.
+
+use bench::{cagra_index, clone_ds, deep_like, DEGREE};
+use cagra::search::planner::Mode;
+use cagra::SearchParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+use hnsw::{Hnsw, HnswParams};
+
+fn bench(c: &mut Criterion) {
+    let (base, queries) = deep_like(5);
+    let index = cagra_index(&base);
+    let h = Hnsw::build(clone_ds(&base), Metric::SquaredL2, HnswParams::new(DEGREE / 2));
+    let params = SearchParams::for_k(10);
+
+    let mut g = c.benchmark_group("fig14");
+    g.bench_function("cagra_multi_cta", |b| {
+        b.iter(|| index.search_mode(queries.row(0), 10, &params, Mode::MultiCta))
+    });
+    g.bench_function("hnsw", |b| b.iter(|| h.search(queries.row(0), 10, 64)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

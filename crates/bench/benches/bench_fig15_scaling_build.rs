@@ -1,0 +1,32 @@
+//! Fig. 15 bench: construction time vs dataset size, CAGRA vs HNSW.
+
+use bench::DEGREE;
+use cagra::build::{build_graph, GraphConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset::synth::{Family, SynthSpec};
+use distance::Metric;
+use hnsw::{Hnsw, HnswParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [500usize, 2000] {
+        let (base, _) =
+            SynthSpec { dim: 96, n, queries: 0, family: Family::Gaussian, seed: 1 }.generate();
+        g.bench_with_input(BenchmarkId::new("cagra", n), &base, |b, base| {
+            b.iter(|| build_graph(base, Metric::SquaredL2, &GraphConfig::new(DEGREE)))
+        });
+        g.bench_with_input(BenchmarkId::new("hnsw", n), &base, |b, base| {
+            b.iter(|| {
+                let clone = dataset::Dataset::from_flat(base.as_flat().to_vec(), 96);
+                Hnsw::build(clone, Metric::SquaredL2, HnswParams::new(DEGREE / 2))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 16 bench: batch search vs dataset size, recall@10 and @100
+//! widths.
+
+use bench::{clone_ds, DEGREE};
+use cagra::build::GraphConfig;
+use cagra::{CagraIndex, SearchParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset::synth::{Family, SynthSpec};
+use distance::Metric;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [500usize, 2000] {
+        let (base, queries) =
+            SynthSpec { dim: 96, n, queries: 30, family: Family::Gaussian, seed: 2 }.generate();
+        let (index, _) =
+            CagraIndex::build(clone_ds(&base), Metric::SquaredL2, &GraphConfig::new(DEGREE));
+        for k in [10usize, 100] {
+            if n <= 2 * k {
+                continue;
+            }
+            let params = SearchParams::for_k(k);
+            g.bench_with_input(BenchmarkId::new(format!("cagra_k{k}"), n), &queries, |b, q| {
+                b.iter(|| index.search_batch(q, k, &params))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 3 bench: the cost of the optimization variants plus the
+//! reachability analyses (2-hop, SCC) that the figure reports.
+
+use bench::{deep_like, knn_lists, DEGREE};
+use cagra::optimize::{optimize, OptimizeOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+use graph::stats::graph_stats;
+use graph::AdjacencyGraph;
+
+fn bench(c: &mut Criterion) {
+    let (base, _) = deep_like(0);
+    let knn = knn_lists(&base, 3 * DEGREE);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, reorder, reverse) in [
+        ("knn_top_d", false, false),
+        ("reorder_only", true, false),
+        ("reverse_only", false, true),
+        ("full", true, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = OptimizeOptions { reorder, reverse, ..OptimizeOptions::new(DEGREE) };
+                optimize(&knn, &base, Metric::SquaredL2, &opts)
+            })
+        });
+    }
+    let full = optimize(&knn, &base, Metric::SquaredL2, &OptimizeOptions::new(DEGREE));
+    let adj = AdjacencyGraph::from_fixed(&full);
+    g.bench_function("stats_2hop_and_scc", |b| b.iter(|| graph_stats(&adj, 4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

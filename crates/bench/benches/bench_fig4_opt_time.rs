@@ -1,0 +1,32 @@
+//! Fig. 4 bench: rank-based vs distance-based reordering time.
+
+use bench::{deep_like, glove_like, knn_lists, DEGREE};
+use cagra::optimize::{optimize, OptimizeOptions};
+use cagra::params::ReorderStrategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, (base, _)) in [("deep", deep_like(0)), ("glove", glove_like(0))] {
+        let knn = knn_lists(&base, 2 * DEGREE);
+        for (label, strategy) in [
+            ("rank", ReorderStrategy::RankBased),
+            ("distance", ReorderStrategy::DistanceBased),
+        ] {
+            g.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    let opts = OptimizeOptions { strategy, ..OptimizeOptions::new(DEGREE) };
+                    optimize(&knn, &base, Metric::SquaredL2, &opts)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 5 bench: search over rank- vs distance-optimized graphs.
+
+use bench::{clone_ds, deep_like, DEGREE};
+use cagra::build::GraphConfig;
+use cagra::params::ReorderStrategy;
+use cagra::{CagraIndex, SearchParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use distance::Metric;
+
+fn bench(c: &mut Criterion) {
+    let (base, queries) = deep_like(50);
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, strategy) in [
+        ("rank", ReorderStrategy::RankBased),
+        ("distance", ReorderStrategy::DistanceBased),
+    ] {
+        let config = GraphConfig { strategy, ..GraphConfig::new(DEGREE) };
+        let (index, _) = CagraIndex::build(clone_ds(&base), Metric::SquaredL2, &config);
+        let params = SearchParams::for_k(10);
+        g.bench_function(format!("batch_search/{label}"), |b| {
+            b.iter(|| index.search_batch(&queries, 10, &params))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 8 bench: simulated-A100 batch time per team size (the search
+//! itself runs once; team size is a costing input).
+
+use bench::{cagra_index, deep_like, glove_like};
+use cagra::search::planner::Mode;
+use cagra::SearchParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{simulate_batch, DeviceSpec, Mapping};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let device = DeviceSpec::a100();
+    for (name, dim, (base, queries)) in
+        [("deep", 96usize, deep_like(30)), ("glove", 200, glove_like(30))]
+    {
+        let index = cagra_index(&base);
+        let params = SearchParams::for_k(10);
+        let traces: Vec<_> = index
+            .search_batch_traced(&queries, 10, &params, Mode::SingleCta)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        for team in [2usize, 4, 8, 16, 32] {
+            g.bench_function(format!("{name}/team{team}"), |b| {
+                b.iter(|| simulate_batch(&device, &traces, dim, 4, team, Mapping::SingleCta))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

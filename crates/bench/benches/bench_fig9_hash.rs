@@ -1,0 +1,27 @@
+//! Fig. 9 bench: functional search cost, forgettable vs standard hash.
+
+use bench::{cagra_index, deep_like};
+use cagra::{HashPolicy, SearchParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (base, queries) = deep_like(50);
+    let index = cagra_index(&base);
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, hash) in [
+        ("standard", HashPolicy::Standard),
+        ("forgettable", HashPolicy::Forgettable { bits: 10, reset_interval: 1 }),
+        ("forgettable_interval4", HashPolicy::Forgettable { bits: 10, reset_interval: 4 }),
+    ] {
+        let mut params = SearchParams::for_k(10);
+        params.hash = hash;
+        g.bench_function(label, |b| b.iter(|| index.search_batch(&queries, 10, &params)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

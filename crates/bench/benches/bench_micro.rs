@@ -1,0 +1,131 @@
+//! Microbenchmarks for the hot primitives underneath every experiment:
+//! distance kernels (FP32/FP16/INT8 access paths), bounded top-k, the
+//! visited hash table, and the bitonic candidate sort. These are the
+//! knobs the Rust-side performance work tunes; the figure-level
+//! benches sit on top of them.
+
+use cagra::search::buffer::{bitonic_sort, BufEntry};
+use cagra::search::hash::VisitedSet;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dataset::synth::{Family, SynthSpec};
+use dataset::VectorStore;
+use distance::{squared_l2, DistanceOracle, Metric};
+use knn::topk::{Neighbor, TopK};
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/distance");
+    for dim in [96usize, 200, 960] {
+        let (base, q) =
+            SynthSpec { dim, n: 64, queries: 1, family: Family::Gaussian, seed: 1 }.generate();
+        let query = q.row(0).to_vec();
+        g.bench_function(format!("l2_fp32_d{dim}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..base.len() {
+                    acc += squared_l2(black_box(&query), base.row(i));
+                }
+                acc
+            })
+        });
+        let half = base.to_f16();
+        g.bench_function(format!("l2_fp16_d{dim}"), |b| {
+            let oracle = DistanceOracle::new(&half, Metric::SquaredL2);
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..half.len() {
+                    acc += oracle.to_row(black_box(&query), i);
+                }
+                acc
+            })
+        });
+        let quant = base.to_i8();
+        g.bench_function(format!("l2_int8_d{dim}"), |b| {
+            let oracle = DistanceOracle::new(&quant, Metric::SquaredL2);
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..quant.len() {
+                    acc += oracle.to_row(black_box(&query), i);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/topk");
+    let mut x = 1u64;
+    let items: Vec<Neighbor> = (0..4096u32)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            Neighbor::new(i, (x >> 40) as f32)
+        })
+        .collect();
+    for k in [10usize, 100] {
+        g.bench_function(format!("top{k}_of_4096"), |b| {
+            b.iter(|| {
+                let mut t = TopK::new(k);
+                for &it in &items {
+                    if it.dist < t.threshold() {
+                        t.push(it);
+                    }
+                }
+                t.into_sorted()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/visited_hash");
+    let ids: Vec<u32> = (0..2000u32).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
+    g.bench_function("insert_2000_into_2^12", |b| {
+        b.iter(|| {
+            let mut v = VisitedSet::new(12);
+            let mut hits = 0;
+            for &id in &ids {
+                if v.insert(black_box(id)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("reset_with_64_survivors", |b| {
+        let mut v = VisitedSet::new(12);
+        for &id in &ids {
+            v.insert(id);
+        }
+        b.iter(|| {
+            v.reset((0..64u32).map(|i| i * 3));
+            v.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/bitonic_sort");
+    for n in [32usize, 128, 512] {
+        let mut x = 3u64;
+        let entries: Vec<BufEntry> = (0..n as u32)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                BufEntry::new(i, (x >> 40) as f32)
+            })
+            .collect();
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                let mut v = entries.clone();
+                bitonic_sort(&mut v);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_distance, bench_topk, bench_hash, bench_bitonic);
+criterion_main!(benches);

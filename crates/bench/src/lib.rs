@@ -1,0 +1,56 @@
+//! Shared fixtures for the per-figure Criterion benchmarks.
+//!
+//! Benchmarks run at a deliberately small scale (the harness runs on
+//! whatever machine executes `cargo bench`); the `eval` binary is the
+//! tool for larger, figure-shaped sweeps. Scale can be raised with
+//! `CAGRA_BENCH_N`.
+
+use cagra::build::GraphConfig;
+use cagra::CagraIndex;
+use dataset::synth::{Family, SynthSpec};
+use dataset::{Dataset, VectorStore};
+use distance::Metric;
+use knn::topk::Neighbor;
+use knn::{NnDescent, NnDescentParams};
+
+/// Benchmark dataset size (`CAGRA_BENCH_N`, default 1500).
+pub fn bench_n() -> usize {
+    std::env::var("CAGRA_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(1500)
+}
+
+/// DEEP-like fixture: 96-dim Gaussian base plus queries.
+pub fn deep_like(queries: usize) -> (Dataset, Dataset) {
+    SynthSpec { dim: 96, n: bench_n(), queries, family: Family::Gaussian, seed: 0xbe9c }
+        .generate()
+}
+
+/// GloVe-like fixture: 200-dim clustered ("hard") base plus queries.
+pub fn glove_like(queries: usize) -> (Dataset, Dataset) {
+    SynthSpec {
+        dim: 200,
+        n: bench_n(),
+        queries,
+        family: Family::Clustered { clusters: 64, spread: 1.0 },
+        seed: 0x910e,
+    }
+    .generate()
+}
+
+/// The standard fixture degree.
+pub const DEGREE: usize = 16;
+
+/// Build a CAGRA index over a base dataset.
+pub fn cagra_index(base: &Dataset) -> CagraIndex<Dataset> {
+    let clone = Dataset::from_flat(base.as_flat().to_vec(), base.dim());
+    CagraIndex::build(clone, Metric::SquaredL2, &GraphConfig::new(DEGREE)).0
+}
+
+/// Pre-built NN-Descent lists (shared by the optimization benches).
+pub fn knn_lists(base: &Dataset, k: usize) -> Vec<Vec<Neighbor>> {
+    NnDescent::new(NnDescentParams::new(k)).build(base, Metric::SquaredL2)
+}
+
+/// Clone helper (benches must not consume the shared fixture).
+pub fn clone_ds(base: &Dataset) -> Dataset {
+    Dataset::from_flat(base.as_flat().to_vec(), base.dim())
+}

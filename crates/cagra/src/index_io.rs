@@ -1,0 +1,160 @@
+//! Single-file index bundles.
+//!
+//! The paper's deployment story is build-once/search-forever, which
+//! needs the graph *and* the vectors it indexes to travel together
+//! (they must stay aligned: a graph over a different row order is
+//! silently wrong). The bundle format keeps them in one artifact:
+//!
+//! ```text
+//! magic "CGIX" | version u32 | metric u8 | dim u64 | n u64
+//! | n * dim f32 vectors | CAGR graph blob
+//! ```
+
+use crate::search::index::CagraIndex;
+use dataset::{Dataset, VectorStore};
+use distance::Metric;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CGIX";
+const VERSION: u32 = 1;
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::SquaredL2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    }
+}
+
+fn tag_metric(t: u8) -> io::Result<Metric> {
+    match t {
+        0 => Ok(Metric::SquaredL2),
+        1 => Ok(Metric::InnerProduct),
+        2 => Ok(Metric::Cosine),
+        other => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad metric tag {other}"))),
+    }
+}
+
+/// Serialize a full index (vectors + graph + metric) to one stream.
+pub fn write_index<W: Write>(mut w: W, index: &CagraIndex<Dataset>) -> io::Result<()> {
+    let store = index.store();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[metric_tag(index.metric())])?;
+    w.write_all(&(store.dim() as u64).to_le_bytes())?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for chunk in store.as_flat().chunks(16 * 1024) {
+        buf.clear();
+        for &x in chunk {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    graph::io::write_fixed(w, index.graph())
+}
+
+/// Deserialize a bundle written by [`write_index`].
+pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
+    let mut header = [0u8; 4 + 4 + 1 + 8 + 8];
+    r.read_exact(&mut header)?;
+    if &header[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported index version {version}"),
+        ));
+    }
+    let metric = tag_metric(header[8])?;
+    let dim = u64::from_le_bytes(header[9..17].try_into().unwrap()) as usize;
+    let n = u64::from_le_bytes(header[17..25].try_into().unwrap()) as usize;
+    if dim == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dimension"));
+    }
+    let total = n
+        .checked_mul(dim)
+        .and_then(|t| t.checked_mul(4))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "index size overflow"))?;
+    let mut body = vec![0u8; total];
+    r.read_exact(&mut body)?;
+    let flat: Vec<f32> =
+        body.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+    let store = Dataset::from_flat(flat, dim);
+    let g = graph::io::read_fixed(r)?;
+    if g.len() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("graph covers {} nodes but bundle has {n} vectors", g.len()),
+        ));
+    }
+    Ok(CagraIndex::from_parts(store, g, metric))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GraphConfig;
+    use crate::params::SearchParams;
+    use dataset::synth::{Family, SynthSpec};
+
+    fn build() -> CagraIndex<Dataset> {
+        let (base, _) =
+            SynthSpec { dim: 12, n: 300, queries: 0, family: Family::Gaussian, seed: 31 }
+                .generate();
+        CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(8)).0
+    }
+
+    #[test]
+    fn bundle_round_trip_searches_identically() {
+        let index = build();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(&buf[..]).unwrap();
+        assert_eq!(back.metric(), Metric::SquaredL2);
+        assert_eq!(back.graph(), index.graph());
+        let q: Vec<f32> = index.store().row(5).to_vec();
+        let p = SearchParams::for_k(5);
+        assert_eq!(index.search(&q, 5, &p), back.search(&q, 5, &p));
+    }
+
+    #[test]
+    fn corrupt_magic_and_version_rejected() {
+        let index = build();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_index(&bad[..]).is_err());
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(read_index(&bad[..]).is_err());
+        let mut bad = buf;
+        bad[8] = 7; // invalid metric tag
+        assert!(read_index(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_bundle_rejected() {
+        let index = build();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_index(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn every_metric_round_trips() {
+        for m in [Metric::SquaredL2, Metric::InnerProduct, Metric::Cosine] {
+            let (base, _) =
+                SynthSpec { dim: 6, n: 120, queries: 0, family: Family::Gaussian, seed: 2 }
+                    .generate();
+            let index = CagraIndex::build(base, m, &GraphConfig::new(8)).0;
+            let mut buf = Vec::new();
+            write_index(&mut buf, &index).unwrap();
+            assert_eq!(read_index(&buf[..]).unwrap().metric(), m);
+        }
+    }
+}

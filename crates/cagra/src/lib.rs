@@ -1,0 +1,46 @@
+//! CAGRA — the paper's primary contribution, reimplemented in Rust.
+//!
+//! Two halves, mirroring the paper's structure:
+//!
+//! * **Graph construction** (Sec. III): build a `d_init`-degree k-NN
+//!   graph with NN-Descent, then optimize it into a fixed-degree-`d`
+//!   directed graph via rank-based edge reordering, pruning, reverse
+//!   edge addition, and an interleaved merge. See [`build`] and
+//!   [`optimize`].
+//! * **Search** (Sec. IV): an iterative traversal over a contiguous
+//!   buffer holding an internal top-M list and a `p x d` candidate
+//!   list, with an open-addressing *visited* hash table (standard or
+//!   "forgettable"), MSB-flag parent tracking, and two hardware
+//!   mappings — [`search::single_cta`] (one worker per query, large
+//!   batches) and [`search::multi_cta`] (several workers cooperating
+//!   on one query). [`search::planner`] encodes the Fig. 7 dispatch
+//!   rule.
+//!
+//! The GPU timing behaviour (team sizes, occupancy, memory
+//! transactions) lives in the separate `gpu-sim` crate, which consumes
+//! the [`search::trace::SearchTrace`] this crate records.
+//!
+//! ```
+//! use cagra::{CagraIndex, GraphConfig, SearchParams};
+//! use dataset::synth::{Family, SynthSpec};
+//! use distance::Metric;
+//!
+//! let (base, queries) =
+//!     SynthSpec { dim: 16, n: 500, queries: 1, family: Family::Gaussian, seed: 1 }.generate();
+//! let (index, report) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(8));
+//! assert!(report.total().as_nanos() > 0);
+//! let hits = index.search(queries.row(0), 5, &SearchParams::for_k(5));
+//! assert_eq!(hits.len(), 5);
+//! ```
+
+pub mod build;
+pub mod index_io;
+pub mod optimize;
+pub mod params;
+pub mod search;
+pub mod shard;
+
+pub use build::{build_graph, BuildReport, GraphConfig};
+pub use params::{HashPolicy, ReorderStrategy, SearchParams};
+pub use search::index::CagraIndex;
+pub use shard::ShardedIndex;

@@ -1,0 +1,165 @@
+//! Parameter types shared by construction and search.
+
+use serde::{Deserialize, Serialize};
+
+/// Which detourable-route criterion the edge reordering uses (Sec.
+/// III-B2). The paper adopts rank-based; distance-based is kept as the
+/// ablation baseline of Figs. 4 and 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReorderStrategy {
+    /// Approximate edge weights by each neighbor's position in the
+    /// distance-sorted list ("initial rank"). No distance computation.
+    RankBased,
+    /// Use true distances, recomputed on the fly — the paper's
+    /// `N x d_init x (d_init - 1)` extra-computation variant.
+    DistanceBased,
+}
+
+/// Visited-set management for the search (Sec. IV-B3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HashPolicy {
+    /// One table sized for the whole search
+    /// (`>= 2 * I_max * p * d` entries), never reset. The paper places
+    /// this in device memory; multi-CTA always uses it.
+    Standard,
+    /// Small table (`2^bits` entries, paper: 2^8..2^13) reset every
+    /// `reset_interval` iterations, re-registering only the current
+    /// top-M entries afterwards. The paper places this in shared
+    /// memory for higher single-CTA occupancy.
+    Forgettable {
+        /// log2 of the table size.
+        bits: u8,
+        /// Iterations between resets (paper: typically 1–4).
+        reset_interval: u8,
+    },
+}
+
+/// Search-time parameters (the paper's `M`, `p`, `I_max` and the GPU
+/// mapping knobs).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Internal top-M list length (`itopk`); must be >= k.
+    pub itopk: usize,
+    /// Number of parents expanded per iteration (`p`); the paper uses
+    /// 1 for maximum single-CTA throughput.
+    pub search_width: usize,
+    /// Hard iteration cap (`I_max`).
+    pub max_iterations: usize,
+    /// Lower bound on iterations (0 = none); lets experiments force a
+    /// fixed amount of traversal.
+    pub min_iterations: usize,
+    /// Visited-set policy.
+    pub hash: HashPolicy,
+    /// Threads cooperating on one distance computation in the GPU
+    /// model (2, 4, 8, 16 or 32). Purely a `gpu-sim` costing input —
+    /// results are identical across team sizes.
+    pub team_size: usize,
+    /// Number of CTAs per query in multi-CTA mode.
+    pub num_cta: usize,
+    /// Seed for the random initial candidates.
+    pub seed: u64,
+}
+
+impl SearchParams {
+    /// Paper-flavored defaults for returning `k` results: `itopk = max(64, k)`,
+    /// `p = 1`, forgettable hash, auto iteration cap.
+    pub fn for_k(k: usize) -> Self {
+        let itopk = k.max(64);
+        SearchParams {
+            itopk,
+            search_width: 1,
+            max_iterations: 0, // 0 = auto (derived from itopk)
+            min_iterations: 0,
+            hash: HashPolicy::Forgettable { bits: 11, reset_interval: 1 },
+            team_size: 8,
+            num_cta: 16,
+            seed: 0xcaa7,
+        }
+    }
+
+    /// The effective iteration cap: explicit `max_iterations`, or the
+    /// auto rule (search until every top-M entry has been a parent,
+    /// bounded by a generous multiple of itopk) when 0.
+    pub fn effective_max_iterations(&self, degree: usize) -> usize {
+        if self.max_iterations > 0 {
+            return self.max_iterations;
+        }
+        // Every iteration consumes up to `search_width` parents; the
+        // top-M list has itopk entries, and entries churn as closer
+        // nodes arrive. 2x headroom matches cuVS' auto rule in spirit.
+        let per_iter = self.search_width.max(1);
+        (2 * self.itopk).div_ceil(per_iter).max(degree.max(16))
+    }
+
+    /// Validate parameter consistency for a graph of degree `d` and a
+    /// result size `k`.
+    pub fn validate(&self, k: usize) -> Result<(), String> {
+        if self.itopk < k {
+            return Err(format!("itopk ({}) must be >= k ({k})", self.itopk));
+        }
+        if self.search_width == 0 {
+            return Err("search_width must be positive".into());
+        }
+        if !matches!(self.team_size, 2 | 4 | 8 | 16 | 32) {
+            return Err(format!("team_size {} must divide a 32-thread warp", self.team_size));
+        }
+        if self.num_cta == 0 {
+            return Err("num_cta must be positive".into());
+        }
+        if let HashPolicy::Forgettable { bits, reset_interval } = self.hash {
+            if !(4..=24).contains(&bits) {
+                return Err(format!("forgettable hash bits {bits} out of range 4..=24"));
+            }
+            if reset_interval == 0 {
+                return Err("reset_interval must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let p = SearchParams::for_k(10);
+        assert!(p.validate(10).is_ok());
+        assert!(p.itopk >= 10);
+    }
+
+    #[test]
+    fn itopk_below_k_rejected() {
+        let mut p = SearchParams::for_k(10);
+        p.itopk = 5;
+        assert!(p.validate(10).is_err());
+    }
+
+    #[test]
+    fn bad_team_size_rejected() {
+        let mut p = SearchParams::for_k(1);
+        p.team_size = 7;
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn bad_hash_bits_rejected() {
+        let mut p = SearchParams::for_k(1);
+        p.hash = HashPolicy::Forgettable { bits: 2, reset_interval: 1 };
+        assert!(p.validate(1).is_err());
+        p.hash = HashPolicy::Forgettable { bits: 11, reset_interval: 0 };
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn auto_iteration_cap_scales_with_itopk() {
+        let mut p = SearchParams::for_k(10);
+        p.itopk = 64;
+        let small = p.effective_max_iterations(32);
+        p.itopk = 512;
+        assert!(p.effective_max_iterations(32) > small);
+        p.max_iterations = 7;
+        assert_eq!(p.effective_max_iterations(32), 7);
+    }
+}

@@ -1,0 +1,200 @@
+//! Open-addressing visited-node hash table (Sec. IV-B3).
+//!
+//! Tracks which nodes have already had their query distance computed,
+//! in the manner of SONG: a power-of-two table of node ids probed
+//! linearly. Two management modes mirror the paper:
+//!
+//! * **standard** — sized at construction for `2 * I_max * p * d`
+//!   potential entries so collisions stay rare and the table never
+//!   fills; the GPU keeps it in device memory.
+//! * **forgettable** — a small table (2^8..2^13 entries, shared
+//!   memory) that is periodically [`VisitedSet::reset`]; only the
+//!   current top-M survivors are re-registered. Forgetting can cause
+//!   re-computation of distances but, per the paper (and our Fig. 9
+//!   runs), no catastrophic recall loss.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Fixed-capacity open-addressing set of node ids.
+#[derive(Clone, Debug)]
+pub struct VisitedSet {
+    slots: Vec<u32>,
+    mask: u32,
+    len: usize,
+    /// Total probe steps performed (costing input for `gpu-sim`).
+    probes: u64,
+}
+
+/// Multiplicative 32-bit hash (Knuth's 2^32 / phi constant).
+#[inline]
+fn hash(id: u32) -> u32 {
+    id.wrapping_mul(0x9e37_79b1)
+}
+
+impl VisitedSet {
+    /// Create a table of `2^bits` slots.
+    ///
+    /// # Panics
+    /// Panics unless `4 <= bits <= 30`.
+    pub fn new(bits: u8) -> Self {
+        assert!((4..=30).contains(&bits), "hash bits {bits} out of range");
+        let size = 1usize << bits;
+        VisitedSet { slots: vec![EMPTY; size], mask: (size - 1) as u32, len: 0, probes: 0 }
+    }
+
+    /// Table size adequate for a standard (never-reset) search: at
+    /// least twice `I_max * p * d` entries, as the paper recommends.
+    pub fn standard_bits(max_iterations: usize, width: usize) -> u8 {
+        let entries = 2 * max_iterations.max(1) * width.max(1);
+        let bits = entries.next_power_of_two().trailing_zeros() as u8;
+        bits.clamp(8, 30)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no ids are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cumulative probe count.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Insert `id`; returns `true` if it was not present (i.e. the
+    /// caller should compute its distance). A full table reports
+    /// `false` ("already visited"), which is safe: it suppresses a
+    /// distance computation, mirroring the bounded GPU probe loop.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        debug_assert_ne!(id, EMPTY, "EMPTY sentinel cannot be inserted");
+        let mut slot = hash(id) & self.mask;
+        let cap = self.slots.len();
+        for _ in 0..cap {
+            self.probes += 1;
+            let cur = self.slots[slot as usize];
+            if cur == id {
+                return false;
+            }
+            if cur == EMPTY {
+                self.slots[slot as usize] = id;
+                self.len += 1;
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Membership query without insertion.
+    pub fn contains(&self, id: u32) -> bool {
+        let mut slot = hash(id) & self.mask;
+        for _ in 0..self.slots.len() {
+            let cur = self.slots[slot as usize];
+            if cur == id {
+                return true;
+            }
+            if cur == EMPTY {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Forgettable-mode reset: evict everything, then re-register the
+    /// given survivors (the paper re-registers the current top-M list).
+    pub fn reset(&mut self, survivors: impl IntoIterator<Item = u32>) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+        for id in survivors {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_semantics() {
+        let mut v = VisitedSet::new(6);
+        assert!(v.insert(10));
+        assert!(!v.insert(10));
+        assert!(v.insert(11));
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(10));
+        assert!(!v.contains(99));
+    }
+
+    #[test]
+    fn matches_std_hashset_on_random_streams() {
+        use std::collections::HashSet;
+        let mut x = 7u64;
+        let mut ours = VisitedSet::new(12);
+        let mut std_set = HashSet::new();
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = ((x >> 33) as u32) % 3000;
+            assert_eq!(ours.insert(id), std_set.insert(id), "id {id}");
+        }
+        assert_eq!(ours.len(), std_set.len());
+    }
+
+    #[test]
+    fn full_table_reports_visited() {
+        let mut v = VisitedSet::new(4); // 16 slots
+        for id in 0..16 {
+            assert!(v.insert(id));
+        }
+        assert!(!v.insert(100), "full table must refuse");
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    fn reset_keeps_only_survivors() {
+        let mut v = VisitedSet::new(6);
+        for id in 0..20 {
+            v.insert(id);
+        }
+        v.reset([3, 7, 9]);
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(3) && v.contains(7) && v.contains(9));
+        assert!(!v.contains(5));
+        // Forgotten ids can be inserted (and thus recomputed) again.
+        assert!(v.insert(5));
+    }
+
+    #[test]
+    fn standard_bits_gives_headroom() {
+        // 64 iterations * width 32 = 2048 entries -> >= 4096 slots.
+        let bits = VisitedSet::standard_bits(64, 32);
+        assert!(1usize << bits >= 4096, "bits {bits}");
+        // Paper's range floor: never below 2^8.
+        assert!(VisitedSet::standard_bits(1, 1) >= 8);
+    }
+
+    #[test]
+    fn probes_accumulate() {
+        let mut v = VisitedSet::new(8);
+        v.insert(1);
+        v.insert(2);
+        assert!(v.probes() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bits_out_of_range_rejected() {
+        VisitedSet::new(31);
+    }
+}

@@ -1,0 +1,208 @@
+//! High-level index: build once, search many times.
+//!
+//! [`CagraIndex`] owns the dataset and graph and exposes the public
+//! API a downstream user works with: single-query search (auto-
+//! dispatched per Fig. 7), explicit-mode search, and thread-parallel
+//! batch search (the CPU analogue of launching one CTA per query).
+
+use super::multi_cta::search_multi_cta;
+use super::planner::{choose, Mode, Thresholds};
+use super::single_cta::search_single_cta;
+use super::trace::SearchTrace;
+use crate::build::{build_graph, BuildReport, GraphConfig};
+use crate::params::SearchParams;
+use dataset::VectorStore;
+use distance::Metric;
+use graph::FixedDegreeGraph;
+use knn::parallel::{default_threads, parallel_map};
+use knn::topk::Neighbor;
+
+/// A built CAGRA index over an owned vector store.
+pub struct CagraIndex<S> {
+    store: S,
+    graph: FixedDegreeGraph,
+    metric: Metric,
+    /// Dispatch thresholds used by [`CagraIndex::search_batch`].
+    pub thresholds: Thresholds,
+}
+
+impl<S: VectorStore> CagraIndex<S> {
+    /// Build a new index (NN-Descent + CAGRA optimization).
+    pub fn build(store: S, metric: Metric, config: &GraphConfig) -> (Self, BuildReport) {
+        let (graph, report) = build_graph(&store, metric, config);
+        (CagraIndex { store, graph, metric, thresholds: Thresholds::default() }, report)
+    }
+
+    /// Wrap an already-built graph (e.g. deserialized with
+    /// `graph::io::read_fixed`).
+    ///
+    /// # Panics
+    /// Panics if graph and store sizes disagree.
+    pub fn from_parts(store: S, graph: FixedDegreeGraph, metric: Metric) -> Self {
+        assert_eq!(store.len(), graph.len(), "graph/store size mismatch");
+        CagraIndex { store, graph, metric, thresholds: Thresholds::default() }
+    }
+
+    /// The proximity graph.
+    pub fn graph(&self) -> &FixedDegreeGraph {
+        &self.graph
+    }
+
+    /// The vector store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The metric the index was built with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Single-query search with automatic mapping choice (a lone query
+    /// always dispatches to multi-CTA, as in the paper).
+    pub fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Vec<Neighbor> {
+        self.search_mode(query, k, params, choose(1, params.itopk, self.thresholds)).0
+    }
+
+    /// Search with an explicit kernel mapping; returns the trace too.
+    pub fn search_mode(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> (Vec<Neighbor>, SearchTrace) {
+        match mode {
+            Mode::SingleCta => {
+                search_single_cta(&self.graph, &self.store, self.metric, query, k, params)
+            }
+            Mode::MultiCta => {
+                search_multi_cta(&self.graph, &self.store, self.metric, query, k, params)
+            }
+        }
+    }
+
+    /// Batch search, parallel over queries, mapping chosen per Fig. 7
+    /// from the batch size. Each query derives its own seed so batches
+    /// are deterministic regardless of thread count.
+    pub fn search_batch<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        params: &SearchParams,
+    ) -> Vec<Vec<Neighbor>> {
+        let mode = choose(queries.len(), params.itopk, self.thresholds);
+        self.search_batch_mode(queries, k, params, mode)
+    }
+
+    /// Batch search with an explicit mapping.
+    pub fn search_batch_mode<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> Vec<Vec<Neighbor>> {
+        let dim = queries.dim();
+        assert_eq!(dim, self.store.dim(), "query dimension mismatch");
+        parallel_map(queries.len(), default_threads(), |qi| {
+            let mut q = vec![0.0f32; dim];
+            queries.get_into(qi, &mut q);
+            let mut p = *params;
+            p.seed = params.seed.wrapping_add((qi as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            self.search_mode(&q, k, &p, mode).0
+        })
+    }
+
+    /// Batch search that also returns traces (experiment harness use).
+    pub fn search_batch_traced<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> Vec<(Vec<Neighbor>, SearchTrace)> {
+        let dim = queries.dim();
+        assert_eq!(dim, self.store.dim(), "query dimension mismatch");
+        parallel_map(queries.len(), default_threads(), |qi| {
+            let mut q = vec![0.0f32; dim];
+            queries.get_into(qi, &mut q);
+            let mut p = *params;
+            p.seed = params.seed.wrapping_add((qi as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            self.search_mode(&q, k, &p, mode)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::synth::{Family, SynthSpec};
+    use knn::brute::ground_truth;
+
+    fn build_index(n: usize) -> (CagraIndex<dataset::Dataset>, dataset::Dataset) {
+        let spec = SynthSpec { dim: 8, n, queries: 50, family: Family::Gaussian, seed: 21 };
+        let (base, queries) = spec.generate();
+        let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(16));
+        (index, queries)
+    }
+
+    #[test]
+    fn batch_search_reaches_high_recall() {
+        let (index, queries) = build_index(2000);
+        let got = index.search_batch(&queries, 10, &SearchParams::for_k(10));
+        let gt = ground_truth(index.store(), Metric::SquaredL2, &queries, 10);
+        let mut hits = 0usize;
+        for (g, t) in got.iter().zip(&gt) {
+            let ts: std::collections::HashSet<u32> = t.iter().copied().collect();
+            hits += g.iter().filter(|n| ts.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (gt.len() * 10) as f64;
+        assert!(recall > 0.9, "batch recall@10 = {recall}");
+    }
+
+    #[test]
+    fn batch_results_stable_across_thread_counts() {
+        let (index, queries) = build_index(800);
+        let p = SearchParams::for_k(5);
+        std::env::set_var("CAGRA_THREADS", "1");
+        let a = index.search_batch(&queries, 5, &p);
+        std::env::set_var("CAGRA_THREADS", "3");
+        let b = index.search_batch(&queries, 5, &p);
+        std::env::remove_var("CAGRA_THREADS");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_query_uses_multi_cta_mapping() {
+        let (index, queries) = build_index(500);
+        let p = SearchParams::for_k(5);
+        let auto = index.search(queries.row(0), 5, &p);
+        let (multi, _) = index.search_mode(queries.row(0), 5, &p, Mode::MultiCta);
+        assert_eq!(auto, multi);
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let (index, queries) = build_index(300);
+        let mut buf = Vec::new();
+        graph::io::write_fixed(&mut buf, index.graph()).unwrap();
+        let g2 = graph::io::read_fixed(&buf[..]).unwrap();
+        let store2 = dataset::Dataset::from_flat(
+            index.store().as_flat().to_vec(),
+            index.store().dim(),
+        );
+        let index2 = CagraIndex::from_parts(store2, g2, Metric::SquaredL2);
+        let p = SearchParams::for_k(5);
+        assert_eq!(index.search(queries.row(1), 5, &p), index2.search(queries.row(1), 5, &p));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_parts_checks_sizes() {
+        let (index, _) = build_index(300);
+        let store = dataset::Dataset::from_flat(vec![0.0; 8], 8);
+        let g = index.graph().clone();
+        CagraIndex::from_parts(store, g, Metric::SquaredL2);
+    }
+}

@@ -1,0 +1,20 @@
+//! CAGRA search (Sec. IV of the paper).
+//!
+//! The functional algorithm is identical for both hardware mappings:
+//! a contiguous buffer holds the internal top-M list and the `p x d`
+//! candidate list; each iteration (1) merges sorted candidates into
+//! the top-M list, (2) expands the neighbors of the best not-yet-
+//! parented entries (tracked by an MSB flag on the stored index), and
+//! (3) computes distances only for nodes passing the visited hash
+//! table. [`single_cta`] maps one worker to a query; [`multi_cta`]
+//! maps several cooperating workers (sharing the visited set) to one
+//! query. [`planner`] picks between them per Fig. 7.
+
+pub mod buffer;
+pub mod hash;
+pub mod index;
+pub mod multi_cta;
+pub mod parent;
+pub mod planner;
+pub mod single_cta;
+pub mod trace;

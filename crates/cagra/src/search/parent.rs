@@ -1,0 +1,61 @@
+//! 1-bit parented-node management (Sec. IV-B4).
+//!
+//! The search must remember which top-M entries have already been used
+//! as traversal parents. Instead of a second hash table, the paper
+//! stores the flag in the most significant bit of the node index —
+//! reading the flag is then a single mask, at the cost of halving the
+//! addressable dataset size (2^31 - 1 nodes for u32 indices).
+
+/// The MSB flag marking an entry as "already a parent".
+pub const PARENT_FLAG: u32 = 1 << 31;
+
+/// Maximum dataset size representable alongside the flag.
+pub const MAX_DATASET_SIZE: usize = (PARENT_FLAG - 1) as usize;
+
+/// Sentinel for an empty buffer slot (all bits set, never a valid id).
+pub const INVALID: u32 = u32::MAX;
+
+/// Extract the node id, dropping the flag.
+#[inline]
+pub fn node_id(packed: u32) -> u32 {
+    packed & !PARENT_FLAG
+}
+
+/// True if the entry has served as a parent.
+#[inline]
+pub fn is_parented(packed: u32) -> bool {
+    packed & PARENT_FLAG != 0
+}
+
+/// Mark the entry as a parent.
+#[inline]
+pub fn set_parented(packed: u32) -> u32 {
+    packed | PARENT_FLAG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        let id = 0x7fff_fffe;
+        let p = set_parented(id);
+        assert!(is_parented(p));
+        assert_eq!(node_id(p), id);
+        assert!(!is_parented(id));
+        assert_eq!(node_id(id), id);
+    }
+
+    #[test]
+    fn max_dataset_size_matches_paper() {
+        // "the supported maximum size of the dataset is only 2^31 - 1"
+        assert_eq!(MAX_DATASET_SIZE, (1usize << 31) - 1);
+    }
+
+    #[test]
+    fn invalid_sentinel_is_flagged() {
+        // INVALID reads as parented so dummies are never selected.
+        assert!(is_parented(INVALID));
+    }
+}

@@ -1,0 +1,74 @@
+//! Implementation choice rule (Fig. 7 of the paper).
+//!
+//! Multi-CTA is selected when the batch is too small to fill the GPU
+//! with one CTA per query (`batch < b_T`) or when the internal top-M
+//! list is large enough that single-CTA's top-M update dominates
+//! (`itopk > M_T`). The paper recommends `M_T = 512` and `b_T = number
+//! of SMs` empirically.
+
+use serde::{Deserialize, Serialize};
+
+/// Which kernel mapping to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// One CTA per query — large batches.
+    SingleCta,
+    /// Many CTAs per query — small batches or large top-M.
+    MultiCta,
+}
+
+/// Dispatch thresholds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Batch-size threshold `b_T` (paper: the GPU's SM count).
+    pub batch: usize,
+    /// Internal top-M threshold `M_T` (paper: 512).
+    pub itopk: usize,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        // 108 SMs on the paper's A100 (80 GB).
+        Thresholds { batch: 108, itopk: 512 }
+    }
+}
+
+/// Apply the Fig. 7 rule.
+pub fn choose(batch_size: usize, itopk: usize, t: Thresholds) -> Mode {
+    if batch_size < t.batch || itopk > t.itopk {
+        Mode::MultiCta
+    } else {
+        Mode::SingleCta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_query_goes_multi() {
+        assert_eq!(choose(1, 64, Thresholds::default()), Mode::MultiCta);
+    }
+
+    #[test]
+    fn large_batch_small_itopk_goes_single() {
+        assert_eq!(choose(10_000, 64, Thresholds::default()), Mode::SingleCta);
+    }
+
+    #[test]
+    fn large_itopk_forces_multi_even_for_large_batches() {
+        assert_eq!(choose(10_000, 1024, Thresholds::default()), Mode::MultiCta);
+    }
+
+    #[test]
+    fn boundary_conditions() {
+        let t = Thresholds::default();
+        // batch == b_T is "not smaller" -> single.
+        assert_eq!(choose(t.batch, 64, t), Mode::SingleCta);
+        assert_eq!(choose(t.batch - 1, 64, t), Mode::MultiCta);
+        // itopk == M_T is "not larger" -> single.
+        assert_eq!(choose(10_000, t.itopk, t), Mode::SingleCta);
+        assert_eq!(choose(10_000, t.itopk + 1, t), Mode::MultiCta);
+    }
+}

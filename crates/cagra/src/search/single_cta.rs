@@ -1,0 +1,308 @@
+//! Single-CTA search: one worker per query (Sec. IV-C1).
+//!
+//! The GPU maps each query to one thread block and keeps the visited
+//! hash in shared memory (forgettable management); batches of queries
+//! run as concurrent blocks. Functionally the search is the iterative
+//! loop of Fig. 6, implemented here once and reused by the multi-CTA
+//! mapping.
+
+use super::buffer::{BufEntry, SearchBuffer};
+use super::hash::VisitedSet;
+use super::parent::{is_parented, node_id, set_parented};
+use super::trace::{IterationTrace, SearchTrace};
+use crate::params::{HashPolicy, SearchParams};
+use dataset::VectorStore;
+use distance::{DistanceOracle, Metric};
+use graph::FixedDegreeGraph;
+use knn::topk::Neighbor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Search the graph for the `k` nearest neighbors of `query`.
+///
+/// Returns the results in ascending distance order together with the
+/// operation trace `gpu-sim` consumes.
+///
+/// # Panics
+/// Panics on invalid parameters (see [`SearchParams::validate`]) or a
+/// query dimension mismatch.
+pub fn search_single_cta<S: VectorStore + ?Sized>(
+    graph: &FixedDegreeGraph,
+    store: &S,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    params: &SearchParams,
+) -> (Vec<Neighbor>, SearchTrace) {
+    params.validate(k).expect("invalid search parameters");
+    assert_eq!(query.len(), store.dim(), "query dimension mismatch");
+    assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
+    let n = graph.len();
+    let d = graph.degree();
+    let width = params.search_width * d;
+    let max_iters = params.effective_max_iterations(d);
+
+    let (mut hash, reset_interval, hash_in_shared) = match params.hash {
+        HashPolicy::Standard => {
+            (VisitedSet::new(VisitedSet::standard_bits(max_iters, width)), 0usize, false)
+        }
+        HashPolicy::Forgettable { bits, reset_interval } => {
+            (VisitedSet::new(bits), reset_interval as usize, true)
+        }
+    };
+
+    let oracle = DistanceOracle::new(store, metric);
+    let mut buffer = SearchBuffer::new(params.itopk, width);
+    let mut trace = SearchTrace {
+        itopk: params.itopk,
+        search_width: params.search_width,
+        degree: d,
+        num_workers: 1,
+        hash_slots: hash.capacity(),
+        hash_in_shared,
+        ..Default::default()
+    };
+
+    // Initialization: p*d uniformly random nodes (Fig. 6, step 0).
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut init = Vec::with_capacity(width);
+    for _ in 0..width {
+        let id = rng.gen_range(0..n) as u32;
+        if hash.insert(id) {
+            init.push(BufEntry::new(id, oracle.to_row(query, id as usize)));
+            trace.init_distances += 1;
+        }
+    }
+    buffer.set_candidates(init);
+
+    let mut parents: Vec<u32> = Vec::with_capacity(params.search_width);
+    let mut it = 0usize;
+    loop {
+        // Step 1: top-M update.
+        buffer.update_topm();
+
+        // Step 2: pick up to p nodes that have not been parents.
+        parents.clear();
+        for entry in buffer.topm_mut() {
+            if parents.len() == params.search_width {
+                break;
+            }
+            if entry.packed != super::parent::INVALID && !is_parented(entry.packed) {
+                parents.push(node_id(entry.packed));
+                entry.packed = set_parented(entry.packed);
+            }
+        }
+        if parents.is_empty() || it >= max_iters {
+            break;
+        }
+
+        // Forgettable management: periodic reset keeping only the
+        // current top-M (Sec. IV-B3).
+        let mut did_reset = false;
+        if reset_interval > 0 && it > 0 && it.is_multiple_of(reset_interval) {
+            let survivors: Vec<u32> = buffer.topm_ids().collect();
+            hash.reset(survivors);
+            did_reset = true;
+        }
+
+        // Steps 2+3: expand parents, computing distances only for
+        // first-time nodes.
+        let probes_before = hash.probes();
+        let mut candidates = Vec::with_capacity(width);
+        let mut computed = 0usize;
+        for &p in &parents {
+            for &nb in graph.neighbors(p as usize) {
+                if hash.insert(nb) {
+                    candidates.push(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
+                    computed += 1;
+                } else {
+                    candidates.push(BufEntry { dist: f32::MAX, packed: nb });
+                }
+            }
+        }
+        trace.iterations.push(IterationTrace {
+            candidates: candidates.len(),
+            distances_computed: computed,
+            hash_probes: hash.probes() - probes_before,
+            sort_len: candidates.len(),
+            hash_reset: did_reset,
+        });
+        buffer.set_candidates(candidates);
+        it += 1;
+        // The loop head merges these candidates and re-checks the
+        // termination conditions (no unparented entries / I_max).
+    }
+
+    let results = buffer
+        .topm()
+        .iter()
+        .filter(|e| e.packed != super::parent::INVALID && e.dist < f32::MAX)
+        .take(k)
+        .map(|e| Neighbor::new(node_id(e.packed), e.dist))
+        .collect();
+    (results, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, GraphConfig};
+    use dataset::synth::{Family, SynthSpec};
+    use knn::brute::exact_search;
+
+    fn setup(n: usize) -> (dataset::Dataset, FixedDegreeGraph) {
+        let spec = SynthSpec { dim: 8, n, queries: 0, family: Family::Gaussian, seed: 3 };
+        let (base, _) = spec.generate();
+        let (g, _) = build_graph(&base, Metric::SquaredL2, &GraphConfig::new(16));
+        (base, g)
+    }
+
+    #[test]
+    fn finds_high_recall_results() {
+        let (base, g) = setup(2000);
+        let spec = SynthSpec { dim: 8, n: 0, queries: 20, family: Family::Gaussian, seed: 3 };
+        let (_, queries) = spec.generate();
+        let params = SearchParams::for_k(10);
+        let mut hits = 0usize;
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let (got, _) = search_single_cta(&g, &base, Metric::SquaredL2, q, 10, &params);
+            let want = exact_search(&base, Metric::SquaredL2, q, 10);
+            let want_ids: std::collections::HashSet<u32> = want.iter().map(|n| n.id).collect();
+            hits += got.iter().filter(|n| want_ids.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (queries.len() * 10) as f64;
+        assert!(recall > 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn results_sorted_and_unique() {
+        let (base, g) = setup(500);
+        let q = base.row(0).to_vec();
+        let (got, _) =
+            search_single_cta(&g, &base, Metric::SquaredL2, &q, 10, &SearchParams::for_k(10));
+        assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let mut ids: Vec<u32> = got.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), got.len());
+        // Query is a dataset point: its own id must be the best hit.
+        assert_eq!(got[0].id, 0);
+        assert_eq!(got[0].dist, 0.0);
+    }
+
+    #[test]
+    fn trace_accounts_for_work() {
+        let (base, g) = setup(500);
+        let (_, trace) = search_single_cta(
+            &g,
+            &base,
+            Metric::SquaredL2,
+            base.row(1),
+            5,
+            &SearchParams::for_k(5),
+        );
+        assert!(trace.iteration_count() > 0);
+        assert!(trace.total_distances() > 0);
+        assert!(trace.init_distances <= g.degree());
+        for it in &trace.iterations {
+            assert!(it.distances_computed <= it.candidates);
+            assert_eq!(it.sort_len, it.candidates);
+        }
+    }
+
+    #[test]
+    fn forgettable_hash_recall_not_catastrophic() {
+        // Paper: periodic reset may recompute distances but must not
+        // collapse recall.
+        let (base, g) = setup(2000);
+        let spec = SynthSpec { dim: 8, n: 0, queries: 20, family: Family::Gaussian, seed: 7 };
+        let (_, queries) = spec.generate();
+        let mut p = SearchParams::for_k(10);
+        p.hash = HashPolicy::Forgettable { bits: 8, reset_interval: 1 };
+        let mut hits = 0usize;
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let (got, trace) = search_single_cta(&g, &base, Metric::SquaredL2, q, 10, &p);
+            assert!(trace.iterations.iter().any(|i| i.hash_reset));
+            let want = exact_search(&base, Metric::SquaredL2, q, 10);
+            let want_ids: std::collections::HashSet<u32> = want.iter().map(|n| n.id).collect();
+            hits += got.iter().filter(|n| want_ids.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (queries.len() * 10) as f64;
+        assert!(recall > 0.8, "forgettable recall@10 = {recall}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (base, g) = setup(500);
+        let q = base.row(3);
+        let params = SearchParams::for_k(5);
+        let (a, _) = search_single_cta(&g, &base, Metric::SquaredL2, q, 5, &params);
+        let (b, _) = search_single_cta(&g, &base, Metric::SquaredL2, q, 5, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_max_iterations() {
+        let (base, g) = setup(500);
+        let mut p = SearchParams::for_k(5);
+        p.max_iterations = 3;
+        let (_, trace) =
+            search_single_cta(&g, &base, Metric::SquaredL2, base.row(2), 5, &p);
+        assert!(trace.iteration_count() <= 3);
+    }
+
+    #[test]
+    fn wider_search_width_expands_more_per_iteration() {
+        // The paper's p: each iteration expands p parents and fills a
+        // p*d candidate list.
+        let (base, g) = setup(1500);
+        let d = g.degree();
+        for p in [1usize, 2, 4] {
+            let mut params = SearchParams::for_k(5);
+            params.search_width = p;
+            params.max_iterations = 6;
+            let (_, trace) =
+                search_single_cta(&g, &base, Metric::SquaredL2, base.row(7), 5, &params);
+            for (i, it) in trace.iterations.iter().enumerate() {
+                assert!(it.candidates <= p * d, "iter {i}: {} > {}", it.candidates, p * d);
+            }
+            // The first iteration always has p full parents available.
+            assert_eq!(trace.iterations[0].candidates, p * d, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn search_width_two_reaches_at_least_width_one_recall() {
+        let (base, g) = setup(2000);
+        let spec = SynthSpec { dim: 8, n: 0, queries: 20, family: Family::Gaussian, seed: 31 };
+        let (_, queries) = spec.generate();
+        let recall_for = |width: usize| {
+            let mut params = SearchParams::for_k(10);
+            params.search_width = width;
+            params.max_iterations = 24; // fixed iteration budget
+            let mut hits = 0usize;
+            for qi in 0..queries.len() {
+                let q = queries.row(qi);
+                let (got, _) = search_single_cta(&g, &base, Metric::SquaredL2, q, 10, &params);
+                let want = exact_search(&base, Metric::SquaredL2, q, 10);
+                let ids: std::collections::HashSet<u32> = want.iter().map(|n| n.id).collect();
+                hits += got.iter().filter(|n| ids.contains(&n.id)).count();
+            }
+            hits as f64 / (queries.len() * 10) as f64
+        };
+        let r1 = recall_for(1);
+        let r2 = recall_for(2);
+        // At a fixed iteration budget, wider search explores more
+        // nodes, so recall must not drop (Sec. IV-A).
+        assert!(r2 >= r1 - 0.02, "p=2 recall {r2} vs p=1 {r1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_bad_query_dim() {
+        let (base, g) = setup(200);
+        search_single_cta(&g, &base, Metric::SquaredL2, &[0.0; 3], 5, &SearchParams::for_k(5));
+    }
+}

@@ -1,0 +1,90 @@
+//! Execution traces: the per-iteration operation counts that the
+//! `gpu-sim` crate converts into simulated GPU time.
+//!
+//! The search algorithm is functional — recall comes from the real
+//! traversal — while timing is derived afterward from these counts, so
+//! one search implementation serves both the CPU benchmarks (wall
+//! clock) and the GPU model (simulated cycles).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts for one search iteration (steps 1–3 of Fig. 6).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// Candidate slots filled by the traversal step (`<= p * d`).
+    pub candidates: usize,
+    /// Distances actually computed (candidates passing the hash).
+    pub distances_computed: usize,
+    /// Hash probe steps performed this iteration.
+    pub hash_probes: u64,
+    /// Length of the candidate segment sorted in step 1.
+    pub sort_len: usize,
+    /// Whether the forgettable table was reset before this iteration.
+    pub hash_reset: bool,
+}
+
+/// Counts for one whole query search.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Distances computed for the random initialization step.
+    pub init_distances: usize,
+    /// Per-iteration counts, in order.
+    pub iterations: Vec<IterationTrace>,
+    /// Internal top-M length used.
+    pub itopk: usize,
+    /// Search width `p` (parents per iteration, per worker).
+    pub search_width: usize,
+    /// Graph degree `d`.
+    pub degree: usize,
+    /// Number of cooperating workers (1 for single-CTA).
+    pub num_workers: usize,
+    /// Hash table slot count.
+    pub hash_slots: usize,
+    /// True when the hash policy was forgettable (shared-memory
+    /// resident in the GPU mapping).
+    pub hash_in_shared: bool,
+    /// True when the recording search maintains its candidate queue
+    /// with serialized insertions (SONG-style bounded priority queue)
+    /// rather than CAGRA's warp-wide bitonic sort+merge. The cost
+    /// model prices the two differently — removing this serialization
+    /// is one of CAGRA's kernel contributions (Sec. IV-B2).
+    #[serde(default)]
+    pub serial_queue: bool,
+}
+
+impl SearchTrace {
+    /// Total distance computations including initialization.
+    pub fn total_distances(&self) -> usize {
+        self.init_distances + self.iterations.iter().map(|i| i.distances_computed).sum::<usize>()
+    }
+
+    /// Number of iterations executed.
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total hash probes.
+    pub fn total_hash_probes(&self) -> u64 {
+        self.iterations.iter().map(|i| i.hash_probes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_iterations() {
+        let t = SearchTrace {
+            init_distances: 10,
+            iterations: vec![
+                IterationTrace { candidates: 32, distances_computed: 20, hash_probes: 40, sort_len: 32, hash_reset: false },
+                IterationTrace { candidates: 32, distances_computed: 5, hash_probes: 35, sort_len: 32, hash_reset: true },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(t.total_distances(), 35);
+        assert_eq!(t.iteration_count(), 2);
+        assert_eq!(t.total_hash_probes(), 75);
+    }
+}

@@ -1,0 +1,212 @@
+//! Multi-GPU sharding (Sec. IV-C2 and Q-C5 of the paper).
+//!
+//! For datasets larger than one device's memory the paper recommends
+//! "a simple multi-GPU sharding technique ... where each GPU is
+//! assigned to process one sub-graph independently". This module
+//! implements it: the dataset is split into contiguous shards, an
+//! independent CAGRA graph is built per shard (exactly the
+//! GGNN-style independent sub-graph construction the paper describes),
+//! every query searches all shards, and the per-shard top-k lists are
+//! merged. Shard-local node ids are translated back to global ids.
+
+use crate::build::{BuildReport, GraphConfig};
+use crate::params::SearchParams;
+use crate::search::index::CagraIndex;
+use crate::search::planner::Mode;
+use dataset::{Dataset, VectorStore};
+use distance::Metric;
+use knn::topk::{cmp_neighbor, Neighbor};
+
+/// A collection of independent per-shard CAGRA indexes.
+pub struct ShardedIndex {
+    shards: Vec<CagraIndex<Dataset>>,
+    /// Global id of each shard's first vector.
+    offsets: Vec<u32>,
+    metric: Metric,
+}
+
+impl ShardedIndex {
+    /// Split `store` into `num_shards` contiguous shards and build one
+    /// CAGRA graph per shard. Returns the index and the per-shard
+    /// build reports.
+    ///
+    /// # Panics
+    /// Panics if a shard would be too small for the configured degree
+    /// (`shard_len <= d_init`).
+    pub fn build<S: VectorStore>(
+        store: &S,
+        metric: Metric,
+        config: &GraphConfig,
+        num_shards: usize,
+    ) -> (Self, Vec<BuildReport>) {
+        assert!(num_shards > 0, "need at least one shard");
+        let n = store.len();
+        let shard_len = n.div_ceil(num_shards);
+        assert!(
+            shard_len > config.d_init(),
+            "shards of {shard_len} vectors cannot support d_init = {}",
+            config.d_init()
+        );
+        let dim = store.dim();
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offsets = Vec::with_capacity(num_shards);
+        let mut reports = Vec::with_capacity(num_shards);
+        let mut row = vec![0.0f32; dim];
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + shard_len).min(n);
+            let mut flat = Vec::with_capacity((end - start) * dim);
+            for i in start..end {
+                store.get_into(i, &mut row);
+                flat.extend_from_slice(&row);
+            }
+            let shard_store = Dataset::from_flat(flat, dim);
+            let (index, report) = CagraIndex::build(shard_store, metric, config);
+            shards.push(index);
+            offsets.push(start as u32);
+            reports.push(report);
+            start = end;
+        }
+        (ShardedIndex { shards, offsets, metric }, reports)
+    }
+
+    /// Number of shards (devices in the paper's deployment).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.store().len()).sum()
+    }
+
+    /// True when the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The metric shared by every shard.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Borrow one shard's index (e.g. to route it to a device model).
+    pub fn shard(&self, i: usize) -> &CagraIndex<Dataset> {
+        &self.shards[i]
+    }
+
+    /// Search all shards and merge the global top-k. Each shard uses
+    /// the given mapping; on real hardware the shards run on separate
+    /// GPUs concurrently, so the latency is the slowest shard, not the
+    /// sum (the `gpu-sim` multi-device helper accounts for that).
+    pub fn search(&self, query: &[f32], k: usize, params: &SearchParams, mode: Mode) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = Vec::with_capacity(k * self.shards.len());
+        for (shard, &offset) in self.shards.iter().zip(&self.offsets) {
+            let (results, _) = shard.search_mode(query, k, params, mode);
+            all.extend(results.into_iter().map(|n| Neighbor::new(n.id + offset, n.dist)));
+        }
+        all.sort_unstable_by(cmp_neighbor);
+        all.truncate(k);
+        all
+    }
+
+    /// Search all shards, returning per-shard traces for multi-device
+    /// timing simulation alongside the merged results.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> (Vec<Neighbor>, Vec<crate::search::trace::SearchTrace>) {
+        let mut all: Vec<Neighbor> = Vec::with_capacity(k * self.shards.len());
+        let mut traces = Vec::with_capacity(self.shards.len());
+        for (shard, &offset) in self.shards.iter().zip(&self.offsets) {
+            let (results, trace) = shard.search_mode(query, k, params, mode);
+            all.extend(results.into_iter().map(|n| Neighbor::new(n.id + offset, n.dist)));
+            traces.push(trace);
+        }
+        all.sort_unstable_by(cmp_neighbor);
+        all.truncate(k);
+        (all, traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::synth::{Family, SynthSpec};
+    use knn::brute::exact_search;
+
+    fn workload() -> (Dataset, Dataset) {
+        SynthSpec { dim: 8, n: 2400, queries: 25, family: Family::Gaussian, seed: 77 }.generate()
+    }
+
+    #[test]
+    fn sharded_search_merges_global_ids() {
+        let (base, queries) = workload();
+        let (sharded, reports) =
+            ShardedIndex::build(&base, Metric::SquaredL2, &GraphConfig::new(8), 3);
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.len(), 2400);
+        assert_eq!(reports.len(), 3);
+
+        let params = SearchParams::for_k(10);
+        let mut hits = 0usize;
+        for qi in 0..queries.len() {
+            let got = sharded.search(queries.row(qi), 10, &params, Mode::SingleCta);
+            assert_eq!(got.len(), 10);
+            assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+            assert!(got.iter().all(|n| (n.id as usize) < 2400), "global id out of range");
+            let want = exact_search(&base, Metric::SquaredL2, queries.row(qi), 10);
+            let want_ids: std::collections::HashSet<u32> = want.iter().map(|n| n.id).collect();
+            hits += got.iter().filter(|n| want_ids.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (queries.len() * 10) as f64;
+        assert!(recall > 0.9, "sharded recall@10 = {recall}");
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_results() {
+        let (base, queries) = workload();
+        let (sharded, _) = ShardedIndex::build(&base, Metric::SquaredL2, &GraphConfig::new(8), 1);
+        let (index, _) = CagraIndex::build(
+            Dataset::from_flat(base.as_flat().to_vec(), base.dim()),
+            Metric::SquaredL2,
+            &GraphConfig::new(8),
+        );
+        let params = SearchParams::for_k(5);
+        let a = sharded.search(queries.row(0), 5, &params, Mode::SingleCta);
+        let (b, _) = index.search_mode(queries.row(0), 5, &params, Mode::SingleCta);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_distances_are_true_global_distances() {
+        // Merging is only correct if per-shard distances are computed
+        // in the same space; verify against the oracle.
+        let (base, queries) = workload();
+        let (sharded, _) = ShardedIndex::build(&base, Metric::SquaredL2, &GraphConfig::new(8), 4);
+        let got = sharded.search(queries.row(1), 5, &SearchParams::for_k(5), Mode::SingleCta);
+        for n in got {
+            let d = distance::Metric::SquaredL2.distance(queries.row(1), base.row(n.id as usize));
+            assert!((d - n.dist).abs() < 1e-4, "id {} dist {} vs true {d}", n.id, n.dist);
+        }
+    }
+
+    #[test]
+    fn traced_search_returns_one_trace_per_shard() {
+        let (base, queries) = workload();
+        let (sharded, _) = ShardedIndex::build(&base, Metric::SquaredL2, &GraphConfig::new(8), 3);
+        let (_, traces) =
+            sharded.search_traced(queries.row(0), 5, &SearchParams::for_k(5), Mode::SingleCta);
+        assert_eq!(traces.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot support")]
+    fn too_many_shards_rejected() {
+        let (base, _) = workload();
+        let _ = ShardedIndex::build(&base, Metric::SquaredL2, &GraphConfig::new(32), 64);
+    }
+}

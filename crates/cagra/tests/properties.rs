@@ -1,0 +1,83 @@
+//! CAGRA search-machinery invariants over arbitrary inputs.
+
+use cagra::search::buffer::{bitonic_sort, BufEntry, SearchBuffer};
+use cagra::search::hash::VisitedSet;
+use cagra::search::parent::{is_parented, node_id, set_parented};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitonic_network_sorts_like_std(dists in proptest::collection::vec(-1e6f32..1e6, 0..300)) {
+        let mut entries: Vec<BufEntry> =
+            dists.iter().enumerate().map(|(i, &d)| BufEntry::new(i as u32, d)).collect();
+        let mut want = entries.clone();
+        want.sort_by(|a, b| {
+            a.dist.partial_cmp(&b.dist).unwrap().then(a.packed.cmp(&b.packed))
+        });
+        bitonic_sort(&mut entries);
+        prop_assert_eq!(entries, want);
+    }
+
+    #[test]
+    fn visited_set_matches_hashset(ids in proptest::collection::vec(0u32..10_000, 0..500)) {
+        let mut ours = VisitedSet::new(14); // ample capacity
+        let mut std_set = std::collections::HashSet::new();
+        for &id in &ids {
+            prop_assert_eq!(ours.insert(id), std_set.insert(id), "id {}", id);
+        }
+        prop_assert_eq!(ours.len(), std_set.len());
+        for &id in &ids {
+            prop_assert!(ours.contains(id));
+        }
+    }
+
+    #[test]
+    fn reset_then_survivors_only(ids in proptest::collection::vec(0u32..1000, 1..100), keep in proptest::collection::vec(0u32..1000, 0..20)) {
+        let mut v = VisitedSet::new(12);
+        for &id in &ids {
+            v.insert(id);
+        }
+        v.reset(keep.iter().copied());
+        for &id in &keep {
+            prop_assert!(v.contains(id));
+        }
+        for &id in &ids {
+            if !keep.contains(&id) {
+                prop_assert!(!v.contains(id), "id {} survived reset", id);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_flag_never_corrupts_id(id in 0u32..(1 << 31)) {
+        let p = set_parented(id);
+        prop_assert!(is_parented(p));
+        prop_assert_eq!(node_id(p), id);
+        prop_assert_eq!(set_parented(p), p); // idempotent
+    }
+
+    #[test]
+    fn buffer_topm_is_sorted_min_m_of_stream(chunks in proptest::collection::vec(proptest::collection::vec(0.0f32..1e6, 1..20), 1..10)) {
+        let m = 8;
+        let mut buf = SearchBuffer::new(m, 32);
+        let mut all: Vec<(f32, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        for chunk in &chunks {
+            let entries: Vec<BufEntry> = chunk
+                .iter()
+                .map(|&d| {
+                    let e = BufEntry::new(next_id, d);
+                    all.push((d, next_id));
+                    next_id += 1;
+                    e
+                })
+                .collect();
+            buf.set_candidates(entries);
+            buf.update_topm();
+        }
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let want: Vec<u32> = all.iter().take(m).map(|&(_, id)| id).collect();
+        let got: Vec<u32> = buf.topm_ids().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,311 @@
+//! The five subcommands. Each returns its human-readable report as a
+//! string so the integration tests can assert on it.
+
+use crate::args::Args;
+use cagra::build::GraphConfig;
+use cagra::params::ReorderStrategy;
+use cagra::search::planner::Mode;
+use cagra::{CagraIndex, SearchParams};
+use dataset::presets::{DatasetPreset, PresetName};
+use dataset::{Dataset, VectorStore};
+use distance::Metric;
+use graph::stats::graph_stats;
+use graph::AdjacencyGraph;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::time::Instant;
+
+fn parse_metric(args: &Args) -> Result<Metric, String> {
+    match args.opt("metric").unwrap_or("l2") {
+        "l2" => Ok(Metric::SquaredL2),
+        "ip" => Ok(Metric::InnerProduct),
+        "cosine" => Ok(Metric::Cosine),
+        other => Err(format!("unknown metric '{other}' (l2|ip|cosine)")),
+    }
+}
+
+fn read_dataset(path: &str) -> Result<Dataset, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    dataset::io::read_fvecs(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn create(path: &str) -> Result<BufWriter<File>, String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+        }
+    }
+    Ok(BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?))
+}
+
+/// `synth`: generate a preset-shaped dataset as fvecs files.
+pub fn synth(args: &Args) -> Result<String, String> {
+    let preset = PresetName::parse(args.req("preset")?)
+        .ok_or_else(|| "unknown preset (sift|gist|glove|nytimes|deep)".to_string())?;
+    let n = args.req_usize("n")?;
+    let queries = args.usize_or("queries", 100)?;
+    let seed = args.u64_or("seed", 0xda7a)?;
+    let dir = args.req("out-dir")?;
+    let (base, qs) = DatasetPreset::get(preset).spec(n, queries, seed).generate();
+    let base_path = format!("{dir}/base.fvecs");
+    let q_path = format!("{dir}/queries.fvecs");
+    dataset::io::write_fvecs(create(&base_path)?, &base).map_err(|e| e.to_string())?;
+    dataset::io::write_fvecs(create(&q_path)?, &qs).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {n} x {}d base vectors to {base_path} and {queries} queries to {q_path}",
+        base.dim()
+    ))
+}
+
+/// `gt`: exact ground truth as ivecs.
+pub fn ground_truth(args: &Args) -> Result<String, String> {
+    let base = read_dataset(args.req("base")?)?;
+    let queries = read_dataset(args.req("queries")?)?;
+    let k = args.req_usize("k")?;
+    let metric = parse_metric(args)?;
+    let out = args.req("out")?;
+    let t0 = Instant::now();
+    let gt = knn::brute::ground_truth(&base, metric, &queries, k);
+    dataset::io::write_ivecs(create(out)?, &gt).map_err(|e| e.to_string())?;
+    Ok(format!("wrote exact top-{k} for {} queries to {out} in {:.2?}", gt.len(), t0.elapsed()))
+}
+
+/// `build`: construct and persist a CAGRA graph.
+pub fn build(args: &Args) -> Result<String, String> {
+    let base = read_dataset(args.req("base")?)?;
+    let degree = args.req_usize("degree")?;
+    let metric = parse_metric(args)?;
+    let strategy = match args.opt("strategy").unwrap_or("rank") {
+        "rank" => ReorderStrategy::RankBased,
+        "distance" => ReorderStrategy::DistanceBased,
+        other => return Err(format!("unknown strategy '{other}' (rank|distance)")),
+    };
+    let d_init = args.usize_or("d-init", 0)?;
+    let out = args.req("out")?;
+    let config = GraphConfig { strategy, intermediate_degree: d_init, ..GraphConfig::new(degree) };
+    let (index, report) = CagraIndex::build(base, metric, &config);
+    graph::io::write_fixed(create(out)?, index.graph()).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "built degree-{degree} graph over {} vectors in {:.2?} (kNN {:.2?} + optimize {:.2?}); wrote {out}",
+        index.graph().len(),
+        report.total(),
+        report.knn_time,
+        report.opt_time
+    ))
+}
+
+/// `bundle`: build and persist a single-file index (vectors + graph +
+/// metric together, so they cannot drift apart).
+pub fn bundle(args: &Args) -> Result<String, String> {
+    let base = read_dataset(args.req("base")?)?;
+    let degree = args.req_usize("degree")?;
+    let metric = parse_metric(args)?;
+    let out = args.req("out")?;
+    let (index, report) = CagraIndex::build(base, metric, &GraphConfig::new(degree));
+    cagra::index_io::write_index(create(out)?, &index).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "bundled {} vectors + degree-{degree} graph into {out} (built in {:.2?})",
+        index.store().len(),
+        report.total()
+    ))
+}
+
+/// `search`: query a persisted index; reports recall when ground truth
+/// is supplied. Accepts either `--index bundle.cgix` or the
+/// `--base fvecs --graph cagra` pair.
+pub fn search(args: &Args) -> Result<String, String> {
+    let queries = read_dataset(args.req("queries")?)?;
+    let k = args.req_usize("k")?;
+    let mut params = SearchParams::for_k(k);
+    params.itopk = args.usize_or("itopk", params.itopk)?.max(k);
+    let mode = match args.opt("mode").unwrap_or("auto") {
+        "auto" => None,
+        "single" => Some(Mode::SingleCta),
+        "multi" => Some(Mode::MultiCta),
+        other => return Err(format!("unknown mode '{other}' (auto|single|multi)")),
+    };
+
+    let index = if let Some(bundle_path) = args.opt("index") {
+        let f = File::open(bundle_path).map_err(|e| format!("open {bundle_path}: {e}"))?;
+        cagra::index_io::read_index(BufReader::new(f)).map_err(|e| e.to_string())?
+    } else {
+        let base = read_dataset(args.req("base")?)?;
+        let graph_file = File::open(args.req("graph")?).map_err(|e| e.to_string())?;
+        let g = graph::io::read_fixed(BufReader::new(graph_file)).map_err(|e| e.to_string())?;
+        let metric = parse_metric(args)?;
+        CagraIndex::from_parts(base, g, metric)
+    };
+    let t0 = Instant::now();
+    let results = match mode {
+        None => index.search_batch(&queries, k, &params),
+        Some(m) => index.search_batch_mode(&queries, k, &params, m),
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "searched {} queries (k={k}, itopk={}) in {:.2?}: {:.0} QPS",
+        queries.len(),
+        params.itopk,
+        t0.elapsed(),
+        queries.len() as f64 / wall
+    );
+    if let Some(gt_path) = args.opt("gt") {
+        let gt_file = File::open(gt_path).map_err(|e| e.to_string())?;
+        let gt = dataset::io::read_ivecs(BufReader::new(gt_file)).map_err(|e| e.to_string())?;
+        if gt.len() != results.len() {
+            return Err(format!("gt has {} rows but {} queries searched", gt.len(), results.len()));
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (res, truth) in results.iter().zip(&gt) {
+            let truth = &truth[..truth.len().min(k)];
+            total += truth.len();
+            hit += truth.iter().filter(|t| res.iter().any(|n| n.id == **t)).count();
+        }
+        let _ = writeln!(report, "recall@{k} = {:.4}", hit as f64 / total.max(1) as f64);
+    } else {
+        for (qi, res) in results.iter().take(5).enumerate() {
+            let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+            let _ = writeln!(report, "query {qi}: {ids:?}");
+        }
+    }
+    Ok(report)
+}
+
+/// `stats`: reachability metrics of a persisted graph (the Fig. 3
+/// quantities).
+pub fn stats(args: &Args) -> Result<String, String> {
+    let graph_file = File::open(args.req("graph")?).map_err(|e| e.to_string())?;
+    let g = graph::io::read_fixed(BufReader::new(graph_file)).map_err(|e| e.to_string())?;
+    let stride = args.usize_or("two-hop-stride", (g.len() / 2000).max(1))?;
+    let s = graph_stats(&AdjacencyGraph::from_fixed(&g), stride);
+    Ok(format!(
+        "nodes: {}\ndegree: {}\nstrong CC: {}\nlargest CC: {:.1}%\navg 2-hop: {:.1} (max {})\nself loops: {}",
+        g.len(),
+        g.degree(),
+        s.strong_cc,
+        100.0 * s.largest_cc_fraction,
+        s.avg_two_hop,
+        graph::two_hop::max_two_hop(g.degree()),
+        g.self_loops()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> String {
+        // Distinct per test: tests run in parallel within one process.
+        let dir = std::env::temp_dir().join(format!("cagra_cli_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmpdir("full");
+        let out = synth(&Args::from_pairs(&[
+            ("preset", "deep"),
+            ("n", "600"),
+            ("queries", "20"),
+            ("out-dir", &dir),
+        ]))
+        .unwrap();
+        assert!(out.contains("600 x 96d"));
+
+        let base = format!("{dir}/base.fvecs");
+        let queries = format!("{dir}/queries.fvecs");
+        let gt_path = format!("{dir}/gt.ivecs");
+        let graph_path = format!("{dir}/graph.cagra");
+
+        let out = ground_truth(&Args::from_pairs(&[
+            ("base", &base),
+            ("queries", &queries),
+            ("k", "10"),
+            ("out", &gt_path),
+        ]))
+        .unwrap();
+        assert!(out.contains("top-10"));
+
+        let out = build(&Args::from_pairs(&[
+            ("base", &base),
+            ("degree", "16"),
+            ("out", &graph_path),
+        ]))
+        .unwrap();
+        assert!(out.contains("degree-16"));
+
+        let out = search(&Args::from_pairs(&[
+            ("base", &base),
+            ("queries", &queries),
+            ("graph", &graph_path),
+            ("k", "10"),
+            ("gt", &gt_path),
+        ]))
+        .unwrap();
+        assert!(out.contains("recall@10"));
+        // Parse the recall and require a sane floor.
+        let recall: f64 = out
+            .lines()
+            .find(|l| l.starts_with("recall@10"))
+            .and_then(|l| l.split('=').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        assert!(recall > 0.85, "cli recall {recall}");
+
+        let out = stats(&Args::from_pairs(&[("graph", &graph_path)])).unwrap();
+        assert!(out.contains("degree: 16"));
+        assert!(out.contains("self loops: 0"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bundle_workflow() {
+        let dir = tmpdir("bundle");
+        synth(&Args::from_pairs(&[
+            ("preset", "deep"),
+            ("n", "400"),
+            ("queries", "10"),
+            ("out-dir", &dir),
+        ]))
+        .unwrap();
+        let base = format!("{dir}/base.fvecs");
+        let queries = format!("{dir}/queries.fvecs");
+        let bundle_path = format!("{dir}/index.cgix");
+        let out =
+            bundle(&Args::from_pairs(&[("base", &base), ("degree", "8"), ("out", &bundle_path)]))
+                .unwrap();
+        assert!(out.contains("bundled 400 vectors"));
+        let out = search(&Args::from_pairs(&[
+            ("index", &bundle_path),
+            ("queries", &queries),
+            ("k", "5"),
+        ]))
+        .unwrap();
+        assert!(out.contains("searched 10 queries"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(parse_metric(&Args::from_pairs(&[("metric", "hamming")])).is_err());
+        assert!(read_dataset("/nonexistent/base.fvecs").is_err());
+        assert!(synth(&Args::from_pairs(&[("preset", "bogus"), ("n", "10"), ("out-dir", "/tmp")]))
+            .is_err());
+        assert!(build(&Args::from_pairs(&[("base", "/nonexistent"), ("degree", "8"), ("out", "/tmp/x")]))
+            .is_err());
+    }
+
+    #[test]
+    fn metric_flag_parses_all_variants() {
+        assert_eq!(parse_metric(&Args::from_pairs(&[])).unwrap(), Metric::SquaredL2);
+        assert_eq!(parse_metric(&Args::from_pairs(&[("metric", "ip")])).unwrap(), Metric::InnerProduct);
+        assert_eq!(parse_metric(&Args::from_pairs(&[("metric", "cosine")])).unwrap(), Metric::Cosine);
+    }
+}

@@ -1,0 +1,33 @@
+//! `cagra-cli` — command-line front end for the CAGRA reproduction.
+//!
+//! Subcommands mirror a production vector-index workflow over the
+//! standard TexMex file formats:
+//!
+//! ```text
+//! cagra-cli synth  --preset deep --n 10000 --queries 100 --out-dir work/
+//! cagra-cli gt     --base work/base.fvecs --queries work/queries.fvecs --k 10 --out work/gt.ivecs
+//! cagra-cli build  --base work/base.fvecs --degree 32 --out work/graph.cagra
+//! cagra-cli search --base work/base.fvecs --graph work/graph.cagra \
+//!                  --queries work/queries.fvecs --k 10 --gt work/gt.ivecs
+//! cagra-cli stats  --graph work/graph.cagra
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+
+/// Entry point shared by the binary and the integration tests.
+/// Returns an error message suitable for printing to stderr.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let (cmd, args) = args::parse(argv)?;
+    match cmd.as_str() {
+        "synth" => commands::synth(&args),
+        "gt" => commands::ground_truth(&args),
+        "build" => commands::build(&args),
+        "bundle" => commands::bundle(&args),
+        "search" => commands::search(&args),
+        "stats" => commands::stats(&args),
+        other => Err(format!("unknown command '{other}'. {}", args::USAGE)),
+    }
+}

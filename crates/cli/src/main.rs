@@ -1,0 +1,12 @@
+//! `cagra-cli` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! IEEE-754 binary16 ("half precision") implementation.
+//!
+//! The paper's FP16 experiments (Figs. 13 and 14) store dataset vectors
+//! in half precision to halve memory traffic; arithmetic is still done
+//! in f32 after widening, mirroring CUDA's `__half2float` path. The
+//! allowed offline crate list does not include `half`, so the conversion
+//! is implemented here. Round-to-nearest-even is used on narrowing,
+//! which is what CUDA's `__float2half_rn` does.
+
+/// A 16-bit IEEE-754 binary16 float stored as its raw bit pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+const EXP_MASK32: u32 = 0x7f80_0000;
+const SIG_MASK32: u32 = 0x007f_ffff;
+
+impl F16 {
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Largest finite value (65504.0).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Zero.
+    pub const ZERO: F16 = F16(0);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = (bits & EXP_MASK32) >> 23;
+        let sig = bits & SIG_MASK32;
+
+        if exp == 0xff {
+            // Inf or NaN. Preserve NaN-ness by keeping a nonzero payload.
+            let payload = if sig != 0 { 0x0200 | ((sig >> 13) as u16 & 0x03ff) } else { 0 };
+            return F16(sign | 0x7c00 | payload);
+        }
+
+        // Unbiased exponent in f32 is exp - 127; f16 bias is 15.
+        let unbiased = exp as i32 - 127;
+        if unbiased >= 16 {
+            // Overflows to infinity.
+            return F16(sign | 0x7c00);
+        }
+        if unbiased >= -14 {
+            // Normal f16 range. 13 significand bits are dropped.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_sig = (sig >> 13) as u16;
+            let mut out = sign | half_exp | half_sig;
+            // Round to nearest even on the dropped 13 bits.
+            let round_bits = sig & 0x1fff;
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (half_sig & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exponent; that is correct
+            }
+            return F16(out);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16. Implicit leading 1 becomes explicit.
+            let full_sig = sig | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_sig = (full_sig >> shift) as u16;
+            let mut out = sign | half_sig;
+            let dropped = full_sig & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            if dropped > halfway || (dropped == halfway && (half_sig & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        // Underflows to signed zero.
+        F16(sign)
+    }
+
+    /// Widen to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1f;
+        let sig = bits & 0x03ff;
+        let out = if exp == 0 {
+            if sig == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value is sig * 2^-24. Normalize it.
+                let mut e = 0i32;
+                let mut s = sig;
+                while s & 0x0400 == 0 {
+                    s <<= 1;
+                    e -= 1;
+                }
+                let exp32 = ((127 - 15 + e + 1) as u32) << 23;
+                sign | exp32 | ((s & 0x03ff) << 13)
+            }
+        } else if exp == 0x1f {
+            sign | EXP_MASK32 | (sig << 13) // Inf / NaN
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (sig << 13)
+        };
+        f32::from_bits(out)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x03ff) != 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+/// Narrow a full slice to binary16.
+pub fn narrow_slice(src: &[f32]) -> Vec<F16> {
+    src.iter().map(|&x| F16::from_f32(x)).collect()
+}
+
+/// Widen a binary16 slice back to f32, writing into `dst`.
+pub fn widen_into(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_into length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn well_known_values() {
+        assert_eq!(F16::from_f32(1.0).0, 0x3c00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xc000);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7bff);
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7c00);
+        assert_eq!(F16::from_f32(-f32::INFINITY).0, 0xfc00);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(65520.0).0, 0x7c00); // rounds up past MAX
+        assert_eq!(F16::from_f32(1e30).0, 0x7c00);
+        assert_eq!(F16::from_f32(-1e30).0, 0xfc00);
+    }
+
+    #[test]
+    fn underflow_to_zero_and_subnormals() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).0, 0x0001);
+        assert_eq!(F16(0x0001).to_f32(), tiny);
+        // Below half the smallest subnormal flushes to zero.
+        assert_eq!(F16::from_f32(2f32.powi(-26)).0, 0x0000);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // ties-to-even keeps 1.0 (even significand).
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).0, 0x3c00);
+        // 1.0 + 3*2^-11 is halfway with an odd low bit; rounds up.
+        let halfway_odd = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_odd).0, 0x3c02);
+    }
+
+    #[test]
+    fn relative_error_bound_in_normal_range() {
+        // Max relative rounding error for binary16 normals is 2^-11.
+        let mut x = 6.2e-5f32; // just above the smallest f16 normal, 2^-14
+        while x < 6.0e4 {
+            let rt = F16::from_f32(x).to_f32();
+            let rel = ((rt - x) / x).abs();
+            assert!(rel <= 2f32.powi(-11), "x={x} rt={rt} rel={rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn narrow_widen_slice_helpers() {
+        let src = vec![0.0f32, 1.5, -3.25, 100.0];
+        let n = narrow_slice(&src);
+        let mut out = vec![0.0f32; 4];
+        widen_into(&n, &mut out);
+        assert_eq!(out, src);
+    }
+}

@@ -1,0 +1,257 @@
+//! Readers and writers for the TexMex ANN benchmark file formats.
+//!
+//! The paper's datasets (SIFT-1M, GIST-1M, …) are distributed as
+//! `fvecs`/`ivecs`/`bvecs` files: every vector is a little-endian
+//! `u32` dimension header followed by `dim` elements (f32, i32 or u8
+//! respectively). These routines let real dataset files be dropped
+//! into the experiment harness in place of the synthetic presets.
+
+use crate::storage::Dataset;
+use std::io::{self, Read, Write};
+
+/// Read an `fvecs` stream into a [`Dataset`].
+///
+/// Fails with `InvalidData` on inconsistent per-vector dimensions or a
+/// truncated stream.
+pub fn read_fvecs<R: Read>(mut r: R) -> io::Result<Dataset> {
+    let mut flat = Vec::new();
+    let mut dim: Option<usize> = None;
+    loop {
+        let d = match read_u32_opt(&mut r)? {
+            Some(d) => d as usize,
+            None => break,
+        };
+        if d == 0 {
+            return Err(invalid("fvecs vector with zero dimension"));
+        }
+        match dim {
+            None => dim = Some(d),
+            Some(expect) if expect != d => {
+                return Err(invalid(&format!("inconsistent fvecs dims: {expect} vs {d}")))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d * 4];
+        r.read_exact(&mut buf)?;
+        flat.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+    }
+    let dim = dim.ok_or_else(|| invalid("empty fvecs stream"))?;
+    Ok(Dataset::from_flat(flat, dim))
+}
+
+/// Write a [`Dataset`] as an `fvecs` stream.
+pub fn write_fvecs<W: Write>(mut w: W, data: &Dataset) -> io::Result<()> {
+    use crate::storage::VectorStore;
+    for i in 0..data.len() {
+        w.write_all(&(data.dim() as u32).to_le_bytes())?;
+        for &x in data.row(i) {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read an `ivecs` stream (used for ground-truth neighbor id lists).
+pub fn read_ivecs<R: Read>(mut r: R) -> io::Result<Vec<Vec<u32>>> {
+    let mut rows = Vec::new();
+    loop {
+        let d = match read_u32_opt(&mut r)? {
+            Some(d) => d as usize,
+            None => break,
+        };
+        let mut buf = vec![0u8; d * 4];
+        r.read_exact(&mut buf)?;
+        rows.push(buf.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect());
+    }
+    Ok(rows)
+}
+
+/// Write ground-truth id lists as an `ivecs` stream.
+pub fn write_ivecs<W: Write>(mut w: W, rows: &[Vec<u32>]) -> io::Result<()> {
+    for row in rows {
+        w.write_all(&(row.len() as u32).to_le_bytes())?;
+        for &x in row {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a `bvecs` stream (u8 elements, e.g. raw SIFT descriptors),
+/// widening the bytes to f32.
+pub fn read_bvecs<R: Read>(mut r: R) -> io::Result<Dataset> {
+    let mut flat = Vec::new();
+    let mut dim: Option<usize> = None;
+    loop {
+        let d = match read_u32_opt(&mut r)? {
+            Some(d) => d as usize,
+            None => break,
+        };
+        if d == 0 {
+            return Err(invalid("bvecs vector with zero dimension"));
+        }
+        match dim {
+            None => dim = Some(d),
+            Some(expect) if expect != d => {
+                return Err(invalid(&format!("inconsistent bvecs dims: {expect} vs {d}")))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d];
+        r.read_exact(&mut buf)?;
+        flat.extend(buf.iter().map(|&b| b as f32));
+    }
+    let dim = dim.ok_or_else(|| invalid("empty bvecs stream"))?;
+    Ok(Dataset::from_flat(flat, dim))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one little-endian u32, or `None` at a clean end of stream.
+fn read_u32_opt<R: Read>(r: &mut R) -> io::Result<Option<u32>> {
+    let mut buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(invalid("truncated vector header"));
+        }
+        filled += n;
+    }
+    Ok(Some(u32::from_le_bytes(buf)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::VectorStore;
+
+    #[test]
+    fn fvecs_round_trip() {
+        let d = Dataset::from_flat(vec![1.0, 2.0, 3.0, -4.5, 0.25, 1e9], 3);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &d).unwrap();
+        let back = read_fvecs(&buf[..]).unwrap();
+        assert_eq!(back.dim(), 3);
+        assert_eq!(back.as_flat(), d.as_flat());
+    }
+
+    #[test]
+    fn ivecs_round_trip_with_ragged_rows() {
+        let rows = vec![vec![1, 2, 3], vec![7], vec![]];
+        let mut buf = Vec::new();
+        write_ivecs(&mut buf, &rows).unwrap();
+        assert_eq!(read_ivecs(&buf[..]).unwrap(), rows);
+    }
+
+    #[test]
+    fn bvecs_widens_bytes() {
+        // dim=2, one vector [5, 250]
+        let bytes = [2u8, 0, 0, 0, 5, 250];
+        let d = read_bvecs(&bytes[..]).unwrap();
+        assert_eq!(d.row(0), &[5.0, 250.0]);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let bytes = [3u8, 0, 0, 0, 1, 2]; // header says dim=3 but only 2 bytes follow
+        assert!(read_fvecs(&bytes[..]).is_err());
+        // Truncated header too.
+        let bytes = [3u8, 0];
+        assert!(read_fvecs(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let d1 = Dataset::from_flat(vec![1.0, 2.0], 2);
+        let d2 = Dataset::from_flat(vec![1.0, 2.0, 3.0], 3);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &d1).unwrap();
+        write_fvecs(&mut buf, &d2).unwrap();
+        assert!(read_fvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_an_error_for_fvecs() {
+        assert!(read_fvecs(&[][..]).is_err());
+        // ...but an empty ivecs stream is just zero rows.
+        assert!(read_ivecs(&[][..]).unwrap().is_empty());
+    }
+}
+
+/// Read a `fbin` stream (big-ann-benchmarks format: `u32 n`, `u32 dim`,
+/// then `n * dim` little-endian f32). DEEP-100M and the NeurIPS'21
+/// billion-scale challenge sets (which the paper cites) ship this way.
+pub fn read_fbin<R: Read>(mut r: R) -> io::Result<Dataset> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let n = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let dim = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if dim == 0 {
+        return Err(invalid("fbin with zero dimension"));
+    }
+    let total = n
+        .checked_mul(dim)
+        .and_then(|t| t.checked_mul(4))
+        .ok_or_else(|| invalid("fbin size overflow"))?;
+    let mut buf = vec![0u8; total];
+    r.read_exact(&mut buf)?;
+    let flat = buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Dataset::from_flat(flat, dim))
+}
+
+/// Write a [`Dataset`] as `fbin`.
+pub fn write_fbin<W: Write>(mut w: W, data: &Dataset) -> io::Result<()> {
+    use crate::storage::VectorStore;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    w.write_all(&(data.dim() as u32).to_le_bytes())?;
+    for &x in data.as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod fbin_tests {
+    use super::*;
+    use crate::storage::VectorStore;
+
+    #[test]
+    fn fbin_round_trip() {
+        let d = Dataset::from_flat(vec![1.5, -2.0, 0.0, 9.75, 3.25, -8.5], 3);
+        let mut buf = Vec::new();
+        write_fbin(&mut buf, &d).unwrap();
+        let back = read_fbin(&buf[..]).unwrap();
+        assert_eq!(back.dim(), 3);
+        assert_eq!(back.as_flat(), d.as_flat());
+    }
+
+    #[test]
+    fn fbin_empty_dataset_round_trips() {
+        let d = Dataset::empty(7);
+        let mut buf = Vec::new();
+        write_fbin(&mut buf, &d).unwrap();
+        let back = read_fbin(&buf[..]).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.dim(), 7);
+    }
+
+    #[test]
+    fn fbin_truncation_and_zero_dim_rejected() {
+        let d = Dataset::from_flat(vec![1.0, 2.0], 2);
+        let mut buf = Vec::new();
+        write_fbin(&mut buf, &d).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_fbin(&buf[..]).is_err());
+        let bad = [1u8, 0, 0, 0, 0, 0, 0, 0]; // n=1, dim=0
+        assert!(read_fbin(&bad[..]).is_err());
+    }
+}

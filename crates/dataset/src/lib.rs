@@ -1,0 +1,35 @@
+//! Vector dataset substrate for the CAGRA reproduction.
+//!
+//! Provides the row-major dense matrices that every index in this
+//! workspace builds over, an in-repo IEEE-754 binary16 (`f16`)
+//! implementation used for the paper's FP16 experiments, readers and
+//! writers for the standard `fvecs`/`ivecs`/`bvecs` ANN benchmark file
+//! formats, and synthetic workload generators matching the shape and
+//! "hardness" of the datasets in Table I of the paper.
+//!
+//! ```
+//! use dataset::synth::{Family, SynthSpec};
+//! use dataset::VectorStore;
+//!
+//! let spec = SynthSpec { dim: 8, n: 100, queries: 2, family: Family::Gaussian, seed: 7 };
+//! let (base, queries) = spec.generate();
+//! assert_eq!((base.len(), base.dim(), queries.len()), (100, 8, 2));
+//!
+//! // FP16 and INT8 stores keep the same access interface.
+//! let half = base.to_f16();
+//! let quant = base.to_i8();
+//! assert_eq!(half.bytes_per_vector(), 16);
+//! assert_eq!(quant.bytes_per_vector(), 8);
+//! ```
+
+pub mod f16;
+pub mod io;
+pub mod presets;
+pub mod quantize;
+pub mod storage;
+pub mod synth;
+
+pub use f16::F16;
+pub use presets::{DatasetPreset, PresetName};
+pub use quantize::DatasetI8;
+pub use storage::{Dataset, DatasetF16, VectorStore};

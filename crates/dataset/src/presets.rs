@@ -1,0 +1,150 @@
+//! Synthetic presets mirroring Table I of the paper.
+//!
+//! Each preset fixes the dimension, data family, CAGRA graph degree
+//! `d`, and a *relative* size; the absolute vector count is scaled by
+//! the experiment harness (paper sizes are 290k–100M, which do not fit
+//! a 1-core reproduction host — the scale used for each experiment is
+//! recorded in EXPERIMENTS.md).
+
+use crate::synth::{Family, SynthSpec};
+use serde::{Deserialize, Serialize};
+
+/// The datasets of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PresetName {
+    /// SIFT-1M: 128-dim local image descriptors, 1M vectors, d=32.
+    Sift,
+    /// GIST-1M: 960-dim global image descriptors, 1M vectors, d=48.
+    Gist,
+    /// GloVe-200: 200-dim word embeddings, 1.18M vectors, d=80 ("hard").
+    Glove,
+    /// NYTimes: 256-dim document embeddings, 290k vectors, d=64 ("hard").
+    NyTimes,
+    /// DEEP: 96-dim CNN descriptors, 1M/10M/100M vectors, d=32.
+    Deep,
+}
+
+impl PresetName {
+    /// All presets, in the paper's Table I order.
+    pub const ALL: [PresetName; 5] =
+        [PresetName::Sift, PresetName::Gist, PresetName::Glove, PresetName::NyTimes, PresetName::Deep];
+
+    /// Short lowercase label used in reports and CLI arguments.
+    pub fn label(self) -> &'static str {
+        match self {
+            PresetName::Sift => "sift",
+            PresetName::Gist => "gist",
+            PresetName::Glove => "glove",
+            PresetName::NyTimes => "nytimes",
+            PresetName::Deep => "deep",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<PresetName> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+/// A Table I row: the dataset's shape plus the paper's chosen CAGRA
+/// graph degree for it.
+#[derive(Clone, Debug)]
+pub struct DatasetPreset {
+    /// Which dataset this mimics.
+    pub name: PresetName,
+    /// Vector dimensionality (exactly as in Table I).
+    pub dim: usize,
+    /// Paper's dataset size (for reporting; experiments scale this).
+    pub paper_n: usize,
+    /// CAGRA graph degree `d` from Table I.
+    pub cagra_degree: usize,
+    /// Distribution family used by the synthetic substitute.
+    pub family: Family,
+}
+
+impl DatasetPreset {
+    /// Look up the Table I row for a preset.
+    pub fn get(name: PresetName) -> DatasetPreset {
+        match name {
+            PresetName::Sift => DatasetPreset {
+                name,
+                dim: 128,
+                paper_n: 1_000_000,
+                cagra_degree: 32,
+                family: Family::Gaussian,
+            },
+            PresetName::Gist => DatasetPreset {
+                name,
+                dim: 960,
+                paper_n: 1_000_000,
+                cagra_degree: 48,
+                family: Family::Clustered { clusters: 64, spread: 0.6 },
+            },
+            PresetName::Glove => DatasetPreset {
+                name,
+                dim: 200,
+                paper_n: 1_183_514,
+                cagra_degree: 80,
+                // GloVe is the paper's canonical "hard" dataset: strong
+                // cluster structure with heavy overlap.
+                family: Family::Clustered { clusters: 128, spread: 1.0 },
+            },
+            PresetName::NyTimes => DatasetPreset {
+                name,
+                dim: 256,
+                paper_n: 290_000,
+                cagra_degree: 64,
+                family: Family::Clustered { clusters: 96, spread: 0.9 },
+            },
+            PresetName::Deep => DatasetPreset {
+                name,
+                dim: 96,
+                paper_n: 1_000_000,
+                cagra_degree: 32,
+                family: Family::Gaussian,
+            },
+        }
+    }
+
+    /// Build a [`SynthSpec`] for this preset at a reduced scale.
+    pub fn spec(&self, n: usize, queries: usize, seed: u64) -> SynthSpec {
+        SynthSpec { dim: self.dim, n, queries, family: self.family, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let sift = DatasetPreset::get(PresetName::Sift);
+        assert_eq!((sift.dim, sift.cagra_degree, sift.paper_n), (128, 32, 1_000_000));
+        let gist = DatasetPreset::get(PresetName::Gist);
+        assert_eq!((gist.dim, gist.cagra_degree), (960, 48));
+        let glove = DatasetPreset::get(PresetName::Glove);
+        assert_eq!((glove.dim, glove.cagra_degree, glove.paper_n), (200, 80, 1_183_514));
+        let nyt = DatasetPreset::get(PresetName::NyTimes);
+        assert_eq!((nyt.dim, nyt.cagra_degree, nyt.paper_n), (256, 64, 290_000));
+        let deep = DatasetPreset::get(PresetName::Deep);
+        assert_eq!((deep.dim, deep.cagra_degree), (96, 32));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in PresetName::ALL {
+            assert_eq!(PresetName::parse(p.label()), Some(p));
+        }
+        assert_eq!(PresetName::parse("nope"), None);
+    }
+
+    #[test]
+    fn spec_generates_right_shape() {
+        let p = DatasetPreset::get(PresetName::Deep);
+        let (base, q) = p.spec(100, 5, 0).generate();
+        use crate::storage::VectorStore;
+        assert_eq!(base.len(), 100);
+        assert_eq!(base.dim(), 96);
+        assert_eq!(q.len(), 5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Int8 scalar quantization — the next step of the paper's
+//! "low-precision data types for dataset vectors" proposal
+//! (Sec. IV-C1 introduces the idea; FP16 is evaluated in Figs. 13/14,
+//! and Int8 quarters the memory traffic of FP32 at a further small
+//! recall cost).
+//!
+//! Symmetric per-dimension affine quantization: for each dimension
+//! `j`, `q = round(x / scale_j)` clamped to `[-127, 127]`, with
+//! `scale_j = max_i |x_ij| / 127`. Per-dimension scales keep
+//! dimensions with very different magnitudes (common in embeddings)
+//! from washing out.
+
+use crate::storage::{Dataset, VectorStore};
+
+/// An `N x dim` matrix of int8 codes plus per-dimension scales.
+#[derive(Clone, Debug)]
+pub struct DatasetI8 {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    dim: usize,
+}
+
+impl DatasetI8 {
+    /// Quantize an f32 dataset.
+    pub fn from_f32(src: &Dataset) -> DatasetI8 {
+        let dim = src.dim();
+        let n = src.len();
+        let mut scales = vec![0.0f32; dim];
+        for i in 0..n {
+            for (j, &x) in src.row(i).iter().enumerate() {
+                scales[j] = scales[j].max(x.abs());
+            }
+        }
+        for s in &mut scales {
+            *s = if *s == 0.0 { 1.0 } else { *s / 127.0 };
+        }
+        let mut codes = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            for (j, &x) in src.row(i).iter().enumerate() {
+                codes.push((x / scales[j]).round().clamp(-127.0, 127.0) as i8);
+            }
+        }
+        DatasetI8 { codes, scales, dim }
+    }
+
+    /// Per-dimension dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Raw codes of row `i`.
+    pub fn row_codes(&self, i: usize) -> &[i8] {
+        &self.codes[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Worst-case absolute reconstruction error per dimension
+    /// (half a quantization step).
+    pub fn max_abs_error(&self, j: usize) -> f32 {
+        self.scales[j] * 0.5
+    }
+}
+
+impl VectorStore for DatasetI8 {
+    fn len(&self) -> usize {
+        self.codes.len() / self.dim
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn get_into(&self, i: usize, out: &mut [f32]) {
+        for ((o, &c), &s) in out.iter_mut().zip(self.row_codes(i)).zip(&self.scales) {
+            *o = c as f32 * s;
+        }
+    }
+    fn bytes_per_vector(&self) -> usize {
+        self.dim // one byte per element; scales amortize to ~0
+    }
+}
+
+impl Dataset {
+    /// Quantize to int8 (see [`DatasetI8`]).
+    pub fn to_i8(&self) -> DatasetI8 {
+        DatasetI8::from_f32(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_within_half_a_step() {
+        let d = Dataset::from_flat(vec![1.0, -50.0, 0.25, 120.0, 0.5, -0.125, -3.0, 60.0], 2);
+        let q = d.to_i8();
+        let mut out = vec![0.0f32; 2];
+        for i in 0..d.len() {
+            q.get_into(i, &mut out);
+            for j in 0..2 {
+                let err = (out[j] - d.row(i)[j]).abs();
+                // 1.01x allows for f32 rounding in the scale itself.
+                assert!(
+                    err <= q.max_abs_error(j) * 1.01 + 1e-6,
+                    "row {i} dim {j}: err {err} > bound {}",
+                    q.max_abs_error(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_map_to_full_range() {
+        let d = Dataset::from_flat(vec![127.0, -127.0, 0.0, 63.5], 1);
+        let q = d.to_i8();
+        assert_eq!(q.row_codes(0), &[127]);
+        assert_eq!(q.row_codes(1), &[-127]);
+        assert_eq!(q.row_codes(2), &[0]);
+    }
+
+    #[test]
+    fn constant_zero_dimension_is_safe() {
+        let d = Dataset::from_flat(vec![0.0, 5.0, 0.0, -5.0], 2);
+        let q = d.to_i8();
+        let mut out = vec![0.0f32; 2];
+        q.get_into(0, &mut out);
+        assert_eq!(out[0], 0.0); // no NaN from a zero scale
+    }
+
+    #[test]
+    fn quarter_the_footprint_of_fp32() {
+        let d = Dataset::from_flat(vec![1.0; 64], 16);
+        let q = d.to_i8();
+        assert_eq!(q.bytes_per_vector() * 4, d.bytes_per_vector());
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn per_dimension_scales_preserve_small_dimensions() {
+        // Dim 0 spans +-100, dim 1 spans +-0.1; a global scale would
+        // crush dim 1 to ~0 codes.
+        let d = Dataset::from_flat(vec![100.0, 0.1, -100.0, -0.1, 50.0, 0.05], 2);
+        let q = d.to_i8();
+        assert_eq!(q.row_codes(0)[1], 127, "small dimension must use the full code range");
+    }
+}

@@ -1,0 +1,299 @@
+//! Row-major dense vector storage.
+//!
+//! All indexes in the workspace operate on a [`VectorStore`]: a
+//! contiguous `N x dim` matrix with O(1) row access. Two concrete
+//! stores exist — [`Dataset`] (f32) and [`DatasetF16`] (binary16,
+//! widened on access) — mirroring the paper's FP32/FP16 dataset
+//! storage options.
+
+use crate::f16::F16;
+
+/// Read access to an `N x dim` collection of vectors.
+///
+/// `get_into` is the FP16-friendly access path: callers provide a
+/// scratch buffer and receive f32 values regardless of the backing
+/// precision, the same way the CUDA kernels widen `__half` loads.
+pub trait VectorStore: Sync {
+    /// Number of vectors.
+    fn len(&self) -> usize;
+    /// Dimensionality of each vector.
+    fn dim(&self) -> usize;
+    /// True when the store holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Widen row `i` into `out` (length must equal `dim`).
+    fn get_into(&self, i: usize, out: &mut [f32]);
+    /// Bytes of memory one vector occupies (drives the bandwidth model
+    /// in `gpu-sim`: FP16 halves the traffic).
+    fn bytes_per_vector(&self) -> usize;
+
+    /// Borrow row `i` as an f32 slice if the backing storage is f32.
+    ///
+    /// Fast path used by the distance kernels to avoid a copy; FP16
+    /// stores return `None` and callers fall back to `get_into`.
+    fn row_f32(&self, _i: usize) -> Option<&[f32]> {
+        None
+    }
+}
+
+/// An owned row-major f32 matrix.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Create a dataset from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Dataset { data, dim }
+    }
+
+    /// Create an empty dataset with the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self::from_flat(Vec::new(), dim)
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Append one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector length must equal dim");
+        self.data.extend_from_slice(v);
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Convert to half precision storage.
+    pub fn to_f16(&self) -> DatasetF16 {
+        DatasetF16 {
+            data: crate::f16::narrow_slice(&self.data),
+            dim: self.dim,
+        }
+    }
+
+    /// Keep only the first `n` vectors (used to derive DEEP-1M-like
+    /// prefixes from a DEEP-100M-like base, as the paper does).
+    pub fn truncate(&mut self, n: usize) {
+        let keep = n.min(self.len());
+        self.data.truncate(keep * self.dim);
+    }
+}
+
+impl VectorStore for Dataset {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn get_into(&self, i: usize, out: &mut [f32]) {
+        out.copy_from_slice(self.row(i));
+    }
+    fn bytes_per_vector(&self) -> usize {
+        self.dim * 4
+    }
+    fn row_f32(&self, i: usize) -> Option<&[f32]> {
+        Some(self.row(i))
+    }
+}
+
+/// An owned row-major binary16 matrix; rows widen to f32 on access.
+#[derive(Clone, Debug)]
+pub struct DatasetF16 {
+    data: Vec<F16>,
+    dim: usize,
+}
+
+impl DatasetF16 {
+    /// Create from a flat row-major binary16 buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the length is not a multiple of `dim`.
+    pub fn from_flat(data: Vec<F16>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(data.len().is_multiple_of(dim), "flat buffer length not a multiple of dim");
+        DatasetF16 { data, dim }
+    }
+
+    /// Row `i` in raw binary16.
+    pub fn row_raw(&self, i: usize) -> &[F16] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+impl VectorStore for DatasetF16 {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn get_into(&self, i: usize, out: &mut [f32]) {
+        crate::f16::widen_into(self.row_raw(i), out);
+    }
+    fn bytes_per_vector(&self) -> usize {
+        self.dim * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flat_and_row_access() {
+        let d = Dataset::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.row(1), &[4.0, 5.0, 6.0]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::empty(8);
+        assert_eq!(d.len(), 0);
+        assert!(d.is_empty());
+        assert_eq!(d.dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_flat_buffer_rejected() {
+        Dataset::from_flat(vec![1.0; 7], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        Dataset::from_flat(vec![], 0);
+    }
+
+    #[test]
+    fn push_grows_dataset() {
+        let mut d = Dataset::empty(2);
+        d.push(&[1.0, 2.0]);
+        d.push(&[3.0, 4.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let mut d = Dataset::from_flat((0..12).map(|x| x as f32).collect(), 3);
+        d.truncate(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0, 5.0]);
+        d.truncate(100); // larger than len is a no-op
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn f16_store_widens_on_access() {
+        let d = Dataset::from_flat(vec![1.0, -2.5, 0.0, 4.0], 2);
+        let h = d.to_f16();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.bytes_per_vector(), 4);
+        assert_eq!(d.bytes_per_vector(), 8);
+        let mut buf = [0.0f32; 2];
+        h.get_into(1, &mut buf);
+        assert_eq!(buf, [0.0, 4.0]);
+        assert!(h.row_f32(0).is_none());
+        assert_eq!(d.row_f32(0), Some(&[1.0, -2.5][..]));
+    }
+}
+
+impl Dataset {
+    /// L2-normalize every vector in place (unit sphere). Standard
+    /// preprocessing for angular/cosine datasets such as GloVe; zero
+    /// vectors are left untouched.
+    pub fn normalize_l2(&mut self) {
+        let dim = self.dim;
+        for row in self.data.chunks_exact_mut(dim) {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Subtract the per-dimension mean in place (centering), returning
+    /// the mean vector. Centering before inner-product search is a
+    /// common embedding-pipeline step.
+    pub fn center(&mut self) -> Vec<f32> {
+        let dim = self.dim;
+        let n = self.len();
+        let mut mean = vec![0.0f32; dim];
+        if n == 0 {
+            return mean;
+        }
+        for row in self.data.chunks_exact(dim) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        for row in self.data.chunks_exact_mut(dim) {
+            for (x, &m) in row.iter_mut().zip(&mean) {
+                *x -= m;
+            }
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod preprocessing_tests {
+    use super::*;
+
+    #[test]
+    fn normalize_produces_unit_rows_and_keeps_zero() {
+        let mut d = Dataset::from_flat(vec![3.0, 4.0, 0.0, 0.0], 2);
+        d.normalize_l2();
+        assert_eq!(d.row(0), &[0.6, 0.8]);
+        assert_eq!(d.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn center_zeroes_the_mean() {
+        let mut d = Dataset::from_flat(vec![1.0, 10.0, 3.0, 20.0], 2);
+        let mean = d.center();
+        assert_eq!(mean, vec![2.0, 15.0]);
+        assert_eq!(d.row(0), &[-1.0, -5.0]);
+        assert_eq!(d.row(1), &[1.0, 5.0]);
+        let total: f32 = d.as_flat().iter().sum();
+        assert!(total.abs() < 1e-6);
+    }
+
+    #[test]
+    fn center_empty_is_safe() {
+        let mut d = Dataset::empty(3);
+        assert_eq!(d.center(), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Storage, f16, quantization and I/O invariants over arbitrary data.
+
+use dataset::io::{read_fvecs, write_fvecs};
+use dataset::{Dataset, F16, VectorStore};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn f16_round_trip_preserves_order(a in -6.0e4f32..6.0e4, b in -6.0e4f32..6.0e4) {
+        // Narrowing is monotone: order can collapse to equality but
+        // never invert.
+        let (ha, hb) = (F16::from_f32(a).to_f32(), F16::from_f32(b).to_f32());
+        if a < b {
+            prop_assert!(ha <= hb, "{a} < {b} but {ha} > {hb}");
+        }
+    }
+
+    #[test]
+    fn f16_error_is_bounded(x in -6.0e4f32..6.0e4) {
+        let rt = F16::from_f32(x).to_f32();
+        // Relative error <= 2^-11 for normals, absolute <= 2^-25 in
+        // the subnormal range.
+        let bound = (x.abs() * 2f32.powi(-11)).max(2f32.powi(-25));
+        prop_assert!((rt - x).abs() <= bound, "x={x} rt={rt}");
+    }
+
+    #[test]
+    fn f16_narrowing_is_idempotent(x in -6.0e4f32..6.0e4) {
+        let once = F16::from_f32(x);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fvecs_round_trip(data in proptest::collection::vec(-1e6f32..1e6, 3..120)) {
+        let dim = 3;
+        let n = data.len() / dim;
+        let d = Dataset::from_flat(data[..n * dim].to_vec(), dim);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &d).unwrap();
+        let back = read_fvecs(&buf[..]);
+        if n == 0 {
+            prop_assert!(back.is_err()); // empty stream is an error
+        } else {
+            let back = back.unwrap();
+            prop_assert_eq!(back.as_flat(), d.as_flat());
+        }
+    }
+
+    #[test]
+    fn i8_quantization_error_within_half_step(data in proptest::collection::vec(-500.0f32..500.0, 8..64)) {
+        let dim = 4;
+        let n = data.len() / dim;
+        prop_assume!(n > 0);
+        let d = Dataset::from_flat(data[..n * dim].to_vec(), dim);
+        let q = d.to_i8();
+        let mut out = vec![0.0f32; dim];
+        for i in 0..n {
+            q.get_into(i, &mut out);
+            for j in 0..dim {
+                let err = (out[j] - d.row(i)[j]).abs();
+                prop_assert!(err <= q.max_abs_error(j) * 1.01 + 1e-5, "err {err} at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn synth_is_deterministic_and_shaped(n in 1usize..64, dim in 1usize..16, seed in any::<u64>()) {
+        use dataset::synth::{Family, SynthSpec};
+        let spec = SynthSpec { dim, n, queries: 2, family: Family::Gaussian, seed };
+        let (a, qa) = spec.generate();
+        let (b, qb) = spec.generate();
+        prop_assert_eq!(a.as_flat(), b.as_flat());
+        prop_assert_eq!(qa.as_flat(), qb.as_flat());
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a.dim(), dim);
+        prop_assert!(a.as_flat().iter().all(|x| x.is_finite()));
+    }
+}

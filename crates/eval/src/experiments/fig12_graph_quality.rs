@@ -1,0 +1,121 @@
+//! Fig. 12: intrinsic graph quality — the CAGRA graph vs the NSSG
+//! graph, both searched with NSSG's (single-threaded) search
+//! implementation.
+//!
+//! Paper claim to reproduce: the two graphs trade wins by dataset but
+//! are roughly equivalent. As in the paper, the CAGRA degree is set to
+//! the largest multiple of 16 at or below NSSG's average out-degree
+//! (floored at 8 for the reduced scales used here).
+
+use dataset::VectorStore;
+use crate::context::{ExpContext, Workload};
+use crate::report::{fmt_qps, Table};
+use cagra::build::{build_graph, GraphConfig};
+use dataset::presets::PresetName;
+use dataset::Dataset;
+use knn::topk::Neighbor;
+use nssg::{beam_search, Nssg, NssgParams};
+use std::time::Instant;
+
+/// One curve point of the comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct QualityPoint {
+    /// NSSG pool width `L`.
+    pub l: usize,
+    /// recall@10.
+    pub recall: f64,
+    /// Single-threaded CPU QPS.
+    pub qps: f64,
+}
+
+/// Search both graphs with the NSSG beam search at the given widths.
+pub fn measure(wl: &Workload, ctx: &ExpContext, ls: &[usize]) -> Vec<(&'static str, Vec<QualityPoint>)> {
+    let clone = || Dataset::from_flat(wl.base.as_flat().to_vec(), wl.base.dim());
+    let (nssg_index, _) = Nssg::build(clone(), wl.metric, NssgParams::new(wl.degree()));
+
+    // Match the CAGRA degree to NSSG's observed average degree. The
+    // paper floors to a multiple of 16 (their degrees are 40-90); at
+    // this reduced scale that would round a degree-14 NSSG graph down
+    // to 8, so floor to a multiple of 4 instead.
+    let avg = nssg_index.average_degree();
+    let matched = (((avg as usize) / 4) * 4).max(8).min(wl.degree() * 2);
+    // d_init = 3d, the richer candidate pool the paper's Fig. 3 runs
+    // use; at reduced dataset scale the default 2d leaves clustered
+    // presets with too few cross-cluster candidates.
+    let matched = matched.min(wl.degree().max(8));
+    let config = GraphConfig { intermediate_degree: 3 * matched, ..GraphConfig::new(matched) };
+    let (cagra_graph, _) = build_graph(&wl.base, wl.metric, &config);
+    let cagra_adj: Vec<Vec<u32>> =
+        (0..cagra_graph.len()).map(|v| cagra_graph.neighbors(v).to_vec()).collect();
+
+    let gt = wl.ground_truth(ctx.k);
+    let run = |adjacency: &[Vec<u32>]| -> Vec<QualityPoint> {
+        ls.iter()
+            .map(|&l| {
+                let t0 = Instant::now();
+                let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(wl.queries.len());
+                for qi in 0..wl.queries.len() {
+                    let (res, _) = beam_search(
+                        adjacency,
+                        &wl.base,
+                        wl.metric,
+                        wl.queries.row(qi),
+                        ctx.k,
+                        l,
+                        l, // NSSG seeds its pool with L random points
+                        0x12 ^ qi as u64,
+                    );
+                    results.push(res);
+                }
+                let wall = t0.elapsed().as_secs_f64();
+                QualityPoint {
+                    l,
+                    recall: crate::recall::recall_at_k(&results, &gt, ctx.k),
+                    qps: wl.queries.len() as f64 / wall,
+                }
+            })
+            .collect()
+    };
+
+    vec![("CAGRA graph", run(&cagra_adj)), ("NSSG graph", run(nssg_index.adjacency()))]
+}
+
+/// Run on the figure's four datasets.
+pub fn run(ctx: &ExpContext) {
+    let ls = [16, 32, 64, 128];
+    let mut t = Table::new(&["dataset", "graph", "L", "recall@10", "QPS (1 thread)"]);
+    for preset in [PresetName::Sift, PresetName::Gist, PresetName::Glove, PresetName::NyTimes] {
+        let wl = Workload::load(preset, ctx);
+        for (label, points) in measure(&wl, ctx, &ls) {
+            for p in points {
+                t.row(vec![
+                    preset.label().to_string(),
+                    label.to_string(),
+                    p.l.to_string(),
+                    format!("{:.4}", p.recall),
+                    fmt_qps(p.qps),
+                ]);
+            }
+        }
+    }
+    t.print("Fig. 12 — graph quality under NSSG's search implementation");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cagra_graph_is_roughly_equivalent_to_nssg() {
+        let ctx = ExpContext { n: 900, queries: 30, ..ExpContext::default() };
+        let wl = Workload::load(PresetName::Deep, &ctx);
+        let out = measure(&wl, &ctx, &[64]);
+        let cagra_recall = out[0].1[0].recall;
+        let nssg_recall = out[1].1[0].recall;
+        assert!(cagra_recall > 0.7, "CAGRA-graph recall {cagra_recall}");
+        assert!(
+            (cagra_recall - nssg_recall).abs() < 0.15,
+            "graphs should be comparable: CAGRA {cagra_recall} vs NSSG {nssg_recall}"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 15: construction time vs dataset size (the paper's DEEP-1M /
+//! 10M / 100M), CAGRA vs HNSW.
+//!
+//! Paper claims to reproduce: both methods scale roughly linearly in
+//! `N`, with CAGRA consistently faster. The paper's 1x/10x/100x ladder
+//! is compressed to 1x/4x/16x here (a 100x rung does not fit one core;
+//! the per-decade growth rate is still measurable from two ratios).
+
+use dataset::VectorStore;
+use crate::context::{ExpContext, Workload};
+use crate::report::{fmt_secs, Table};
+use dataset::presets::PresetName;
+use dataset::Dataset;
+use hnsw::{Hnsw, HnswParams};
+use std::time::Instant;
+
+/// Size ladder used at this scale.
+pub fn sizes(ctx: &ExpContext) -> [usize; 3] {
+    [ctx.n, ctx.n * 4, ctx.n * 16]
+}
+
+/// (n, cagra seconds, hnsw seconds) triples.
+pub fn measure(ctx: &ExpContext) -> Vec<(usize, f64, f64)> {
+    sizes(ctx)
+        .into_iter()
+        .map(|n| {
+            let wl = Workload::load_sized(PresetName::Deep, n, 1, ctx.seed);
+            let (_, report) = crate::experiments::build_cagra_graph(&wl);
+            let clone = Dataset::from_flat(wl.base.as_flat().to_vec(), wl.base.dim());
+            let t0 = Instant::now();
+            let _ = Hnsw::build(clone, wl.metric, HnswParams::new((wl.degree() / 2).max(4)));
+            let hnsw_s = t0.elapsed().as_secs_f64();
+            (n, report.total().as_secs_f64(), hnsw_s)
+        })
+        .collect()
+}
+
+/// Print the scaling table.
+pub fn run(ctx: &ExpContext) {
+    let mut t = Table::new(&["N", "CAGRA", "HNSW", "HNSW/CAGRA"]);
+    for (n, cagra_s, hnsw_s) in measure(ctx) {
+        t.row(vec![
+            n.to_string(),
+            fmt_secs(cagra_s),
+            fmt_secs(hnsw_s),
+            format!("{:.2}x", hnsw_s / cagra_s.max(1e-12)),
+        ]);
+    }
+    t.print("Fig. 15 — construction scaling (DEEP-like)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_scales_with_n() {
+        let ctx = ExpContext { n: 300, queries: 1, ..ExpContext::default() };
+        let rows = measure(&ctx);
+        assert_eq!(rows.len(), 3);
+        // 16x data must take clearly more time than 1x for both.
+        assert!(rows[2].1 > rows[0].1, "CAGRA: {rows:?}");
+        assert!(rows[2].2 > rows[0].2, "HNSW: {rows:?}");
+    }
+}

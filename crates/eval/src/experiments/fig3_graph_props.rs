@@ -1,0 +1,88 @@
+//! Fig. 3: 2-hop node counts and strong CC for the plain k-NN graph,
+//! each partial optimization, and the full CAGRA graph.
+//!
+//! Paper claims to reproduce: reordering is the bigger lever on the
+//! 2-hop count; reverse edges are the bigger lever on strong CC.
+
+use dataset::VectorStore;
+use crate::context::{ExpContext, Workload};
+use crate::report::Table;
+use cagra::optimize::{optimize, OptimizeOptions};
+use cagra::params::ReorderStrategy;
+use dataset::presets::PresetName;
+use graph::stats::graph_stats;
+use graph::two_hop::max_two_hop;
+use graph::AdjacencyGraph;
+use knn::{NnDescent, NnDescentParams};
+
+/// Graph variants of the ablation, in the figure's order.
+const VARIANTS: [(&str, bool, bool); 4] = [
+    ("knn (top-d)", false, false),
+    ("reorder only", true, false),
+    ("reverse only", false, true),
+    ("CAGRA (full)", true, true),
+];
+
+/// Run the ablation on the figure's two datasets (SIFT-like easy,
+/// GloVe-like hard), `d_init = 3d` as in the paper.
+pub fn run(ctx: &ExpContext) {
+    let mut t = Table::new(&["dataset", "variant", "avg 2-hop", "2-hop max", "strong CC", "largest CC %"]);
+    for preset in [PresetName::Sift, PresetName::Glove] {
+        let wl = Workload::load(preset, ctx);
+        rows_for(&wl, &mut t);
+    }
+    t.print("Fig. 3 — reachability ablation (d_init = 3d)");
+}
+
+/// Compute the four variants' stats for one workload.
+pub fn rows_for(wl: &Workload, t: &mut Table) {
+    let d = wl.degree();
+    let knn = NnDescent::new(NnDescentParams::new(3 * d)).build(&wl.base, wl.metric);
+    let stride = (wl.base.len() / 2000).max(1); // sample 2-hop on big graphs
+    for (label, reorder, reverse) in VARIANTS {
+        let opts = OptimizeOptions {
+            degree: d,
+            strategy: ReorderStrategy::RankBased,
+            reorder,
+            reverse,
+            threads: 0,
+        };
+        let g = optimize(&knn, &wl.base, wl.metric, &opts);
+        let stats = graph_stats(&AdjacencyGraph::from_fixed(&g), stride);
+        t.row(vec![
+            wl.preset.name.label().to_string(),
+            label.to_string(),
+            format!("{:.1}", stats.avg_two_hop),
+            max_two_hop(d).to_string(),
+            stats.strong_cc.to_string(),
+            format!("{:.1}", 100.0 * stats.largest_cc_fraction),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_optimization_improves_both_metrics() {
+        let ctx = ExpContext { n: 500, queries: 2, ..ExpContext::default() };
+        let wl = Workload::load(PresetName::Deep, &ctx);
+        let mut t = Table::new(&["dataset", "variant", "avg 2-hop", "2-hop max", "strong CC", "largest CC %"]);
+        rows_for(&wl, &mut t);
+        assert_eq!(t.len(), 4);
+        let render = t.render();
+        // Parse back the two metric columns for knn vs full.
+        let lines: Vec<&str> = render.lines().skip(2).collect();
+        let parse = |line: &str| -> (f64, usize) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            // dataset, variant(words), 2hop, max, cc, largest
+            let ncells = cells.len();
+            (cells[ncells - 4].parse().unwrap(), cells[ncells - 2].parse().unwrap())
+        };
+        let (knn_2hop, knn_cc) = parse(lines[0]);
+        let (full_2hop, full_cc) = parse(lines[3]);
+        assert!(full_2hop > knn_2hop, "2-hop: full {full_2hop} vs knn {knn_2hop}");
+        assert!(full_cc <= knn_cc, "CC: full {full_cc} vs knn {knn_cc}");
+    }
+}

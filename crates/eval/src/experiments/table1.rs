@@ -1,0 +1,34 @@
+//! Table I: the datasets and the degrees CAGRA uses for them, plus
+//! the scale this reproduction actually runs at.
+
+use crate::context::{ExpContext, Workload};
+use crate::report::Table;
+use dataset::presets::PresetName;
+
+/// Print Table I with the paper and scaled sizes side by side.
+pub fn run(ctx: &ExpContext) {
+    let mut t = Table::new(&["dataset", "dim", "paper N", "scaled N", "degree d", "family"]);
+    for name in PresetName::ALL {
+        let wl = Workload::load(name, ctx);
+        t.row(vec![
+            name.label().to_string(),
+            wl.preset.dim.to_string(),
+            wl.preset.paper_n.to_string(),
+            ctx.n.to_string(),
+            wl.degree().to_string(),
+            format!("{:?}", wl.preset.family),
+        ]);
+    }
+    t.print("Table I — datasets (paper vs this reproduction)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_tiny_scale() {
+        let ctx = ExpContext { n: 120, queries: 2, ..ExpContext::default() };
+        run(&ctx); // must not panic
+    }
+}

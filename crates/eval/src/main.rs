@@ -1,0 +1,60 @@
+//! Experiment driver: `eval <experiment-id>... | all | list`.
+//!
+//! Scale knobs come from the environment (`CAGRA_N`, `CAGRA_QUERIES`,
+//! `CAGRA_BATCH`) or the `--n/--queries/--batch` flags. Example:
+//!
+//! ```text
+//! cargo run -p eval --release -- fig13 --n 8000
+//! cargo run -p eval --release -- all
+//! ```
+
+use eval::context::ExpContext;
+use eval::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpContext::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => ctx.n = parse(it.next(), "--n"),
+            "--queries" => ctx.queries = parse(it.next(), "--queries"),
+            "--batch" => ctx.batch_target = parse(it.next(), "--batch"),
+            "--k" => ctx.k = parse(it.next(), "--k"),
+            "--seed" => ctx.seed = parse(it.next(), "--seed") as u64,
+            "list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: eval <experiment-id>... | all | list [--n N] [--queries Q] [--batch B] [--k K] [--seed S]");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(2);
+    }
+    println!(
+        "# context: n={} queries={} k={} batch_target={} seed={}",
+        ctx.n, ctx.queries, ctx.k, ctx.batch_target, ctx.seed
+    );
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        if !experiments::run(&id, &ctx) {
+            eprintln!("unknown experiment: {id}");
+            std::process::exit(2);
+        }
+        println!("[{id} done in {:.1} s]", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn parse(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a number");
+        std::process::exit(2);
+    })
+}

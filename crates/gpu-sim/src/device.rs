@@ -1,0 +1,131 @@
+//! Device specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// The hardware parameters the cost model consumes. Defaults mirror
+/// the paper's NVIDIA A100 (80 GB, SXM).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Streaming multiprocessors (the paper's recommended `b_T`).
+    pub sm_count: usize,
+    /// Warp scheduler limit per SM.
+    pub max_warps_per_sm: usize,
+    /// Thread-block limit per SM.
+    pub max_ctas_per_sm: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Per-thread register ceiling before spilling.
+    pub max_registers_per_thread: usize,
+    /// Usable shared memory per SM, bytes.
+    pub shared_mem_per_sm: usize,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Device (HBM) bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Average amortized cost of a dependent device-memory access,
+    /// cycles.
+    pub device_latency_cycles: f64,
+    /// Average amortized cost of a shared-memory access, cycles.
+    pub shared_latency_cycles: f64,
+    /// Kernel launch overhead, microseconds (dominates tiny batches).
+    pub launch_overhead_us: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: A100-SXM 80 GB.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100-SXM4-80GB".to_string(),
+            sm_count: 108,
+            max_warps_per_sm: 64,
+            max_ctas_per_sm: 32,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            shared_mem_per_sm: 164 * 1024,
+            clock_ghz: 1.41,
+            mem_bandwidth_gbps: 2039.0,
+            device_latency_cycles: 290.0,
+            shared_latency_cycles: 25.0,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// NVIDIA V100-SXM2 32 GB — the GPU the GGNN paper evaluated on;
+    /// useful for sensitivity studies across device generations.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100-SXM2-32GB".to_string(),
+            sm_count: 80,
+            max_warps_per_sm: 64,
+            max_ctas_per_sm: 32,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            shared_mem_per_sm: 96 * 1024,
+            clock_ghz: 1.53,
+            mem_bandwidth_gbps: 900.0,
+            device_latency_cycles: 400.0,
+            shared_latency_cycles: 28.0,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// NVIDIA H100-SXM5 80 GB — one generation past the paper's A100.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "H100-SXM5-80GB".to_string(),
+            sm_count: 132,
+            max_warps_per_sm: 64,
+            max_ctas_per_sm: 32,
+            registers_per_sm: 65_536,
+            max_registers_per_thread: 255,
+            shared_mem_per_sm: 228 * 1024,
+            clock_ghz: 1.83,
+            mem_bandwidth_gbps: 3350.0,
+            device_latency_cycles: 280.0,
+            shared_latency_cycles: 22.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// Seconds represented by `cycles` core cycles.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Seconds needed to move `bytes` through device memory.
+    pub fn bytes_to_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.mem_bandwidth_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_published_numbers() {
+        let d = DeviceSpec::a100();
+        assert_eq!(d.sm_count, 108);
+        assert_eq!(d.registers_per_sm, 65_536);
+        assert!((d.clock_ghz - 1.41).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_generations_order_sensibly() {
+        let (v, a, h) = (DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::h100());
+        assert!(v.mem_bandwidth_gbps < a.mem_bandwidth_gbps);
+        assert!(a.mem_bandwidth_gbps < h.mem_bandwidth_gbps);
+        assert!(v.sm_count < a.sm_count && a.sm_count < h.sm_count);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let d = DeviceSpec::a100();
+        let s = d.cycles_to_seconds(1.41e9);
+        assert!((s - 1.0).abs() < 1e-9);
+        let s = d.bytes_to_seconds(2039.0 * 1e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Variable-degree directed graph in CSR form.
+//!
+//! Used by the non-CAGRA baselines (HNSW layers, NSSG, NSW) whose
+//! out-degree is bounded but not fixed, and as the common exchange
+//! format for the reachability analyses. Construction goes through a
+//! builder of per-node `Vec`s and is finalized into CSR for compact,
+//! cache-friendly traversal.
+
+use crate::fixed::FixedDegreeGraph;
+
+/// Immutable CSR directed graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl AdjacencyGraph {
+    /// Finalize per-node neighbor lists into CSR.
+    ///
+    /// # Panics
+    /// Panics if any target id is out of range.
+    pub fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let n = lists.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for list in lists {
+            for &t in list {
+                assert!((t as usize) < n, "target id {t} out of range (n = {n})");
+                targets.push(t);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        AdjacencyGraph { offsets, targets }
+    }
+
+    /// View a fixed-degree graph as CSR (no copy of structure semantics).
+    pub fn from_fixed(g: &FixedDegreeGraph) -> Self {
+        let n = g.len();
+        let d = g.degree();
+        let offsets = (0..=n).map(|i| (i * d) as u32).collect();
+        AdjacencyGraph { offsets, targets: g.as_flat().to_vec() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Average out-degree (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.edge_count() as f64 / self.len() as f64
+    }
+
+    /// Out-neighbors of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> AdjacencyGraph {
+        let n = self.len();
+        let mut counts = vec![0u32; n];
+        for &t in &self.targets {
+            counts[t as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for i in 0..n {
+            offsets.push(offsets[i] + counts[i]);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; self.targets.len()];
+        for u in 0..n {
+            for &v in self.neighbors(u) {
+                let slot = cursor[v as usize];
+                targets[slot as usize] = u as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        AdjacencyGraph { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> AdjacencyGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        AdjacencyGraph::from_lists(&[vec![1, 2], vec![3], vec![3], vec![]])
+    }
+
+    #[test]
+    fn csr_layout() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.average_degree(), 1.0);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = diamond().reversed();
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn double_reverse_is_identity_up_to_order() {
+        let g = diamond();
+        let rr = g.reversed().reversed();
+        for u in 0..g.len() {
+            let mut a = g.neighbors(u).to_vec();
+            let mut b = rr.neighbors(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "node {u}");
+        }
+    }
+
+    #[test]
+    fn from_fixed_preserves_neighbors() {
+        let f = FixedDegreeGraph::from_flat(vec![1, 2, 2, 0, 0, 1], 3, 2);
+        let g = AdjacencyGraph::from_fixed(&f);
+        assert_eq!(g.neighbors(1), &[2, 0]);
+        assert_eq!(g.average_degree(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_rejected() {
+        AdjacencyGraph::from_lists(&[vec![1]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjacencyGraph::from_lists(&[]);
+        assert!(g.is_empty());
+        assert_eq!(g.average_degree(), 0.0);
+        assert!(g.reversed().is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph substrate for the CAGRA reproduction.
+//!
+//! CAGRA's central data structure is a *fixed out-degree* directed
+//! graph stored as a dense `N x d` neighbor matrix ([`FixedDegreeGraph`])
+//! — the layout that makes GPU traversal uniform. Baselines use the
+//! variable-degree [`AdjacencyGraph`]. The analysis modules implement
+//! the two reachability metrics of Sec. III-A: strongly connected
+//! component counting ([`scc`]) and the average 2-hop node count
+//! ([`two_hop`]).
+
+pub mod adj;
+pub mod fixed;
+pub mod io;
+pub mod scc;
+pub mod stats;
+pub mod two_hop;
+
+pub use adj::AdjacencyGraph;
+pub use fixed::FixedDegreeGraph;

@@ -1,0 +1,199 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Sec. III-A of the paper assesses graph reachability property (1) by
+//! the number of strong CCs: a node can reach every other node in its
+//! strong component, so fewer components means fewer unreachable
+//! targets from a random search start. Tarjan's algorithm is
+//! implemented iteratively (graphs here have 10^5+ nodes; recursion
+//! would overflow the stack).
+
+use crate::adj::AdjacencyGraph;
+
+/// Result of an SCC decomposition.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// `component[v]` is the id (0-based, reverse topological order of
+    /// discovery) of the strong component containing `v`.
+    pub component: Vec<u32>,
+    /// Number of strong components.
+    pub count: usize,
+}
+
+impl SccResult {
+    /// Sizes of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest strong component.
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Decompose `g` into strongly connected components.
+pub fn strongly_connected_components(g: &AdjacencyGraph) -> SccResult {
+    let n = g.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0usize;
+
+    // Explicit DFS frames: (node, next-edge-position).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root as u32, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            let vu = v as usize;
+            let neigh = g.neighbors(vu);
+            if (*ei as usize) < neigh.len() {
+                let w = neigh[*ei as usize];
+                *ei += 1;
+                let wu = w as usize;
+                if index[wu] == UNVISITED {
+                    index[wu] = next_index;
+                    lowlink[wu] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wu] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wu] {
+                    lowlink[vu] = lowlink[vu].min(index[wu]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let pu = parent as usize;
+                    lowlink[pu] = lowlink[pu].min(lowlink[vu]);
+                }
+                if lowlink[vu] == index[vu] {
+                    // v is the root of a component; pop it.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult { component, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = AdjacencyGraph::from_lists(&[vec![1], vec![2], vec![0]]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 1);
+        assert_eq!(r.largest(), 3);
+    }
+
+    #[test]
+    fn chain_is_all_singletons() {
+        let g = AdjacencyGraph::from_lists(&[vec![1], vec![2], vec![]]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 3);
+        assert_eq!(r.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way() {
+        // {0,1} cycle -> {2,3} cycle, bridge 1->2 only.
+        let g = AdjacencyGraph::from_lists(&[vec![1], vec![0, 2], vec![3], vec![2]]);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.component[0], r.component[1]);
+        assert_eq!(r.component[2], r.component[3]);
+        assert_ne!(r.component[0], r.component[2]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(strongly_connected_components(&AdjacencyGraph::from_lists(&[])).count, 0);
+        let g = AdjacencyGraph::from_lists(&[vec![]]);
+        assert_eq!(strongly_connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn self_loop_is_one_component() {
+        let g = AdjacencyGraph::from_lists(&[vec![0]]);
+        assert_eq!(strongly_connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 200k-node chain would blow a recursive Tarjan's call stack.
+        let n = 200_000;
+        let lists: Vec<Vec<u32>> =
+            (0..n).map(|i| if i + 1 < n { vec![(i + 1) as u32] } else { vec![] }).collect();
+        let g = AdjacencyGraph::from_lists(&lists);
+        assert_eq!(strongly_connected_components(&g).count, n);
+    }
+
+    #[test]
+    fn matches_naive_reachability_on_small_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..12);
+            let lists: Vec<Vec<u32>> = (0..n)
+                .map(|_| {
+                    (0..n).filter(|_| rng.gen_bool(0.25)).map(|v| v as u32).collect()
+                })
+                .collect();
+            let g = AdjacencyGraph::from_lists(&lists);
+            let r = strongly_connected_components(&g);
+            // Naive: Floyd-Warshall reachability.
+            let mut reach = vec![vec![false; n]; n];
+            for u in 0..n {
+                reach[u][u] = true;
+                for &v in g.neighbors(u) {
+                    reach[u][v as usize] = true;
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        if reach[i][k] && reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let same = r.component[i] == r.component[j];
+                    let mutual = reach[i][j] && reach[j][i];
+                    assert_eq!(same, mutual, "nodes {i},{j}");
+                }
+            }
+        }
+    }
+}

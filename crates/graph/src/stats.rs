@@ -1,0 +1,137 @@
+//! Summary statistics used by the Fig. 3 experiment and DESIGN checks.
+
+use crate::adj::AdjacencyGraph;
+use crate::scc::strongly_connected_components;
+use crate::two_hop::average_two_hop_sampled;
+
+/// Reachability metrics for a proximity graph (Sec. III-A).
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Number of strongly connected components (smaller is better).
+    pub strong_cc: usize,
+    /// Fraction of nodes in the largest strong component.
+    pub largest_cc_fraction: f64,
+    /// Average 2-hop node count (larger is better).
+    pub avg_two_hop: f64,
+}
+
+/// Compute all reachability metrics. `two_hop_stride` samples the
+/// 2-hop average (1 = exact).
+pub fn graph_stats(g: &AdjacencyGraph, two_hop_stride: usize) -> GraphStats {
+    let scc = strongly_connected_components(g);
+    let n = g.len();
+    GraphStats {
+        n,
+        avg_degree: g.average_degree(),
+        strong_cc: scc.count,
+        largest_cc_fraction: if n == 0 { 0.0 } else { scc.largest() as f64 / n as f64 },
+        avg_two_hop: average_two_hop_sampled(g, two_hop_stride),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_a_cycle() {
+        let lists: Vec<Vec<u32>> = (0..6).map(|i| vec![((i + 1) % 6) as u32]).collect();
+        let s = graph_stats(&AdjacencyGraph::from_lists(&lists), 1);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.strong_cc, 1);
+        assert_eq!(s.largest_cc_fraction, 1.0);
+        assert_eq!(s.avg_degree, 1.0);
+        assert_eq!(s.avg_two_hop, 2.0);
+    }
+
+    #[test]
+    fn stats_on_disconnected_graph() {
+        let s = graph_stats(&AdjacencyGraph::from_lists(&[vec![], vec![]]), 1);
+        assert_eq!(s.strong_cc, 2);
+        assert_eq!(s.largest_cc_fraction, 0.5);
+        assert_eq!(s.avg_two_hop, 0.0);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = graph_stats(&AdjacencyGraph::from_lists(&[]), 1);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.strong_cc, 0);
+        assert_eq!(s.largest_cc_fraction, 0.0);
+    }
+}
+
+/// In-degree distribution summary. The NSW "hub" problem the paper
+/// cites as HNSW's motivation (Sec. I) shows up as heavy in-degree
+/// skew; CAGRA's reverse-edge cap keeps skew moderate even though only
+/// *out*-degree is fixed.
+#[derive(Clone, Debug)]
+pub struct InDegreeStats {
+    /// Maximum in-degree.
+    pub max: u32,
+    /// Mean in-degree (equals mean out-degree).
+    pub mean: f64,
+    /// Gini coefficient of the in-degree distribution (0 = perfectly
+    /// uniform, →1 = a few hubs own every edge).
+    pub gini: f64,
+}
+
+/// Compute the in-degree distribution summary of `g`.
+pub fn in_degree_stats(g: &AdjacencyGraph) -> InDegreeStats {
+    let n = g.len();
+    if n == 0 {
+        return InDegreeStats { max: 0, mean: 0.0, gini: 0.0 };
+    }
+    let mut deg = vec![0u32; n];
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            deg[v as usize] += 1;
+        }
+    }
+    let max = deg.iter().copied().max().unwrap_or(0);
+    let total: u64 = deg.iter().map(|&d| d as u64).sum();
+    let mean = total as f64 / n as f64;
+    // Gini via the sorted-rank formula.
+    deg.sort_unstable();
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: f64 =
+            deg.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+        (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+    InDegreeStats { max, mean, gini }
+}
+
+#[cfg(test)]
+mod in_degree_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ring_has_zero_gini() {
+        let lists: Vec<Vec<u32>> = (0..8).map(|i| vec![((i + 1) % 8) as u32]).collect();
+        let s = in_degree_stats(&AdjacencyGraph::from_lists(&lists));
+        assert_eq!(s.max, 1);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert!(s.gini.abs() < 1e-9, "gini {}", s.gini);
+    }
+
+    #[test]
+    fn star_graph_has_high_gini() {
+        // Everyone points at node 0.
+        let lists: Vec<Vec<u32>> = (0..10).map(|i| if i == 0 { vec![] } else { vec![0] }).collect();
+        let s = in_degree_stats(&AdjacencyGraph::from_lists(&lists));
+        assert_eq!(s.max, 9);
+        assert!(s.gini > 0.85, "gini {}", s.gini);
+    }
+
+    #[test]
+    fn empty_graph_is_zeroed() {
+        let s = in_degree_stats(&AdjacencyGraph::from_lists(&[]));
+        assert_eq!((s.max, s.mean, s.gini), (0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Graph substrate invariants over arbitrary digraphs.
+
+use graph::scc::strongly_connected_components;
+use graph::two_hop::{average_two_hop, max_two_hop};
+use graph::{AdjacencyGraph, FixedDegreeGraph};
+use proptest::prelude::*;
+
+/// Arbitrary digraph as adjacency lists over `n` nodes.
+fn digraph() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    (1usize..16).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..n as u32, 0..n),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn double_reverse_preserves_edge_multiset(lists in digraph()) {
+        let g = AdjacencyGraph::from_lists(&lists);
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(g.edge_count(), rr.edge_count());
+        for u in 0..g.len() {
+            let mut a = g.neighbors(u).to_vec();
+            let mut b = rr.neighbors(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scc_component_count_bounds(lists in digraph()) {
+        let g = AdjacencyGraph::from_lists(&lists);
+        let r = strongly_connected_components(&g);
+        prop_assert!(r.count >= 1 && r.count <= g.len());
+        prop_assert_eq!(r.sizes().iter().sum::<usize>(), g.len());
+        // SCC of the reversed graph has the same component count.
+        let rrev = strongly_connected_components(&g.reversed());
+        prop_assert_eq!(r.count, rrev.count);
+    }
+
+    #[test]
+    fn scc_members_are_mutually_reachable(lists in digraph()) {
+        let g = AdjacencyGraph::from_lists(&lists);
+        let r = strongly_connected_components(&g);
+        // BFS reachability oracle.
+        let n = g.len();
+        let reach = |from: usize| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            let mut stack = vec![from];
+            seen[from] = true;
+            while let Some(v) = stack.pop() {
+                for &u in g.neighbors(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        stack.push(u as usize);
+                    }
+                }
+            }
+            seen
+        };
+        for i in 0..n {
+            let ri = reach(i);
+            for j in 0..n {
+                if r.component[i] == r.component[j] {
+                    prop_assert!(ri[j], "{i} cannot reach same-component {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_respects_fixed_degree_bounds(n in 4usize..20, seed in any::<u64>()) {
+        // Build a random fixed-degree-3 graph without self loops.
+        let d = 3;
+        prop_assume!(n > d);
+        let mut x = seed | 1;
+        let mut flat = Vec::with_capacity(n * d);
+        for v in 0..n {
+            let mut picked = Vec::new();
+            while picked.len() < d {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = (x >> 33) as usize % n;
+                if c != v && !picked.contains(&(c as u32)) {
+                    picked.push(c as u32);
+                }
+            }
+            flat.extend_from_slice(&picked);
+        }
+        let g = FixedDegreeGraph::from_flat(flat, n, d);
+        let avg = average_two_hop(&AdjacencyGraph::from_fixed(&g));
+        // Distinct non-self out-edges guarantee at least d reachable
+        // nodes; the maximum is d + d^2 (and also n - 1).
+        prop_assert!(avg >= d as f64 - 1e-9, "avg {avg} below degree {d}");
+        prop_assert!(avg <= max_two_hop(d) as f64 + 1e-9);
+        prop_assert!(avg <= (n - 1) as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,13 @@
+//! HNSW baseline — the paper's CPU state-of-the-art comparator.
+//!
+//! A from-scratch implementation of Hierarchical Navigable Small World
+//! graphs (Malkov & Yashunin, 2018): exponentially sampled layer
+//! levels, greedy descent through the upper layers, `ef`-bounded beam
+//! search on the bottom layer, and Algorithm-4 heuristic neighbor
+//! selection during insertion. CAGRA's Figs. 11 and 13–16 compare
+//! against exactly these mechanisms.
+
+pub mod build;
+pub mod search;
+
+pub use build::{Hnsw, HnswParams};

@@ -1,0 +1,94 @@
+//! Exact (brute force) k-NN — the ground-truth oracle for recall.
+//!
+//! This is the "simplest exact solution" the paper's introduction
+//! describes: compute every query-to-dataset distance and keep the
+//! top-k. Parallel over queries.
+
+use crate::parallel::{default_threads, parallel_map};
+use crate::topk::{Neighbor, TopK};
+use dataset::VectorStore;
+use distance::{DistanceOracle, Metric};
+
+/// Exact top-k for one query.
+pub fn exact_search<S: VectorStore + ?Sized>(
+    store: &S,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+) -> Vec<Neighbor> {
+    assert_eq!(query.len(), store.dim(), "query dimension mismatch");
+    let oracle = DistanceOracle::new(store, metric);
+    let mut top = TopK::new(k.max(1));
+    for i in 0..store.len() {
+        let d = oracle.to_row(query, i);
+        if d < top.threshold() {
+            top.push(Neighbor::new(i as u32, d));
+        }
+    }
+    top.into_sorted()
+}
+
+/// Exact top-k neighbor ids for every query, parallel over queries.
+/// Returns one ascending-distance id list per query (rows may be
+/// shorter than `k` when the dataset has fewer than `k` vectors).
+pub fn ground_truth<S, Q>(store: &S, metric: Metric, queries: &Q, k: usize) -> Vec<Vec<u32>>
+where
+    S: VectorStore + ?Sized,
+    Q: VectorStore + ?Sized,
+{
+    let threads = default_threads();
+    let dim = queries.dim();
+    parallel_map(queries.len(), threads, |qi| {
+        let mut q = vec![0.0f32; dim];
+        queries.get_into(qi, &mut q);
+        exact_search(store, metric, &q, k).into_iter().map(|n| n.id).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::Dataset;
+
+    fn line_dataset() -> Dataset {
+        // Points at x = 0, 1, 2, ..., 9 on a 1-D line.
+        Dataset::from_flat((0..10).map(|i| i as f32).collect(), 1)
+    }
+
+    #[test]
+    fn finds_nearest_on_a_line() {
+        let d = line_dataset();
+        let out = exact_search(&d, Metric::SquaredL2, &[3.2], 3);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 4, 2]);
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let d = line_dataset();
+        let out = exact_search(&d, Metric::SquaredL2, &[0.0], 100);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn ground_truth_batches_match_single() {
+        let d = line_dataset();
+        let queries = Dataset::from_flat(vec![3.2, 8.9], 1);
+        let gt = ground_truth(&d, Metric::SquaredL2, &queries, 2);
+        assert_eq!(gt, vec![vec![3, 4], vec![9, 8]]);
+    }
+
+    #[test]
+    fn works_under_inner_product() {
+        let d = Dataset::from_flat(vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0], 2);
+        let out = exact_search(&d, Metric::InnerProduct, &[1.0, 0.0], 1);
+        assert_eq!(out[0].id, 0); // largest dot product
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dim_checked() {
+        exact_search(&line_dataset(), Metric::SquaredL2, &[1.0, 2.0], 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! k-NN substrate: exact search for ground truth, bounded top-k
+//! selection, NN-Descent initial graph construction, and the small
+//! thread-parallel helper shared by the builders in this workspace.
+
+pub mod brute;
+pub mod nn_descent;
+pub mod parallel;
+pub mod topk;
+
+pub use brute::ground_truth;
+pub use nn_descent::{NnDescent, NnDescentParams, NnDescentStats};
+pub use topk::{Neighbor, TopK};

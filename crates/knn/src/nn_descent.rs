@@ -1,0 +1,468 @@
+//! NN-Descent k-NN graph construction (Dong et al., WWW 2011).
+//!
+//! CAGRA builds its initial `d_init`-degree k-NN graph with NN-Descent
+//! (Sec. III-B1): start from random neighbor lists and iteratively run
+//! *local joins* — every pair of neighbors of a node are candidate
+//! neighbors of each other — until the update rate drops below a
+//! threshold. The implementation is parallel over nodes with per-node
+//! locks (the paper uses the GPU variant of Wang et al.; the structure
+//! of the computation is identical).
+//!
+//! Neighbor lists are kept sorted ascending by distance throughout, so
+//! the paper's final "sort each node list by distance" step is already
+//! satisfied on output, and list positions are exactly the *initial
+//! ranks* that CAGRA's rank-based reordering consumes.
+
+use crate::parallel::{default_threads, parallel_chunks};
+use crate::topk::{cmp_neighbor, Neighbor};
+use dataset::VectorStore;
+use distance::{DistanceOracle, Metric};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning parameters for NN-Descent.
+#[derive(Clone, Debug)]
+pub struct NnDescentParams {
+    /// Neighbors per node in the produced graph (CAGRA's `d_init`).
+    pub k: usize,
+    /// Local-join sample rate ρ ∈ (0, 1]; Dong et al. recommend 0.5–1.
+    pub rho: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Terminate when an iteration changes fewer than `delta * n * k`
+    /// entries.
+    pub delta: f64,
+    /// RNG seed for the random initialization and sampling.
+    pub seed: u64,
+    /// Worker threads (0 = [`default_threads`]).
+    pub threads: usize,
+}
+
+impl NnDescentParams {
+    /// Sensible defaults for a given `k`.
+    pub fn new(k: usize) -> Self {
+        NnDescentParams { k, rho: 0.5, max_iters: 12, delta: 0.001, seed: 0x5eed, threads: 0 }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    n: Neighbor,
+    is_new: bool,
+}
+
+/// NN-Descent builder.
+pub struct NnDescent {
+    params: NnDescentParams,
+}
+
+impl NnDescent {
+    /// Create a builder with the given parameters.
+    pub fn new(params: NnDescentParams) -> Self {
+        assert!(params.k > 0, "k must be positive");
+        assert!(params.rho > 0.0 && params.rho <= 1.0, "rho must be in (0, 1]");
+        NnDescent { params }
+    }
+
+    /// Build the approximate k-NN lists for every node, each sorted
+    /// ascending by distance. Lists have exactly `min(k, n-1)` entries.
+    pub fn build<S: VectorStore + ?Sized>(&self, store: &S, metric: Metric) -> Vec<Vec<Neighbor>> {
+        self.build_with_stats(store, metric).0
+    }
+
+    /// Like [`NnDescent::build`], additionally reporting the number of
+    /// distance computations performed — the quantity the GPU
+    /// construction-time model prices (Fig. 11's simulated estimate).
+    pub fn build_with_stats<S: VectorStore + ?Sized>(
+        &self,
+        store: &S,
+        metric: Metric,
+    ) -> (Vec<Vec<Neighbor>>, NnDescentStats) {
+        let n = store.len();
+        if n == 0 {
+            return (Vec::new(), NnDescentStats::default());
+        }
+        let k = self.params.k.min(n - 1);
+        if k == 0 {
+            return (vec![Vec::new(); n], NnDescentStats::default());
+        }
+        // Tiny datasets: exact all-pairs is both faster and exact.
+        if n <= 2048 && n * n <= 64 * n * self.params.k.max(1) {
+            let lists = exact_all_pairs(store, metric, k, self.params.threads);
+            let stats = NnDescentStats { distance_computations: (n * (n - 1)) as u64 };
+            return (lists, stats);
+        }
+        self.descent(store, metric, k)
+    }
+
+    fn descent<S: VectorStore + ?Sized>(
+        &self,
+        store: &S,
+        metric: Metric,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, NnDescentStats) {
+        let n = store.len();
+        let threads = if self.params.threads == 0 { default_threads() } else { self.params.threads };
+        let lists: Vec<Mutex<Vec<Entry>>> = (0..n).map(|_| Mutex::new(Vec::with_capacity(k))).collect();
+        let dist_count = AtomicU64::new(0);
+
+        // Random initialization: k distinct non-self ids per node.
+        parallel_chunks(n, threads, |start, end| {
+            let oracle = DistanceOracle::new(store, metric);
+            let mut scratch = vec![0.0f32; store.dim()];
+            let mut rng = StdRng::seed_from_u64(self.params.seed ^ (start as u64) << 1);
+            for v in start..end {
+                store.get_into(v, &mut scratch);
+                let mut list = lists[v].lock();
+                while list.len() < k {
+                    let u = rng.gen_range(0..n);
+                    if u == v || list.iter().any(|e| e.n.id as usize == u) {
+                        continue;
+                    }
+                    let d = oracle.to_row(&scratch, u);
+                    list.push(Entry { n: Neighbor::new(u as u32, d), is_new: true });
+                }
+                list.sort_unstable_by(|a, b| cmp_neighbor(&a.n, &b.n));
+            }
+            dist_count.fetch_add(oracle.computed(), Ordering::Relaxed);
+        });
+
+        let max_samples = ((self.params.rho * k as f64).ceil() as usize).max(1);
+        let stop_at = (self.params.delta * n as f64 * k as f64).max(1.0) as u64;
+
+        for iter in 0..self.params.max_iters {
+            // Phase 1: sample forward candidates, marking sampled new
+            // entries old (they will have been joined after this round).
+            let mut fwd_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut fwd_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for v in 0..n {
+                let mut list = lists[v].lock();
+                let mut rng = StdRng::seed_from_u64(
+                    self.params.seed ^ 0xa5a5_5a5a ^ ((iter as u64) << 32) ^ v as u64,
+                );
+                // Old set is frozen before this round's sampling so a
+                // sampled entry is joined once (as "new"), not twice.
+                fwd_old[v].extend(list.iter().filter(|e| !e.is_new).map(|e| e.n.id));
+                let mut new_positions: Vec<usize> = list
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| e.is_new.then_some(i))
+                    .collect();
+                new_positions.shuffle(&mut rng);
+                new_positions.truncate(max_samples);
+                for &i in &new_positions {
+                    fwd_new[v].push(list[i].n.id);
+                    list[i].is_new = false;
+                }
+            }
+
+            // Phase 2: reverse candidates, subsampled to max_samples.
+            let mut rev_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut rev_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for v in 0..n {
+                for &u in &fwd_new[v] {
+                    rev_new[u as usize].push(v as u32);
+                }
+                for &u in &fwd_old[v] {
+                    rev_old[u as usize].push(v as u32);
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x0badf00d ^ iter as u64);
+            for v in 0..n {
+                subsample(&mut rev_new[v], max_samples, &mut rng);
+                subsample(&mut rev_old[v], max_samples, &mut rng);
+            }
+
+            // Phase 3: local joins, parallel over nodes.
+            let updates = AtomicU64::new(0);
+            parallel_chunks(n, threads, |start, end| {
+                let oracle = DistanceOracle::new(store, metric);
+                let mut news: Vec<u32> = Vec::new();
+                let mut olds: Vec<u32> = Vec::new();
+                let mut local_updates = 0u64;
+                for v in start..end {
+                    news.clear();
+                    olds.clear();
+                    news.extend_from_slice(&fwd_new[v]);
+                    news.extend_from_slice(&rev_new[v]);
+                    news.sort_unstable();
+                    news.dedup();
+                    olds.extend_from_slice(&fwd_old[v]);
+                    olds.extend_from_slice(&rev_old[v]);
+                    olds.sort_unstable();
+                    olds.dedup();
+                    for (ai, &a) in news.iter().enumerate() {
+                        for &b in &news[ai + 1..] {
+                            local_updates += join(&oracle, &lists, a, b, k);
+                        }
+                        for &b in olds.iter() {
+                            if a != b {
+                                local_updates += join(&oracle, &lists, a, b, k);
+                            }
+                        }
+                    }
+                }
+                updates.fetch_add(local_updates, Ordering::Relaxed);
+                dist_count.fetch_add(oracle.computed(), Ordering::Relaxed);
+            });
+
+            if updates.load(Ordering::Relaxed) < stop_at {
+                break;
+            }
+        }
+
+        let lists = lists
+            .into_iter()
+            .map(|m| m.into_inner().into_iter().map(|e| e.n).collect())
+            .collect();
+        (lists, NnDescentStats { distance_computations: dist_count.load(Ordering::Relaxed) })
+    }
+}
+
+/// Work counters from one NN-Descent build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NnDescentStats {
+    /// Total query/dataset distance computations performed.
+    pub distance_computations: u64,
+}
+
+/// Try to make `a` and `b` neighbors of each other; returns the number
+/// of list entries changed (0, 1 or 2).
+fn join<S: VectorStore + ?Sized>(
+    oracle: &DistanceOracle<'_, S>,
+    lists: &[Mutex<Vec<Entry>>],
+    a: u32,
+    b: u32,
+    k: usize,
+) -> u64 {
+    let d = oracle.between_rows(a as usize, b as usize);
+    let mut changed = 0u64;
+    if try_insert(&mut lists[a as usize].lock(), Neighbor::new(b, d), k) {
+        changed += 1;
+    }
+    if try_insert(&mut lists[b as usize].lock(), Neighbor::new(a, d), k) {
+        changed += 1;
+    }
+    changed
+}
+
+/// Insert into a sorted bounded list if closer than the current worst
+/// and not already present.
+fn try_insert(list: &mut Vec<Entry>, n: Neighbor, k: usize) -> bool {
+    if list.len() == k {
+        if let Some(worst) = list.last() {
+            if cmp_neighbor(&n, &worst.n) != std::cmp::Ordering::Less {
+                return false;
+            }
+        }
+    }
+    if list.iter().any(|e| e.n.id == n.id) {
+        return false;
+    }
+    let pos = list.partition_point(|e| cmp_neighbor(&e.n, &n) == std::cmp::Ordering::Less);
+    list.insert(pos, Entry { n, is_new: true });
+    if list.len() > k {
+        list.pop();
+    }
+    true
+}
+
+fn subsample(v: &mut Vec<u32>, max: usize, rng: &mut StdRng) {
+    if v.len() > max {
+        v.shuffle(rng);
+        v.truncate(max);
+    }
+}
+
+/// Exact k-NN lists by all-pairs distance (used for tiny datasets and
+/// as the test oracle).
+pub fn exact_all_pairs<S: VectorStore + ?Sized>(
+    store: &S,
+    metric: Metric,
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    let n = store.len();
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let k = k.min(n.saturating_sub(1));
+    let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+    {
+        let slots = std::sync::Mutex::new(&mut out);
+        parallel_chunks(n, threads, |start, end| {
+            let oracle = DistanceOracle::new(store, metric);
+            let mut scratch = vec![0.0f32; store.dim()];
+            let mut local: Vec<(usize, Vec<Neighbor>)> = Vec::with_capacity(end - start);
+            for v in start..end {
+                store.get_into(v, &mut scratch);
+                let mut top = crate::topk::TopK::new(k.max(1));
+                for u in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let d = oracle.to_row(&scratch, u);
+                    if d < top.threshold() {
+                        top.push(Neighbor::new(u as u32, d));
+                    }
+                }
+                local.push((v, top.into_sorted()));
+            }
+            let mut guard = slots.lock().unwrap();
+            for (v, list) in local {
+                guard[v] = list;
+            }
+        });
+    }
+    out
+}
+
+/// Fraction of true k-NN edges recovered by `approx` (graph recall).
+pub fn knn_graph_recall(approx: &[Vec<Neighbor>], exact: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(approx.len(), exact.len());
+    if approx.is_empty() {
+        return 1.0;
+    }
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (a, e) in approx.iter().zip(exact) {
+        total += e.len();
+        for t in e {
+            if a.iter().any(|x| x.id == t.id) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::synth::{Family, SynthSpec};
+
+    #[test]
+    fn exact_on_tiny_dataset() {
+        let spec = SynthSpec { dim: 4, n: 50, queries: 0, family: Family::Gaussian, seed: 3 };
+        let (base, _) = spec.generate();
+        let nd = NnDescent::new(NnDescentParams::new(5));
+        let got = nd.build(&base, Metric::SquaredL2);
+        let want = exact_all_pairs(&base, Metric::SquaredL2, 5, 1);
+        assert_eq!(got.len(), 50);
+        // Tiny datasets route through the exact path.
+        assert_eq!(knn_graph_recall(&got, &want), 1.0);
+    }
+
+    #[test]
+    fn lists_are_sorted_and_self_free() {
+        let spec = SynthSpec { dim: 8, n: 4000, queries: 0, family: Family::Gaussian, seed: 9 };
+        let (base, _) = spec.generate();
+        let nd = NnDescent::new(NnDescentParams { threads: 2, ..NnDescentParams::new(8) });
+        let lists = nd.build(&base, Metric::SquaredL2);
+        for (v, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 8, "node {v}");
+            assert!(list.iter().all(|n| n.id as usize != v), "self loop at {v}");
+            assert!(list.windows(2).all(|w| w[0].dist <= w[1].dist), "unsorted at {v}");
+            let mut ids: Vec<u32> = list.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 8, "duplicate neighbor at {v}");
+        }
+    }
+
+    #[test]
+    fn converges_to_high_graph_recall_on_easy_data() {
+        let spec = SynthSpec { dim: 8, n: 4000, queries: 0, family: Family::Gaussian, seed: 1 };
+        let (base, _) = spec.generate();
+        let nd = NnDescent::new(NnDescentParams { rho: 1.0, ..NnDescentParams::new(10) });
+        let lists = nd.build(&base, Metric::SquaredL2);
+        let exact = exact_all_pairs(&base, Metric::SquaredL2, 10, 0);
+        let recall = knn_graph_recall(&lists, &exact);
+        assert!(recall > 0.90, "graph recall {recall}");
+    }
+
+    #[test]
+    fn k_clamped_to_n_minus_one() {
+        let spec = SynthSpec { dim: 4, n: 6, queries: 0, family: Family::Gaussian, seed: 2 };
+        let (base, _) = spec.generate();
+        let lists = NnDescent::new(NnDescentParams::new(32)).build(&base, Metric::SquaredL2);
+        assert!(lists.iter().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn empty_and_singleton_datasets() {
+        let empty = dataset::Dataset::empty(4);
+        assert!(NnDescent::new(NnDescentParams::new(4)).build(&empty, Metric::SquaredL2).is_empty());
+        let single = dataset::Dataset::from_flat(vec![1.0, 2.0], 2);
+        let lists = NnDescent::new(NnDescentParams::new(4)).build(&single, Metric::SquaredL2);
+        assert_eq!(lists, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = SynthSpec { dim: 6, n: 3000, queries: 0, family: Family::Gaussian, seed: 5 };
+        let (base, _) = spec.generate();
+        let p = NnDescentParams { threads: 1, ..NnDescentParams::new(6) };
+        let a = NnDescent::new(p.clone()).build(&base, Metric::SquaredL2);
+        let b = NnDescent::new(p).build(&base, Metric::SquaredL2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.iter().map(|n| n.id).collect::<Vec<_>>(),
+                y.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn invalid_rho_rejected() {
+        NnDescent::new(NnDescentParams { rho: 0.0, ..NnDescentParams::new(4) });
+    }
+}
+
+/// Convert NN-Descent lists into a fixed-degree graph, truncating each
+/// list to `degree` (the "plain k-NN graph" baseline of Fig. 3).
+///
+/// # Panics
+/// Panics if any list is shorter than `degree`.
+pub fn lists_to_fixed_graph(lists: &[Vec<Neighbor>], degree: usize) -> graph::FixedDegreeGraph {
+    let rows: Vec<Vec<u32>> = lists
+        .iter()
+        .map(|l| {
+            assert!(l.len() >= degree, "list shorter than degree {degree}");
+            l[..degree].iter().map(|n| n.id).collect()
+        })
+        .collect();
+    graph::FixedDegreeGraph::from_rows(&rows, degree)
+}
+
+#[cfg(test)]
+mod graph_conv_tests {
+    use super::*;
+
+    #[test]
+    fn lists_convert_to_fixed_graph() {
+        let lists = vec![
+            vec![Neighbor::new(1, 0.1), Neighbor::new(2, 0.2)],
+            vec![Neighbor::new(0, 0.1), Neighbor::new(2, 0.3)],
+            vec![Neighbor::new(0, 0.2), Neighbor::new(1, 0.3)],
+        ];
+        let g = lists_to_fixed_graph(&lists, 2);
+        assert_eq!(g.degree(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        let g1 = lists_to_fixed_graph(&lists, 1);
+        assert_eq!(g1.neighbors(2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than degree")]
+    fn short_lists_rejected_in_conversion() {
+        lists_to_fixed_graph(&[vec![Neighbor::new(1, 0.1)], vec![]], 1);
+    }
+}

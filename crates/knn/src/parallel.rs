@@ -1,0 +1,133 @@
+//! Minimal data-parallel helper shared by the index builders.
+//!
+//! `rayon` is outside the allowed dependency list, so this module
+//! provides the one primitive the workspace needs: run a closure over
+//! index ranges on `num_threads` scoped threads with static chunking.
+//! Builders in this repo are embarrassingly parallel over nodes or
+//! queries, so static chunking is sufficient and keeps the code
+//! auditable.
+
+/// Number of worker threads to use: the `CAGRA_THREADS` environment
+/// variable if set, otherwise `std::thread::available_parallelism()`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CAGRA_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Invoke `f(start, end)` over disjoint chunks of `0..n` on up to
+/// `threads` scoped threads. Falls back to a direct call when `n` is
+/// small or one thread is requested (avoids spawn overhead — the
+/// "handle common special cases first" idiom).
+pub fn parallel_chunks<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 2 {
+        f(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Map `0..n` to a `Vec<T>` in parallel, preserving index order.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        let slots = SendPtr(out.as_mut_ptr());
+        parallel_chunks(n, threads, |start, end| {
+            // SAFETY: each chunk writes a disjoint index range of `out`,
+            // and `out` outlives the scoped threads.
+            let base = slots;
+            for i in start..end {
+                unsafe { *base.0.add(i) = f(i) };
+            }
+        });
+    }
+    out
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: used only for disjoint-range writes inside parallel_chunks.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_chunks(n, 4, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let called = AtomicUsize::new(0);
+        parallel_chunks(0, 8, |s, e| {
+            assert_eq!((s, e), (0, 0));
+            called.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(called.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        parallel_chunks(3, 64, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(257, 4, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Bounded top-k selection.
+//!
+//! A fixed-capacity max-heap keyed on distance: push is O(log k) and
+//! the worst element is evicted when full. Used by the exact searcher,
+//! NN-Descent, and all baseline searchers.
+
+/// A candidate: node id plus its distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Dataset row id.
+    pub id: u32,
+    /// Smaller-is-closer distance.
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Construct a neighbor entry.
+    pub fn new(id: u32, dist: f32) -> Self {
+        Neighbor { id, dist }
+    }
+}
+
+/// Total order on (dist, id); ids break ties so results are
+/// deterministic across runs and platforms. NaN distances order last.
+#[inline]
+pub fn cmp_neighbor(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.dist
+        .partial_cmp(&b.dist)
+        .unwrap_or_else(|| a.dist.is_nan().cmp(&b.dist.is_nan()))
+        .then(a.id.cmp(&b.id))
+}
+
+/// Fixed-capacity max-heap that retains the k smallest-distance items.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    heap: Vec<Neighbor>, // max-heap by cmp_neighbor
+    k: usize,
+}
+
+impl TopK {
+    /// Create a selector keeping the `k` closest items.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK { heap: Vec::with_capacity(k), k }
+    }
+
+    /// Number of retained items (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current worst (largest) retained distance, or +inf while the
+    /// selector is not yet full. Useful as a pruning threshold.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].dist
+        }
+    }
+
+    /// Offer a candidate; keeps it only if among the k closest so far.
+    #[inline]
+    pub fn push(&mut self, item: Neighbor) {
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+            self.sift_up(self.heap.len() - 1);
+        } else if cmp_neighbor(&item, &self.heap[0]) == std::cmp::Ordering::Less {
+            self.heap[0] = item;
+            self.sift_down(0);
+        }
+    }
+
+    /// Consume into ascending-distance order.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap.sort_unstable_by(cmp_neighbor);
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cmp_neighbor(&self.heap[i], &self.heap[parent]) == std::cmp::Ordering::Greater {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < n && cmp_neighbor(&self.heap[l], &self.heap[largest]) == std::cmp::Ordering::Greater {
+                largest = l;
+            }
+            if r < n && cmp_neighbor(&self.heap[r], &self.heap[largest]) == std::cmp::Ordering::Greater {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            t.push(Neighbor::new(id, d));
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn fewer_than_k_items() {
+        let mut t = TopK::new(10);
+        t.push(Neighbor::new(7, 0.5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 7);
+    }
+
+    #[test]
+    fn threshold_tracks_worst() {
+        let mut t = TopK::new(2);
+        t.push(Neighbor::new(0, 9.0));
+        t.push(Neighbor::new(1, 3.0));
+        assert_eq!(t.threshold(), 9.0);
+        t.push(Neighbor::new(2, 1.0)); // evicts 9.0
+        assert_eq!(t.threshold(), 3.0);
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let mut t = TopK::new(2);
+        t.push(Neighbor::new(5, 1.0));
+        t.push(Neighbor::new(3, 1.0));
+        t.push(Neighbor::new(1, 1.0));
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        TopK::new(0);
+    }
+
+    #[test]
+    fn matches_full_sort_prefix() {
+        // Deterministic pseudo-random distances.
+        let mut x = 12345u64;
+        let mut items = Vec::new();
+        for id in 0..500u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            items.push(Neighbor::new(id, (x >> 33) as f32 / 1e6));
+        }
+        let mut t = TopK::new(17);
+        for &it in &items {
+            t.push(it);
+        }
+        let got = t.into_sorted();
+        let mut want = items.clone();
+        want.sort_unstable_by(cmp_neighbor);
+        want.truncate(17);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nan_distances_order_last() {
+        let mut t = TopK::new(2);
+        t.push(Neighbor::new(0, f32::NAN));
+        t.push(Neighbor::new(1, 1.0));
+        t.push(Neighbor::new(2, 2.0));
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Top-k and exact-search invariants over arbitrary inputs.
+
+use knn::brute::exact_search;
+use knn::topk::{cmp_neighbor, Neighbor, TopK};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn topk_equals_sort_prefix(dists in proptest::collection::vec(-1e6f32..1e6, 1..200), k in 1usize..32) {
+        let items: Vec<Neighbor> =
+            dists.iter().enumerate().map(|(i, &d)| Neighbor::new(i as u32, d)).collect();
+        let mut top = TopK::new(k);
+        for &it in &items {
+            top.push(it);
+        }
+        let got = top.into_sorted();
+        let mut want = items.clone();
+        want.sort_by(cmp_neighbor);
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn threshold_is_max_of_retained(dists in proptest::collection::vec(0.0f32..1e3, 5..50)) {
+        let mut top = TopK::new(5);
+        for (i, &d) in dists.iter().enumerate() {
+            top.push(Neighbor::new(i as u32, d));
+        }
+        let thr = top.threshold();
+        let worst = top.into_sorted().last().unwrap().dist;
+        prop_assert_eq!(thr, worst);
+    }
+
+    #[test]
+    fn exact_search_matches_naive_argmin(flat in proptest::collection::vec(-100.0f32..100.0, 6..90), q in proptest::collection::vec(-100.0f32..100.0, 3)) {
+        let dim = 3;
+        let n = flat.len() / dim;
+        prop_assume!(n >= 2);
+        let d = dataset::Dataset::from_flat(flat[..n * dim].to_vec(), dim);
+        let got = exact_search(&d, distance::Metric::SquaredL2, &q, 1);
+        let naive = (0..n)
+            .min_by(|&a, &b| {
+                let da = distance::squared_l2(d.row(a), &q);
+                let db = distance::squared_l2(d.row(b), &q);
+                da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+            })
+            .unwrap();
+        prop_assert_eq!(got[0].id as usize, naive);
+    }
+
+    #[test]
+    fn exact_search_results_sorted_and_unique(flat in proptest::collection::vec(-10.0f32..10.0, 30..150), k in 1usize..12) {
+        let dim = 5;
+        let n = flat.len() / dim;
+        let d = dataset::Dataset::from_flat(flat[..n * dim].to_vec(), dim);
+        let out = exact_search(&d, distance::Metric::SquaredL2, &vec![0.0; dim], k);
+        prop_assert_eq!(out.len(), k.min(n));
+        prop_assert!(out.windows(2).all(|w| cmp_neighbor(&w[0], &w[1]).is_le()));
+        let mut ids: Vec<u32> = out.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), k.min(n));
+    }
+}

@@ -1,0 +1,22 @@
+//! NSSG baseline — Fu et al.'s Satellite System Graph.
+//!
+//! The paper compares against NSSG twice: construction time (Fig. 11,
+//! where NSSG also builds an explicit k-NN graph first and then
+//! optimizes it, like CAGRA) and graph quality (Fig. 12, where the
+//! CAGRA graph is searched *with NSSG's search implementation*). To
+//! support the latter, the beam search here ([`beam_search`]) operates
+//! over any adjacency structure, so a converted CAGRA graph plugs in
+//! directly.
+//!
+//! Construction follows the NSSG recipe: a k-NN base graph, a
+//! candidate pool of neighbors-of-neighbors per node, greedy selection
+//! under the *minimum angle* criterion (an edge is kept only if it
+//! spreads at least `angle` degrees away from every kept edge), and a
+//! final connectivity pass linking unreachable nodes from the root's
+//! BFS tree.
+
+pub mod build;
+pub mod search;
+
+pub use build::{Nssg, NssgParams};
+pub use search::beam_search;

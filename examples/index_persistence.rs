@@ -1,0 +1,52 @@
+//! Build once, search forever: persist the CAGRA graph and the dataset
+//! to disk and reload them — the reuse pattern the paper motivates
+//! ("a proximity graph can be reused once it is constructed").
+//!
+//! Writes standard `fvecs` for vectors and the compact `CAGR` binary
+//! format for the graph, so artifacts interoperate with the TexMex
+//! tooling ecosystem.
+//!
+//! ```text
+//! cargo run --release --example index_persistence
+//! ```
+
+use cagra_repro::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("cagra_repro_example");
+    std::fs::create_dir_all(&dir)?;
+    let vec_path = dir.join("base.fvecs");
+    let graph_path = dir.join("graph.cagra");
+
+    // Build and persist.
+    let spec = SynthSpec { dim: 48, n: 10_000, queries: 3, family: Family::Gaussian, seed: 11 };
+    let (base, queries) = spec.generate();
+    let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(16));
+    dataset::io::write_fvecs(BufWriter::new(File::create(&vec_path)?), index.store())?;
+    graph::io::write_fixed(BufWriter::new(File::create(&graph_path)?), index.graph())?;
+    println!(
+        "persisted {} vectors to {} and the degree-{} graph to {}",
+        index.store().len(),
+        vec_path.display(),
+        index.graph().degree(),
+        graph_path.display()
+    );
+
+    // Reload into a fresh index — no rebuild.
+    let base2 = dataset::io::read_fvecs(BufReader::new(File::open(&vec_path)?))?;
+    let graph2 = graph::io::read_fixed(BufReader::new(File::open(&graph_path)?))?;
+    let reloaded = CagraIndex::from_parts(base2, graph2, Metric::SquaredL2);
+
+    // Identical results from the original and the reloaded index.
+    let params = SearchParams::for_k(5);
+    for qi in 0..queries.len() {
+        let a = index.search(queries.row(qi), 5, &params);
+        let b = reloaded.search(queries.row(qi), 5, &params);
+        assert_eq!(a, b, "reloaded index must search identically");
+        println!("query {qi}: {:?}", a.iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+    println!("reloaded index verified");
+    Ok(())
+}

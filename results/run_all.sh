@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table/figure. Scale via CAGRA_N etc.
+cd /root/repo
+for exp in table1 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 headline ext-shard; do
+  echo "=== running $exp ==="
+  ./target/release/eval $exp > results/$exp.txt 2>&1 || echo "FAILED: $exp"
+done
+echo "=== running fig9 at CAGRA_N=8000 (scale check) ==="
+CAGRA_N=8000 ./target/release/eval fig9 > results/fig9_n8000.txt 2>&1 || echo "FAILED: fig9_n8000"
+echo ALL_EXPERIMENTS_DONE

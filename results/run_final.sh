@@ -1,0 +1,15 @@
+#!/bin/bash
+cd /root/repo
+echo "=== fig16 (reduced ladder n=1000) ==="
+CAGRA_N=1000 CAGRA_QUERIES=150 ./target/release/eval fig16 > results/fig16.txt 2>&1
+echo "=== fig13 (new binary: INT8 + serial-queue model) ==="
+./target/release/eval fig13 > results/fig13.txt 2>&1
+echo "=== ext-search ==="
+CAGRA_N=3000 CAGRA_QUERIES=150 ./target/release/eval ext-search > results/ext_search.txt 2>&1
+echo "=== headline (n=2000) ==="
+CAGRA_N=2000 CAGRA_QUERIES=100 ./target/release/eval headline > results/headline.txt 2>&1
+echo "=== ext-shard ==="
+CAGRA_N=3000 CAGRA_QUERIES=100 ./target/release/eval ext-shard > results/ext_shard.txt 2>&1
+echo "=== fig9 at n=8000 ==="
+CAGRA_N=8000 ./target/release/eval fig9 > results/fig9_n8000.txt 2>&1
+echo FINAL_DONE

@@ -1,0 +1,55 @@
+//! Integration: on-disk round trips through real files (fvecs dataset
+//! + CAGR graph) reproduce identical search results.
+
+use cagra_repro::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+#[test]
+fn full_index_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("cagra_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let spec = SynthSpec { dim: 16, n: 800, queries: 5, family: Family::Gaussian, seed: 5 };
+    let (base, queries) = spec.generate();
+    let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(8));
+
+    let vec_path = dir.join("base.fvecs");
+    let graph_path = dir.join("graph.bin");
+    dataset::io::write_fvecs(BufWriter::new(File::create(&vec_path).unwrap()), index.store())
+        .unwrap();
+    graph::io::write_fixed(BufWriter::new(File::create(&graph_path).unwrap()), index.graph())
+        .unwrap();
+
+    let base2 = dataset::io::read_fvecs(BufReader::new(File::open(&vec_path).unwrap())).unwrap();
+    let graph2 = graph::io::read_fixed(BufReader::new(File::open(&graph_path).unwrap())).unwrap();
+    assert_eq!(base2.as_flat(), index.store().as_flat());
+    assert_eq!(&graph2, index.graph());
+
+    let reloaded = CagraIndex::from_parts(base2, graph2, Metric::SquaredL2);
+    let params = SearchParams::for_k(5);
+    for qi in 0..queries.len() {
+        assert_eq!(
+            index.search(queries.row(qi), 5, &params),
+            reloaded.search(queries.row(qi), 5, &params),
+            "query {qi}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ground_truth_round_trips_as_ivecs() {
+    let spec = SynthSpec { dim: 8, n: 300, queries: 10, family: Family::Gaussian, seed: 9 };
+    let (base, queries) = spec.generate();
+    let gt = knn::brute::ground_truth(&base, Metric::SquaredL2, &queries, 10);
+
+    let dir = std::env::temp_dir().join(format!("cagra_gt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gt.ivecs");
+    dataset::io::write_ivecs(BufWriter::new(File::create(&path).unwrap()), &gt).unwrap();
+    let back = dataset::io::read_ivecs(BufReader::new(File::open(&path).unwrap())).unwrap();
+    assert_eq!(gt, back);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

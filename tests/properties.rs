@@ -1,0 +1,86 @@
+//! Cross-crate property tests (proptest): invariants that must hold
+//! for arbitrary datasets and parameters, not just the fixtures the
+//! unit tests use.
+
+use cagra_repro::prelude::*;
+use proptest::prelude::*;
+
+/// An arbitrary small Gaussian-ish dataset: dims 2..=24, 80..=300
+/// points, plus a seed.
+fn small_workload() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..=24, 80usize..=300, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimized_graph_invariants_hold_for_arbitrary_data((dim, n, seed) in small_workload()) {
+        let spec = SynthSpec { dim, n, queries: 0, family: Family::Gaussian, seed };
+        let (base, _) = spec.generate();
+        let d = 8;
+        let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(d));
+        let g = index.graph();
+        prop_assert_eq!(g.len(), n);
+        prop_assert_eq!(g.degree(), d);
+        prop_assert_eq!(g.self_loops(), 0);
+        for v in 0..n {
+            let mut ids = g.neighbors(v).to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), d, "node {} has duplicate edges", v);
+        }
+    }
+
+    #[test]
+    fn search_results_are_sorted_unique_and_within_range((dim, n, seed) in small_workload()) {
+        let spec = SynthSpec { dim, n, queries: 3, family: Family::Gaussian, seed };
+        let (base, queries) = spec.generate();
+        let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(8));
+        let params = SearchParams::for_k(5);
+        for qi in 0..queries.len() {
+            let out = index.search(queries.row(qi), 5, &params);
+            prop_assert_eq!(out.len(), 5);
+            prop_assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+            let mut ids: Vec<u32> = out.iter().map(|x| x.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), 5);
+            prop_assert!(ids.iter().all(|&id| (id as usize) < n));
+        }
+    }
+
+    #[test]
+    fn indexed_point_finds_itself((dim, n, seed) in small_workload()) {
+        let spec = SynthSpec { dim, n, queries: 0, family: Family::Gaussian, seed };
+        let (base, _) = spec.generate();
+        let (index, _) = CagraIndex::build(
+            Dataset::from_flat(base.as_flat().to_vec(), dim),
+            Metric::SquaredL2,
+            &GraphConfig::new(8),
+        );
+        // Querying with a vector that is in the index must return it
+        // first with distance zero (continuous data: a.s. unique).
+        let probe = n / 2;
+        let out = index.search(base.row(probe), 3, &SearchParams::for_k(3));
+        prop_assert_eq!(out[0].id as usize, probe);
+        prop_assert_eq!(out[0].dist, 0.0);
+    }
+
+    #[test]
+    fn recall_close_to_exact_under_generous_width((dim, n, seed) in (2usize..=12, 100usize..=250, any::<u64>())) {
+        let spec = SynthSpec { dim, n, queries: 5, family: Family::Gaussian, seed };
+        let (base, queries) = spec.generate();
+        let gt = knn::brute::ground_truth(&base, Metric::SquaredL2, &queries, 5);
+        let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(8));
+        let mut params = SearchParams::for_k(5);
+        params.itopk = 128; // generous relative to n
+        let mut hit = 0usize;
+        for (qi, truth) in gt.iter().enumerate() {
+            let out = index.search(queries.row(qi), 5, &params);
+            hit += truth.iter().filter(|t| out.iter().any(|x| x.id == **t)).count();
+        }
+        let recall = hit as f64 / (gt.len() * 5) as f64;
+        prop_assert!(recall > 0.85, "recall {} too low for exhaustive-width search", recall);
+    }
+}
