@@ -16,10 +16,8 @@ fn bench(c: &mut Criterion) {
     for mult in [2usize, 3] {
         g.bench_function(format!("dinit_{mult}d"), |b| {
             b.iter(|| {
-                let config = GraphConfig {
-                    intermediate_degree: mult * DEGREE,
-                    ..GraphConfig::new(DEGREE)
-                };
+                let config =
+                    GraphConfig { intermediate_degree: mult * DEGREE, ..GraphConfig::new(DEGREE) };
                 build_graph(&base, Metric::SquaredL2, &config)
             })
         });

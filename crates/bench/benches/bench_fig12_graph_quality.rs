@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let (nssg_index, _) = Nssg::build(clone_ds(&base), Metric::SquaredL2, NssgParams::new(DEGREE));
 
     let mut g = c.benchmark_group("fig12");
-    for (label, adj) in [("cagra_graph", &cagra_adj), ("nssg_graph", &nssg_index.adjacency().to_vec())] {
+    for (label, adj) in
+        [("cagra_graph", &cagra_adj), ("nssg_graph", &nssg_index.adjacency().to_vec())]
+    {
         g.bench_function(label, |b| {
             b.iter(|| beam_search(adj, &base, Metric::SquaredL2, queries.row(0), 10, 64, 8, 1))
         });

@@ -13,10 +13,9 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     for (name, (base, _)) in [("deep", deep_like(0)), ("glove", glove_like(0))] {
         let knn = knn_lists(&base, 2 * DEGREE);
-        for (label, strategy) in [
-            ("rank", ReorderStrategy::RankBased),
-            ("distance", ReorderStrategy::DistanceBased),
-        ] {
+        for (label, strategy) in
+            [("rank", ReorderStrategy::RankBased), ("distance", ReorderStrategy::DistanceBased)]
+        {
             g.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
                     let opts = OptimizeOptions { strategy, ..OptimizeOptions::new(DEGREE) };

@@ -13,10 +13,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    for (label, strategy) in [
-        ("rank", ReorderStrategy::RankBased),
-        ("distance", ReorderStrategy::DistanceBased),
-    ] {
+    for (label, strategy) in
+        [("rank", ReorderStrategy::RankBased), ("distance", ReorderStrategy::DistanceBased)]
+    {
         let config = GraphConfig { strategy, ..GraphConfig::new(DEGREE) };
         let (index, _) = CagraIndex::build(clone_ds(&base), Metric::SquaredL2, &config);
         let params = SearchParams::for_k(10);

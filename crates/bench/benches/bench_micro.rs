@@ -4,8 +4,12 @@
 //! knobs the Rust-side performance work tunes; the figure-level
 //! benches sit on top of them.
 
+use bench::{cagra_index, deep_like};
 use cagra::search::buffer::{bitonic_sort, BufEntry};
 use cagra::search::hash::VisitedSet;
+use cagra::search::planner::Mode;
+use cagra::search::single_cta::search_single_cta_with;
+use cagra::{SearchParams, SearchScratch};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dataset::synth::{Family, SynthSpec};
 use dataset::VectorStore;
@@ -127,5 +131,74 @@ fn bench_bitonic(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_distance, bench_topk, bench_hash, bench_bitonic);
+/// Fresh per-query allocation vs recycled per-thread scratch, on the
+/// identical single-CTA search (same graph, same queries, identical
+/// results). The gap is exactly the allocation + first-touch cost the
+/// zero-allocation batch path removes per query.
+fn bench_scratch_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/scratch_reuse");
+    let (base, queries) = deep_like(16);
+    let index = cagra_index(&base);
+    let params = SearchParams::for_k(10);
+    let nq = queries.len();
+
+    g.bench_function("search16_fresh_state", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for qi in 0..nq {
+                let mut scratch = SearchScratch::new();
+                let mut p = params;
+                p.seed = params.seed_for_query(qi);
+                search_single_cta_with(
+                    index.graph(),
+                    index.store(),
+                    index.metric(),
+                    black_box(queries.row(qi)),
+                    10,
+                    &p,
+                    &mut scratch,
+                );
+                acc += scratch.results().len();
+            }
+            acc
+        })
+    });
+    g.bench_function("search16_reused_scratch", |b| {
+        let mut scratch = SearchScratch::new();
+        scratch.set_record_trace(false);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for qi in 0..nq {
+                let mut p = params;
+                p.seed = params.seed_for_query(qi);
+                search_single_cta_with(
+                    index.graph(),
+                    index.store(),
+                    index.metric(),
+                    black_box(queries.row(qi)),
+                    10,
+                    &p,
+                    &mut scratch,
+                );
+                acc += scratch.results().len();
+            }
+            acc
+        })
+    });
+    // The full batch entry point (thread pool + per-thread scratch),
+    // for an end-to-end number alongside the isolated loops above.
+    g.bench_function("batch16_single_cta", |b| {
+        b.iter(|| index.search_batch_mode(black_box(&queries), 10, &params, Mode::SingleCta))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_topk,
+    bench_hash,
+    bench_bitonic,
+    bench_scratch_reuse,
+);
 criterion_main!(benches);

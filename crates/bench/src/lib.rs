@@ -20,8 +20,7 @@ pub fn bench_n() -> usize {
 
 /// DEEP-like fixture: 96-dim Gaussian base plus queries.
 pub fn deep_like(queries: usize) -> (Dataset, Dataset) {
-    SynthSpec { dim: 96, n: bench_n(), queries, family: Family::Gaussian, seed: 0xbe9c }
-        .generate()
+    SynthSpec { dim: 96, n: bench_n(), queries, family: Family::Gaussian, seed: 0xbe9c }.generate()
 }
 
 /// GloVe-like fixture: 200-dim clustered ("hard") base plus queries.

@@ -43,4 +43,5 @@ pub mod shard;
 pub use build::{build_graph, BuildReport, GraphConfig};
 pub use params::{HashPolicy, ReorderStrategy, SearchParams};
 pub use search::index::CagraIndex;
+pub use search::scratch::SearchScratch;
 pub use shard::ShardedIndex;

@@ -91,6 +91,15 @@ impl SearchParams {
         (2 * self.itopk).div_ceil(per_iter).max(degree.max(16))
     }
 
+    /// Seed for query `qi` of a batch: a golden-ratio stride from the
+    /// base seed decorrelates per-query random initialization while
+    /// keeping batch results deterministic regardless of thread count
+    /// or scheduling. Exposed so tests (and external callers) can
+    /// reproduce exactly what a batch search runs per query.
+    pub fn seed_for_query(&self, qi: usize) -> u64 {
+        self.seed.wrapping_add((qi as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
     /// Validate parameter consistency for a graph of degree `d` and a
     /// result size `k`.
     pub fn validate(&self, k: usize) -> Result<(), String> {

@@ -115,6 +115,22 @@ impl SearchBuffer {
         }
     }
 
+    /// Re-initialize for a fresh search with top-M length `m` and
+    /// candidate capacity `width`, reusing the existing allocations.
+    /// After `reset` the buffer is indistinguishable from
+    /// [`SearchBuffer::new`]`(m, width)` except that, in steady state
+    /// (same shape as the previous search), no heap allocation occurs.
+    pub fn reset(&mut self, m: usize, width: usize) {
+        assert!(m > 0 && width > 0, "buffer sizes must be positive");
+        self.m = m;
+        self.topm.clear();
+        self.topm.resize(m, BufEntry::DUMMY);
+        self.candidates.clear();
+        self.candidates.reserve(width);
+        self.scratch.clear();
+        self.scratch.reserve(m + width);
+    }
+
     /// The sorted top-M list.
     pub fn topm(&self) -> &[BufEntry] {
         &self.topm
@@ -129,6 +145,18 @@ impl SearchBuffer {
     pub fn set_candidates(&mut self, iter: impl IntoIterator<Item = BufEntry>) {
         self.candidates.clear();
         self.candidates.extend(iter);
+    }
+
+    /// Drop all candidates, keeping the allocation.
+    pub fn clear_candidates(&mut self) {
+        self.candidates.clear();
+    }
+
+    /// Append one candidate (the allocation-free alternative to
+    /// [`SearchBuffer::set_candidates`] for hot loops).
+    #[inline]
+    pub fn push_candidate(&mut self, entry: BufEntry) {
+        self.candidates.push(entry);
     }
 
     /// Current candidate segment.
@@ -205,10 +233,7 @@ mod tests {
 
     #[test]
     fn bitonic_sort_ignores_parent_flag_in_order() {
-        let mut v = vec![
-            BufEntry { dist: 2.0, packed: set_parented(7) },
-            e(3, 1.0),
-        ];
+        let mut v = vec![BufEntry { dist: 2.0, packed: set_parented(7) }, e(3, 1.0)];
         bitonic_sort(&mut v);
         assert_eq!(node_id(v[0].packed), 3);
         assert!(super::super::parent::is_parented(v[1].packed), "flag preserved");
@@ -265,5 +290,23 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_m_rejected() {
         SearchBuffer::new(0, 1);
+    }
+
+    #[test]
+    fn reset_matches_fresh_buffer() {
+        let mut reused = SearchBuffer::new(3, 4);
+        reused.set_candidates([e(0, 4.0), e(1, 1.0), e(2, 3.0)]);
+        reused.update_topm();
+        // Re-shape to a different (m, width) and replay a search that a
+        // fresh buffer also runs; results must match entry-for-entry.
+        reused.reset(2, 3);
+        let mut fresh = SearchBuffer::new(2, 3);
+        for b in [&mut reused, &mut fresh] {
+            b.clear_candidates();
+            b.push_candidate(e(7, 2.0));
+            b.push_candidate(e(8, 0.5));
+            b.update_topm();
+        }
+        assert_eq!(reused.topm(), fresh.topm());
     }
 }

@@ -111,6 +111,27 @@ impl VisitedSet {
         false
     }
 
+    /// Re-initialize for a fresh search at `2^bits` slots, reusing the
+    /// existing allocation whenever the size matches (the scratch-reuse
+    /// path: per-thread tables are recycled across a whole batch, so in
+    /// steady state this is a `memset`, not an allocation).
+    ///
+    /// # Panics
+    /// Panics unless `4 <= bits <= 30`.
+    pub fn reset_to(&mut self, bits: u8) {
+        assert!((4..=30).contains(&bits), "hash bits {bits} out of range");
+        let size = 1usize << bits;
+        if self.slots.len() == size {
+            self.slots.fill(EMPTY);
+        } else {
+            self.slots.clear();
+            self.slots.resize(size, EMPTY);
+            self.mask = (size - 1) as u32;
+        }
+        self.len = 0;
+        self.probes = 0;
+    }
+
     /// Forgettable-mode reset: evict everything, then re-register the
     /// given survivors (the paper re-registers the current top-M list).
     pub fn reset(&mut self, survivors: impl IntoIterator<Item = u32>) {
@@ -196,5 +217,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bits_out_of_range_rejected() {
         VisitedSet::new(31);
+    }
+
+    #[test]
+    fn reset_to_reuses_or_resizes() {
+        let mut v = VisitedSet::new(6);
+        for id in 0..30 {
+            v.insert(id);
+        }
+        // Same size: contents and counters wiped, capacity kept.
+        v.reset_to(6);
+        assert_eq!(v.capacity(), 64);
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.probes(), 0);
+        assert!(!v.contains(3));
+        assert!(v.insert(3));
+        // Different size: table is re-shaped and still behaves.
+        v.reset_to(8);
+        assert_eq!(v.capacity(), 256);
+        assert!(v.insert(1000));
+        assert!(!v.insert(1000));
+        v.reset_to(4);
+        assert_eq!(v.capacity(), 16);
+        assert!(v.is_empty());
     }
 }

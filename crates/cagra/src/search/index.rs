@@ -5,16 +5,17 @@
 //! dispatched per Fig. 7), explicit-mode search, and thread-parallel
 //! batch search (the CPU analogue of launching one CTA per query).
 
-use super::multi_cta::search_multi_cta;
+use super::multi_cta::search_multi_cta_with;
 use super::planner::{choose, Mode, Thresholds};
-use super::single_cta::search_single_cta;
+use super::scratch::SearchScratch;
+use super::single_cta::search_single_cta_with;
 use super::trace::SearchTrace;
 use crate::build::{build_graph, BuildReport, GraphConfig};
 use crate::params::SearchParams;
 use dataset::VectorStore;
 use distance::Metric;
 use graph::FixedDegreeGraph;
-use knn::parallel::{default_threads, parallel_map};
+use knn::parallel::{default_threads, parallel_map_with};
 use knn::topk::Neighbor;
 
 /// A built CAGRA index over an owned vector store.
@@ -72,13 +73,44 @@ impl<S: VectorStore> CagraIndex<S> {
         params: &SearchParams,
         mode: Mode,
     ) -> (Vec<Neighbor>, SearchTrace) {
+        let mut scratch = SearchScratch::new();
+        self.search_mode_with(query, k, params, mode, &mut scratch);
+        scratch.into_output()
+    }
+
+    /// [`CagraIndex::search_mode`] running on caller-provided scratch:
+    /// results land in [`SearchScratch::results`], the trace in
+    /// [`SearchScratch::trace`]. Reusing one scratch across queries
+    /// performs zero heap allocations per query in steady state; the
+    /// batch entry points hold one scratch per worker thread and call
+    /// this for every query the thread serves.
+    pub fn search_mode_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+        scratch: &mut SearchScratch,
+    ) {
         match mode {
-            Mode::SingleCta => {
-                search_single_cta(&self.graph, &self.store, self.metric, query, k, params)
-            }
-            Mode::MultiCta => {
-                search_multi_cta(&self.graph, &self.store, self.metric, query, k, params)
-            }
+            Mode::SingleCta => search_single_cta_with(
+                &self.graph,
+                &self.store,
+                self.metric,
+                query,
+                k,
+                params,
+                scratch,
+            ),
+            Mode::MultiCta => search_multi_cta_with(
+                &self.graph,
+                &self.store,
+                self.metric,
+                query,
+                k,
+                params,
+                scratch,
+            ),
         }
     }
 
@@ -96,6 +128,14 @@ impl<S: VectorStore> CagraIndex<S> {
     }
 
     /// Batch search with an explicit mapping.
+    ///
+    /// Each worker thread creates one [`SearchScratch`] and recycles
+    /// it across every query it serves, so the steady state performs
+    /// zero heap allocations per query beyond the returned per-query
+    /// result vectors. Results are identical to running
+    /// [`CagraIndex::search_mode`] per query with
+    /// [`SearchParams::seed_for_query`] seeds, regardless of thread
+    /// count.
     pub fn search_batch_mode<Q: VectorStore>(
         &self,
         queries: &Q,
@@ -105,13 +145,21 @@ impl<S: VectorStore> CagraIndex<S> {
     ) -> Vec<Vec<Neighbor>> {
         let dim = queries.dim();
         assert_eq!(dim, self.store.dim(), "query dimension mismatch");
-        parallel_map(queries.len(), default_threads(), |qi| {
-            let mut q = vec![0.0f32; dim];
-            queries.get_into(qi, &mut q);
-            let mut p = *params;
-            p.seed = params.seed.wrapping_add((qi as u64).wrapping_mul(0x9e3779b97f4a7c15));
-            self.search_mode(&q, k, &p, mode).0
-        })
+        parallel_map_with(
+            queries.len(),
+            default_threads(),
+            || {
+                let mut scratch = SearchScratch::new();
+                // Untraced batch: skip per-iteration records so the
+                // steady state stays allocation-free.
+                scratch.set_record_trace(false);
+                scratch
+            },
+            |scratch, qi| {
+                self.batch_query_into(queries, qi, k, params, mode, scratch);
+                scratch.results().to_vec()
+            },
+        )
     }
 
     /// Batch search that also returns traces (experiment harness use).
@@ -124,13 +172,33 @@ impl<S: VectorStore> CagraIndex<S> {
     ) -> Vec<(Vec<Neighbor>, SearchTrace)> {
         let dim = queries.dim();
         assert_eq!(dim, self.store.dim(), "query dimension mismatch");
-        parallel_map(queries.len(), default_threads(), |qi| {
-            let mut q = vec![0.0f32; dim];
-            queries.get_into(qi, &mut q);
-            let mut p = *params;
-            p.seed = params.seed.wrapping_add((qi as u64).wrapping_mul(0x9e3779b97f4a7c15));
-            self.search_mode(&q, k, &p, mode)
+        parallel_map_with(queries.len(), default_threads(), SearchScratch::new, |scratch, qi| {
+            self.batch_query_into(queries, qi, k, params, mode, scratch);
+            (scratch.results().to_vec(), scratch.trace().clone())
         })
+    }
+
+    /// Run batch query `qi` on `scratch`: stage the query vector into
+    /// the scratch's recycled buffer, derive the per-query seed, and
+    /// search. Output stays in the scratch.
+    fn batch_query_into<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        qi: usize,
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+        scratch: &mut SearchScratch,
+    ) {
+        // Take the staging buffer out so the query slice and the
+        // scratch can be borrowed simultaneously.
+        let mut q = std::mem::take(&mut scratch.query);
+        q.resize(queries.dim(), 0.0);
+        queries.get_into(qi, &mut q);
+        let mut p = *params;
+        p.seed = params.seed_for_query(qi);
+        self.search_mode_with(&q, k, &p, mode, scratch);
+        scratch.query = q;
     }
 }
 
@@ -188,10 +256,8 @@ mod tests {
         let mut buf = Vec::new();
         graph::io::write_fixed(&mut buf, index.graph()).unwrap();
         let g2 = graph::io::read_fixed(&buf[..]).unwrap();
-        let store2 = dataset::Dataset::from_flat(
-            index.store().as_flat().to_vec(),
-            index.store().dim(),
-        );
+        let store2 =
+            dataset::Dataset::from_flat(index.store().as_flat().to_vec(), index.store().dim());
         let index2 = CagraIndex::from_parts(store2, g2, Metric::SquaredL2);
         let p = SearchParams::for_k(5);
         assert_eq!(index.search(queries.row(1), 5, &p), index2.search(queries.row(1), 5, &p));

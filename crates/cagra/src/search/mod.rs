@@ -16,5 +16,6 @@ pub mod index;
 pub mod multi_cta;
 pub mod parent;
 pub mod planner;
+pub mod scratch;
 pub mod single_cta;
 pub mod trace;

@@ -10,9 +10,10 @@
 //! this mapping reaches higher recall for the same iteration count and
 //! keeps the GPU busy at batch sizes as small as 1.
 
-use super::buffer::{BufEntry, SearchBuffer};
+use super::buffer::BufEntry;
 use super::hash::VisitedSet;
 use super::parent::{is_parented, node_id, set_parented, INVALID};
+use super::scratch::SearchScratch;
 use super::trace::{IterationTrace, SearchTrace};
 use crate::params::SearchParams;
 use dataset::VectorStore;
@@ -32,7 +33,9 @@ fn per_cta_itopk(itopk: usize, num_cta: usize) -> usize {
 ///
 /// Returns ascending-distance results and a trace whose
 /// `num_workers` field reflects the CTA count (each iteration entry
-/// aggregates one *round* of all active workers).
+/// aggregates one *round* of all active workers). One-shot wrapper
+/// over [`search_multi_cta_with`]; batch callers should reuse a
+/// [`SearchScratch`] per worker thread instead.
 pub fn search_multi_cta<S: VectorStore + ?Sized>(
     graph: &FixedDegreeGraph,
     store: &S,
@@ -41,46 +44,61 @@ pub fn search_multi_cta<S: VectorStore + ?Sized>(
     k: usize,
     params: &SearchParams,
 ) -> (Vec<Neighbor>, SearchTrace) {
+    let mut scratch = SearchScratch::new();
+    search_multi_cta_with(graph, store, metric, query, k, params, &mut scratch);
+    scratch.into_output()
+}
+
+/// [`search_multi_cta`] running entirely on caller-provided scratch
+/// (one visited table plus `num_cta` buffers, all recycled between
+/// queries). Results land in [`SearchScratch::results`], the trace in
+/// [`SearchScratch::trace`].
+///
+/// # Panics
+/// Panics on invalid parameters or a query dimension mismatch.
+pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
+    graph: &FixedDegreeGraph,
+    store: &S,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    params: &SearchParams,
+    scratch: &mut SearchScratch,
+) {
     params.validate(k).expect("invalid search parameters");
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
     let d = graph.degree();
     let num_cta = params.num_cta;
-    let max_iters = params.effective_max_iterations(d).max(per_cta_itopk(params.itopk, num_cta));
+    let m = per_cta_itopk(params.itopk, num_cta);
+    let max_iters = params.effective_max_iterations(d).max(m);
 
     // Shared standard hash table sized for all workers (Table II: the
     // multi-CTA table lives in device memory and is never reset).
-    let mut hash = VisitedSet::new(VisitedSet::standard_bits(max_iters, num_cta * d));
-    let oracle = DistanceOracle::new(store, metric);
-    let m = per_cta_itopk(params.itopk, num_cta);
+    scratch.begin(VisitedSet::standard_bits(max_iters, num_cta * d), num_cta, m, d);
+    let SearchScratch { visited, buffers, active, results, trace, record_trace, .. } = scratch;
+    let hash = visited.as_mut().expect("begin installs the visited set");
+    trace.itopk = params.itopk;
+    trace.search_width = 1;
+    trace.degree = d;
+    trace.num_workers = num_cta;
+    trace.hash_slots = hash.capacity();
+    trace.hash_in_shared = false;
 
-    let mut trace = SearchTrace {
-        itopk: params.itopk,
-        search_width: 1,
-        degree: d,
-        num_workers: num_cta,
-        hash_slots: hash.capacity(),
-        hash_in_shared: false,
-        ..Default::default()
-    };
+    let oracle = DistanceOracle::new(store, metric);
 
     // Per-worker state; each worker draws its own random start set.
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut buffers: Vec<SearchBuffer> = Vec::with_capacity(num_cta);
-    let mut active = vec![true; num_cta];
-    for _ in 0..num_cta {
-        let mut init = Vec::with_capacity(d);
+    for buf in buffers.iter_mut() {
+        buf.clear_candidates();
         for _ in 0..d {
             let id = rng.gen_range(0..n) as u32;
             if hash.insert(id) {
-                init.push(BufEntry::new(id, oracle.to_row(query, id as usize)));
+                buf.push_candidate(BufEntry::new(id, oracle.to_row(query, id as usize)));
                 trace.init_distances += 1;
             }
         }
-        let mut buf = SearchBuffer::new(m, d);
-        buf.set_candidates(init);
-        buffers.push(buf);
     }
 
     for _round in 0..max_iters {
@@ -88,11 +106,10 @@ pub fn search_multi_cta<S: VectorStore + ?Sized>(
         let mut round_candidates = 0usize;
         let mut round_computed = 0usize;
         let mut any_active = false;
-        for w in 0..num_cta {
+        for (w, buf) in buffers.iter_mut().enumerate() {
             if !active[w] {
                 continue;
             }
-            let buf = &mut buffers[w];
             buf.update_topm();
             // p = 1: expand the single best unparented entry.
             let mut parent = None;
@@ -108,45 +125,44 @@ pub fn search_multi_cta<S: VectorStore + ?Sized>(
                 continue;
             };
             any_active = true;
-            let mut candidates = Vec::with_capacity(d);
+            buf.clear_candidates();
             for &nb in graph.neighbors(p as usize) {
                 if hash.insert(nb) {
-                    candidates.push(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
+                    buf.push_candidate(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
                     round_computed += 1;
                 } else {
-                    candidates.push(BufEntry { dist: f32::MAX, packed: nb });
+                    buf.push_candidate(BufEntry { dist: f32::MAX, packed: nb });
                 }
             }
-            round_candidates += candidates.len();
-            buf.set_candidates(candidates);
+            round_candidates += buf.candidates().len();
         }
         if !any_active {
             break;
         }
-        trace.iterations.push(IterationTrace {
-            candidates: round_candidates,
-            distances_computed: round_computed,
-            hash_probes: hash.probes() - probes_before,
-            sort_len: d, // each worker sorts its own d-slot segment
-            hash_reset: false,
-        });
+        if *record_trace {
+            trace.iterations.push(IterationTrace {
+                candidates: round_candidates,
+                distances_computed: round_computed,
+                hash_probes: hash.probes() - probes_before,
+                sort_len: d, // each worker sorts its own d-slot segment
+                hash_reset: false,
+            });
+        }
     }
 
     // Merge the workers' lists; the shared hash guarantees a node
     // appears in at most one list.
-    let mut all: Vec<Neighbor> = Vec::with_capacity(num_cta * m);
-    for buf in &mut buffers {
+    for buf in buffers.iter_mut() {
         buf.update_topm(); // fold in any trailing candidates
-        all.extend(
+        results.extend(
             buf.topm()
                 .iter()
                 .filter(|e| e.packed != INVALID && e.dist < f32::MAX)
                 .map(|e| Neighbor::new(node_id(e.packed), e.dist)),
         );
     }
-    all.sort_unstable_by(cmp_neighbor);
-    all.truncate(k);
-    (all, trace)
+    results.sort_unstable_by(cmp_neighbor);
+    results.truncate(k);
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@
 //! loop of Fig. 6, implemented here once and reused by the multi-CTA
 //! mapping.
 
-use super::buffer::{BufEntry, SearchBuffer};
+use super::buffer::BufEntry;
 use super::hash::VisitedSet;
 use super::parent::{is_parented, node_id, set_parented};
+use super::scratch::SearchScratch;
 use super::trace::{IterationTrace, SearchTrace};
 use crate::params::{HashPolicy, SearchParams};
 use dataset::VectorStore;
@@ -21,7 +22,10 @@ use rand::{Rng, SeedableRng};
 /// Search the graph for the `k` nearest neighbors of `query`.
 ///
 /// Returns the results in ascending distance order together with the
-/// operation trace `gpu-sim` consumes.
+/// operation trace `gpu-sim` consumes. One-shot convenience wrapper
+/// over [`search_single_cta_with`]; batch callers should hold a
+/// [`SearchScratch`] per worker thread and call the `_with` variant
+/// directly to avoid per-query allocations.
 ///
 /// # Panics
 /// Panics on invalid parameters (see [`SearchParams::validate`]) or a
@@ -34,6 +38,30 @@ pub fn search_single_cta<S: VectorStore + ?Sized>(
     k: usize,
     params: &SearchParams,
 ) -> (Vec<Neighbor>, SearchTrace) {
+    let mut scratch = SearchScratch::new();
+    search_single_cta_with(graph, store, metric, query, k, params, &mut scratch);
+    scratch.into_output()
+}
+
+/// [`search_single_cta`] running entirely on caller-provided scratch.
+///
+/// Results land in [`SearchScratch::results`] (ascending distance) and
+/// the trace in [`SearchScratch::trace`]. Reusing one scratch across
+/// queries of identical shape performs zero heap allocations per query
+/// in steady state — the CPU analogue of the GPU kernel's fixed
+/// shared-memory working set.
+///
+/// # Panics
+/// Panics on invalid parameters or a query dimension mismatch.
+pub fn search_single_cta_with<S: VectorStore + ?Sized>(
+    graph: &FixedDegreeGraph,
+    store: &S,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    params: &SearchParams,
+    scratch: &mut SearchScratch,
+) {
     params.validate(k).expect("invalid search parameters");
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
@@ -42,40 +70,35 @@ pub fn search_single_cta<S: VectorStore + ?Sized>(
     let width = params.search_width * d;
     let max_iters = params.effective_max_iterations(d);
 
-    let (mut hash, reset_interval, hash_in_shared) = match params.hash {
-        HashPolicy::Standard => {
-            (VisitedSet::new(VisitedSet::standard_bits(max_iters, width)), 0usize, false)
-        }
-        HashPolicy::Forgettable { bits, reset_interval } => {
-            (VisitedSet::new(bits), reset_interval as usize, true)
-        }
+    let (bits, reset_interval, hash_in_shared) = match params.hash {
+        HashPolicy::Standard => (VisitedSet::standard_bits(max_iters, width), 0usize, false),
+        HashPolicy::Forgettable { bits, reset_interval } => (bits, reset_interval as usize, true),
     };
 
+    scratch.begin(bits, 1, params.itopk, width);
+    let SearchScratch { visited, buffers, parents, results, trace, record_trace, .. } = scratch;
+    let hash = visited.as_mut().expect("begin installs the visited set");
+    let buffer = &mut buffers[0];
+    trace.itopk = params.itopk;
+    trace.search_width = params.search_width;
+    trace.degree = d;
+    trace.num_workers = 1;
+    trace.hash_slots = hash.capacity();
+    trace.hash_in_shared = hash_in_shared;
+
     let oracle = DistanceOracle::new(store, metric);
-    let mut buffer = SearchBuffer::new(params.itopk, width);
-    let mut trace = SearchTrace {
-        itopk: params.itopk,
-        search_width: params.search_width,
-        degree: d,
-        num_workers: 1,
-        hash_slots: hash.capacity(),
-        hash_in_shared,
-        ..Default::default()
-    };
 
     // Initialization: p*d uniformly random nodes (Fig. 6, step 0).
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut init = Vec::with_capacity(width);
+    buffer.clear_candidates();
     for _ in 0..width {
         let id = rng.gen_range(0..n) as u32;
         if hash.insert(id) {
-            init.push(BufEntry::new(id, oracle.to_row(query, id as usize)));
+            buffer.push_candidate(BufEntry::new(id, oracle.to_row(query, id as usize)));
             trace.init_distances += 1;
         }
     }
-    buffer.set_candidates(init);
 
-    let mut parents: Vec<u32> = Vec::with_capacity(params.search_width);
     let mut it = 0usize;
     loop {
         // Step 1: top-M update.
@@ -100,47 +123,48 @@ pub fn search_single_cta<S: VectorStore + ?Sized>(
         // current top-M (Sec. IV-B3).
         let mut did_reset = false;
         if reset_interval > 0 && it > 0 && it.is_multiple_of(reset_interval) {
-            let survivors: Vec<u32> = buffer.topm_ids().collect();
-            hash.reset(survivors);
+            hash.reset(buffer.topm_ids());
             did_reset = true;
         }
 
         // Steps 2+3: expand parents, computing distances only for
-        // first-time nodes.
+        // first-time nodes. Candidates go straight into the buffer's
+        // recycled candidate segment.
         let probes_before = hash.probes();
-        let mut candidates = Vec::with_capacity(width);
         let mut computed = 0usize;
-        for &p in &parents {
+        buffer.clear_candidates();
+        for &p in parents.iter() {
             for &nb in graph.neighbors(p as usize) {
                 if hash.insert(nb) {
-                    candidates.push(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
+                    buffer.push_candidate(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
                     computed += 1;
                 } else {
-                    candidates.push(BufEntry { dist: f32::MAX, packed: nb });
+                    buffer.push_candidate(BufEntry { dist: f32::MAX, packed: nb });
                 }
             }
         }
-        trace.iterations.push(IterationTrace {
-            candidates: candidates.len(),
-            distances_computed: computed,
-            hash_probes: hash.probes() - probes_before,
-            sort_len: candidates.len(),
-            hash_reset: did_reset,
-        });
-        buffer.set_candidates(candidates);
+        if *record_trace {
+            trace.iterations.push(IterationTrace {
+                candidates: buffer.candidates().len(),
+                distances_computed: computed,
+                hash_probes: hash.probes() - probes_before,
+                sort_len: buffer.candidates().len(),
+                hash_reset: did_reset,
+            });
+        }
         it += 1;
         // The loop head merges these candidates and re-checks the
         // termination conditions (no unparented entries / I_max).
     }
 
-    let results = buffer
-        .topm()
-        .iter()
-        .filter(|e| e.packed != super::parent::INVALID && e.dist < f32::MAX)
-        .take(k)
-        .map(|e| Neighbor::new(node_id(e.packed), e.dist))
-        .collect();
-    (results, trace)
+    results.extend(
+        buffer
+            .topm()
+            .iter()
+            .filter(|e| e.packed != super::parent::INVALID && e.dist < f32::MAX)
+            .take(k)
+            .map(|e| Neighbor::new(node_id(e.packed), e.dist)),
+    );
 }
 
 #[cfg(test)]
@@ -248,8 +272,7 @@ mod tests {
         let (base, g) = setup(500);
         let mut p = SearchParams::for_k(5);
         p.max_iterations = 3;
-        let (_, trace) =
-            search_single_cta(&g, &base, Metric::SquaredL2, base.row(2), 5, &p);
+        let (_, trace) = search_single_cta(&g, &base, Metric::SquaredL2, base.row(2), 5, &p);
         assert!(trace.iteration_count() <= 3);
     }
 

@@ -50,6 +50,13 @@ pub struct SearchTrace {
     /// is one of CAGRA's kernel contributions (Sec. IV-B2).
     #[serde(default)]
     pub serial_queue: bool,
+    /// True when the recording search ran on recycled per-thread
+    /// scratch (zero steady-state allocations) rather than freshly
+    /// allocated working state. Purely informational — results are
+    /// bit-identical either way — but surfaced so QPS reports state
+    /// which execution path produced them.
+    #[serde(default)]
+    pub scratch_reused: bool,
 }
 
 impl SearchTrace {
@@ -78,8 +85,20 @@ mod tests {
         let t = SearchTrace {
             init_distances: 10,
             iterations: vec![
-                IterationTrace { candidates: 32, distances_computed: 20, hash_probes: 40, sort_len: 32, hash_reset: false },
-                IterationTrace { candidates: 32, distances_computed: 5, hash_probes: 35, sort_len: 32, hash_reset: true },
+                IterationTrace {
+                    candidates: 32,
+                    distances_computed: 20,
+                    hash_probes: 40,
+                    sort_len: 32,
+                    hash_reset: false,
+                },
+                IterationTrace {
+                    candidates: 32,
+                    distances_computed: 5,
+                    hash_probes: 35,
+                    sort_len: 32,
+                    hash_reset: true,
+                },
             ],
             ..Default::default()
         };

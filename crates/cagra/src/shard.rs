@@ -99,7 +99,13 @@ impl ShardedIndex {
     /// the given mapping; on real hardware the shards run on separate
     /// GPUs concurrently, so the latency is the slowest shard, not the
     /// sum (the `gpu-sim` multi-device helper accounts for that).
-    pub fn search(&self, query: &[f32], k: usize, params: &SearchParams, mode: Mode) -> Vec<Neighbor> {
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> Vec<Neighbor> {
         let mut all: Vec<Neighbor> = Vec::with_capacity(k * self.shards.len());
         for (shard, &offset) in self.shards.iter().zip(&self.offsets) {
             let (results, _) = shard.search_mode(query, k, params, mode);

@@ -63,9 +63,7 @@ impl Args {
 
     /// Test helper: build from pairs.
     pub fn from_pairs(pairs: &[(&str, &str)]) -> Args {
-        Args {
-            flags: pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
-        }
+        Args { flags: pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect() }
     }
 }
 

@@ -232,12 +232,9 @@ mod tests {
         .unwrap();
         assert!(out.contains("top-10"));
 
-        let out = build(&Args::from_pairs(&[
-            ("base", &base),
-            ("degree", "16"),
-            ("out", &graph_path),
-        ]))
-        .unwrap();
+        let out =
+            build(&Args::from_pairs(&[("base", &base), ("degree", "16"), ("out", &graph_path)]))
+                .unwrap();
         assert!(out.contains("degree-16"));
 
         let out = search(&Args::from_pairs(&[
@@ -298,14 +295,24 @@ mod tests {
         assert!(read_dataset("/nonexistent/base.fvecs").is_err());
         assert!(synth(&Args::from_pairs(&[("preset", "bogus"), ("n", "10"), ("out-dir", "/tmp")]))
             .is_err());
-        assert!(build(&Args::from_pairs(&[("base", "/nonexistent"), ("degree", "8"), ("out", "/tmp/x")]))
-            .is_err());
+        assert!(build(&Args::from_pairs(&[
+            ("base", "/nonexistent"),
+            ("degree", "8"),
+            ("out", "/tmp/x")
+        ]))
+        .is_err());
     }
 
     #[test]
     fn metric_flag_parses_all_variants() {
         assert_eq!(parse_metric(&Args::from_pairs(&[])).unwrap(), Metric::SquaredL2);
-        assert_eq!(parse_metric(&Args::from_pairs(&[("metric", "ip")])).unwrap(), Metric::InnerProduct);
-        assert_eq!(parse_metric(&Args::from_pairs(&[("metric", "cosine")])).unwrap(), Metric::Cosine);
+        assert_eq!(
+            parse_metric(&Args::from_pairs(&[("metric", "ip")])).unwrap(),
+            Metric::InnerProduct
+        );
+        assert_eq!(
+            parse_metric(&Args::from_pairs(&[("metric", "cosine")])).unwrap(),
+            Metric::Cosine
+        );
     }
 }

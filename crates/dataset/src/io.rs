@@ -16,11 +16,8 @@ use std::io::{self, Read, Write};
 pub fn read_fvecs<R: Read>(mut r: R) -> io::Result<Dataset> {
     let mut flat = Vec::new();
     let mut dim: Option<usize> = None;
-    loop {
-        let d = match read_u32_opt(&mut r)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32_opt(&mut r)? {
+        let d = d as usize;
         if d == 0 {
             return Err(invalid("fvecs vector with zero dimension"));
         }
@@ -54,14 +51,12 @@ pub fn write_fvecs<W: Write>(mut w: W, data: &Dataset) -> io::Result<()> {
 /// Read an `ivecs` stream (used for ground-truth neighbor id lists).
 pub fn read_ivecs<R: Read>(mut r: R) -> io::Result<Vec<Vec<u32>>> {
     let mut rows = Vec::new();
-    loop {
-        let d = match read_u32_opt(&mut r)? {
-            Some(d) => d as usize,
-            None => break,
-        };
-        let mut buf = vec![0u8; d * 4];
+    while let Some(d) = read_u32_opt(&mut r)? {
+        let mut buf = vec![0u8; d as usize * 4];
         r.read_exact(&mut buf)?;
-        rows.push(buf.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect());
+        rows.push(
+            buf.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect(),
+        );
     }
     Ok(rows)
 }
@@ -82,11 +77,8 @@ pub fn write_ivecs<W: Write>(mut w: W, rows: &[Vec<u32>]) -> io::Result<()> {
 pub fn read_bvecs<R: Read>(mut r: R) -> io::Result<Dataset> {
     let mut flat = Vec::new();
     let mut dim: Option<usize> = None;
-    loop {
-        let d = match read_u32_opt(&mut r)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32_opt(&mut r)? {
+        let d = d as usize;
         if d == 0 {
             return Err(invalid("bvecs vector with zero dimension"));
         }
@@ -201,10 +193,7 @@ pub fn read_fbin<R: Read>(mut r: R) -> io::Result<Dataset> {
         .ok_or_else(|| invalid("fbin size overflow"))?;
     let mut buf = vec![0u8; total];
     r.read_exact(&mut buf)?;
-    let flat = buf
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let flat = buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Ok(Dataset::from_flat(flat, dim))
 }
 

@@ -26,8 +26,13 @@ pub enum PresetName {
 
 impl PresetName {
     /// All presets, in the paper's Table I order.
-    pub const ALL: [PresetName; 5] =
-        [PresetName::Sift, PresetName::Gist, PresetName::Glove, PresetName::NyTimes, PresetName::Deep];
+    pub const ALL: [PresetName; 5] = [
+        PresetName::Sift,
+        PresetName::Gist,
+        PresetName::Glove,
+        PresetName::NyTimes,
+        PresetName::Deep,
+    ];
 
     /// Short lowercase label used in reports and CLI arguments.
     pub fn label(self) -> &'static str {

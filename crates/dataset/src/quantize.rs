@@ -95,8 +95,8 @@ mod tests {
         let mut out = vec![0.0f32; 2];
         for i in 0..d.len() {
             q.get_into(i, &mut out);
-            for j in 0..2 {
-                let err = (out[j] - d.row(i)[j]).abs();
+            for (j, &o) in out.iter().enumerate() {
+                let err = (o - d.row(i)[j]).abs();
                 // 1.01x allows for f32 rounding in the scale itself.
                 assert!(
                     err <= q.max_abs_error(j) * 1.01 + 1e-6,

@@ -86,10 +86,7 @@ impl Dataset {
 
     /// Convert to half precision storage.
     pub fn to_f16(&self) -> DatasetF16 {
-        DatasetF16 {
-            data: crate::f16::narrow_slice(&self.data),
-            dim: self.dim,
-        }
+        DatasetF16 { data: crate::f16::narrow_slice(&self.data), dim: self.dim }
     }
 
     /// Keep only the first `n` vectors (used to derive DEEP-1M-like

@@ -177,7 +177,8 @@ mod tests {
         let (base, _) = s.generate();
         let flat = base.as_flat();
         let mean: f32 = flat.iter().sum::<f32>() / flat.len() as f32;
-        let var: f32 = flat.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / flat.len() as f32;
+        let var: f32 =
+            flat.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / flat.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -207,12 +208,8 @@ mod tests {
         let mut large = 0usize;
         for i in 0..50 {
             for j in (i + 1)..50 {
-                let d: f32 = base
-                    .row(i)
-                    .iter()
-                    .zip(base.row(j))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d: f32 =
+                    base.row(i).iter().zip(base.row(j)).map(|(a, b)| (a - b) * (a - b)).sum();
                 if d < 1.0 {
                     small += 1;
                 } else {

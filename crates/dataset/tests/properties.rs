@@ -1,7 +1,7 @@
 //! Storage, f16, quantization and I/O invariants over arbitrary data.
 
 use dataset::io::{read_fvecs, write_fvecs};
-use dataset::{Dataset, F16, VectorStore};
+use dataset::{Dataset, VectorStore, F16};
 use proptest::prelude::*;
 
 proptest! {
@@ -57,8 +57,8 @@ proptest! {
         let mut out = vec![0.0f32; dim];
         for i in 0..n {
             q.get_into(i, &mut out);
-            for j in 0..dim {
-                let err = (out[j] - d.row(i)[j]).abs();
+            for (j, &o) in out.iter().enumerate() {
+                let err = (o - d.row(i)[j]).abs();
                 prop_assert!(err <= q.max_abs_error(j) * 1.01 + 1e-5, "err {err} at ({i},{j})");
             }
         }

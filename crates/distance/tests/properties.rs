@@ -5,10 +5,7 @@ use proptest::prelude::*;
 
 fn vecs(dim: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
     let elem = -1000.0f32..1000.0f32;
-    (
-        proptest::collection::vec(elem.clone(), dim),
-        proptest::collection::vec(elem, dim),
-    )
+    (proptest::collection::vec(elem.clone(), dim), proptest::collection::vec(elem, dim))
 }
 
 proptest! {

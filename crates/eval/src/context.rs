@@ -29,9 +29,8 @@ pub struct ExpContext {
 
 impl Default for ExpContext {
     fn default() -> Self {
-        let env = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
-        };
+        let env =
+            |k: &str, d: usize| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
         ExpContext {
             n: env("CAGRA_N", 4000),
             queries: env("CAGRA_QUERIES", 200),

@@ -86,6 +86,7 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<(&'static str, Vec<CurveP
                     Mapping::SingleCta,
                     ctx.batch_target,
                 ),
+                scratch_reused: false,
             }
         })
         .collect();
@@ -116,6 +117,7 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<(&'static str, Vec<CurveP
                 recall: recall_at_k(&results, &gt, ctx.k),
                 qps_cpu: wl.queries.len() as f64 / wall,
                 qps_sim: 0.0,
+                scratch_reused: false,
             }
         })
         .collect();
@@ -126,7 +128,8 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<(&'static str, Vec<CurveP
 
 /// Run on DEEP-like and GloVe-like workloads.
 pub fn run(ctx: &ExpContext) {
-    let mut t = Table::new(&["dataset", "search impl", "width", "recall@10", "QPS", "timing"]);
+    let mut t =
+        Table::new(&["dataset", "search impl", "width", "recall@10", "QPS", "timing", "scratch"]);
     for preset in [PresetName::Deep, PresetName::Glove] {
         let wl = Workload::load(preset, ctx);
         for (label, curve) in measure(&wl, ctx) {
@@ -139,6 +142,7 @@ pub fn run(ctx: &ExpContext) {
                     format!("{:.4}", p.recall),
                     fmt_qps(if sim { p.qps_sim } else { p.qps_cpu }),
                     if sim { "sim-A100".into() } else { "cpu-wall".into() },
+                    if p.scratch_reused { "reused".into() } else { "fresh".into() },
                 ]);
             }
         }

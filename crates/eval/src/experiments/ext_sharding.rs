@@ -44,9 +44,7 @@ pub fn measure(wl: &Workload, ctx: &ExpContext, shard_counts: &[usize]) -> Vec<(
             // Tile each shard's traces up to the batch target.
             let tiled: Vec<Vec<SearchTrace>> = shard_traces
                 .iter()
-                .map(|ts| {
-                    (0..ctx.batch_target).map(|i| ts[i % ts.len()].clone()).collect()
-                })
+                .map(|ts| (0..ctx.batch_target).map(|i| ts[i % ts.len()].clone()).collect())
                 .collect();
             let timing =
                 simulate_sharded_batch(&device, &tiled, wl.base.dim(), 4, 8, Mapping::SingleCta);

@@ -10,11 +10,11 @@
 //! on 64 cores, so absolute gaps differ; the ordering among methods is
 //! the reproducible claim.
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::report::{fmt_secs, Table};
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 use distance::Metric;
 use ganns::{Ganns, GannsParams};
 use ggnn::{Ggnn, GgnnParams};
@@ -79,7 +79,12 @@ pub fn measure(wl: &Workload) -> Vec<BuildRow> {
 
     let t0 = Instant::now();
     let _ = Hnsw::build(clone(), Metric::SquaredL2, HnswParams::new((d / 2).max(4)));
-    rows.push(BuildRow { method: "HNSW", knn_s: 0.0, opt_s: 0.0, total_s: t0.elapsed().as_secs_f64() });
+    rows.push(BuildRow {
+        method: "HNSW",
+        knn_s: 0.0,
+        opt_s: 0.0,
+        total_s: t0.elapsed().as_secs_f64(),
+    });
 
     let (_, dur) = Ggnn::build(clone(), Metric::SquaredL2, GgnnParams::new(d));
     rows.push(BuildRow { method: "GGNN", knn_s: 0.0, opt_s: 0.0, total_s: dur.as_secs_f64() });

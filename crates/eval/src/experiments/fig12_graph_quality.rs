@@ -7,12 +7,12 @@
 //! the largest multiple of 16 at or below NSSG's average out-degree
 //! (floored at 8 for the reduced scales used here).
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::report::{fmt_qps, Table};
 use cagra::build::{build_graph, GraphConfig};
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 use knn::topk::Neighbor;
 use nssg::{beam_search, Nssg, NssgParams};
 use std::time::Instant;
@@ -29,7 +29,11 @@ pub struct QualityPoint {
 }
 
 /// Search both graphs with the NSSG beam search at the given widths.
-pub fn measure(wl: &Workload, ctx: &ExpContext, ls: &[usize]) -> Vec<(&'static str, Vec<QualityPoint>)> {
+pub fn measure(
+    wl: &Workload,
+    ctx: &ExpContext,
+    ls: &[usize],
+) -> Vec<(&'static str, Vec<QualityPoint>)> {
     let clone = || Dataset::from_flat(wl.base.as_flat().to_vec(), wl.base.dim());
     let (nssg_index, _) = Nssg::build(clone(), wl.metric, NssgParams::new(wl.degree()));
 

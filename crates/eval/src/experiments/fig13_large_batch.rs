@@ -6,7 +6,6 @@
 //! 90–95% recall range; FP16 adds throughput on top without hurting
 //! recall.
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::experiments::{build_cagra, itopk_sweep};
 use crate::report::{fmt_qps, Table};
@@ -15,6 +14,7 @@ use cagra::search::planner::Mode;
 use cagra::{CagraIndex, HashPolicy, SearchParams};
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 use ganns::{Ganns, GannsParams};
 use ggnn::{Ggnn, GgnnParams};
 use hnsw::{Hnsw, HnswParams};
@@ -41,7 +41,18 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<MethodCurve> {
     let (index, _) = build_cagra(wl);
     out.push(MethodCurve {
         label: "CAGRA (FP32)",
-        curve: cagra_curve(&index, wl, ctx.k, &sweep, Mode::SingleCta, hash, 8, 4, ctx.batch_target, false),
+        curve: cagra_curve(
+            &index,
+            wl,
+            ctx.k,
+            &sweep,
+            Mode::SingleCta,
+            hash,
+            8,
+            4,
+            ctx.batch_target,
+            false,
+        ),
         sim: true,
     });
 
@@ -51,7 +62,18 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<MethodCurve> {
     let index16 = CagraIndex::from_parts(half, index.graph().clone(), wl.metric);
     out.push(MethodCurve {
         label: "CAGRA (FP16)",
-        curve: cagra_curve(&index16, wl, ctx.k, &sweep, Mode::SingleCta, hash, 8, 2, ctx.batch_target, false),
+        curve: cagra_curve(
+            &index16,
+            wl,
+            ctx.k,
+            &sweep,
+            Mode::SingleCta,
+            hash,
+            8,
+            2,
+            ctx.batch_target,
+            false,
+        ),
         sim: true,
     });
 
@@ -61,7 +83,18 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<MethodCurve> {
     let index8 = CagraIndex::from_parts(quant, index.graph().clone(), wl.metric);
     out.push(MethodCurve {
         label: "CAGRA (INT8)",
-        curve: cagra_curve(&index8, wl, ctx.k, &sweep, Mode::SingleCta, hash, 8, 1, ctx.batch_target, false),
+        curve: cagra_curve(
+            &index8,
+            wl,
+            ctx.k,
+            &sweep,
+            Mode::SingleCta,
+            hash,
+            8,
+            1,
+            ctx.batch_target,
+            false,
+        ),
         sim: true,
     });
 
@@ -91,18 +124,15 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<MethodCurve> {
     });
 
     let (g, _) = Nssg::build(clone(), wl.metric, NssgParams::new(d));
-    out.push(MethodCurve {
-        label: "NSSG",
-        curve: nssg_curve(&g, wl, ctx.k, &sweep),
-        sim: false,
-    });
+    out.push(MethodCurve { label: "NSSG", curve: nssg_curve(&g, wl, ctx.k, &sweep), sim: false });
 
     out
 }
 
 /// Run on the figure's four datasets.
 pub fn run(ctx: &ExpContext) {
-    let mut t = Table::new(&["dataset", "method", "width", "recall@10", "QPS", "timing"]);
+    let mut t =
+        Table::new(&["dataset", "method", "width", "recall@10", "QPS", "timing", "scratch"]);
     for preset in [PresetName::Sift, PresetName::Gist, PresetName::Glove, PresetName::NyTimes] {
         let wl = Workload::load(preset, ctx);
         for m in measure(&wl, ctx) {
@@ -114,6 +144,7 @@ pub fn run(ctx: &ExpContext) {
                     format!("{:.4}", p.recall),
                     fmt_qps(if m.sim { p.qps_sim } else { p.qps_cpu }),
                     if m.sim { "sim-A100".into() } else { "cpu-wall".into() },
+                    if p.scratch_reused { "reused".into() } else { "fresh".into() },
                 ]);
             }
         }
@@ -156,11 +187,8 @@ mod tests {
             floor,
             true,
         );
-        let hnsw = qps_at_recall(
-            &curves.iter().find(|m| m.label == "HNSW").unwrap().curve,
-            floor,
-            false,
-        );
+        let hnsw =
+            qps_at_recall(&curves.iter().find(|m| m.label == "HNSW").unwrap().curve, floor, false);
         assert!(cagra > 0.0, "CAGRA never reached recall {floor}");
         assert!(hnsw > 0.0, "HNSW never reached recall {floor}");
         assert!(cagra > hnsw, "CAGRA {cagra} must beat HNSW {hnsw} in large batches");

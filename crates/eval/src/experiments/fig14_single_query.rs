@@ -7,7 +7,6 @@
 //! math → more GPU advantage); FP16 helps most on the big-dimension
 //! dataset (GIST).
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::experiments::{build_cagra, itopk_sweep};
 use crate::report::{fmt_qps, Table};
@@ -16,6 +15,7 @@ use cagra::search::planner::Mode;
 use cagra::{CagraIndex, HashPolicy};
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 use hnsw::{Hnsw, HnswParams};
 
 /// Labeled single-query curves for one workload.
@@ -25,18 +25,7 @@ pub fn measure(wl: &Workload, ctx: &ExpContext) -> Vec<(&'static str, Vec<CurveP
     let mut out = Vec::new();
     out.push((
         "CAGRA (FP32)",
-        cagra_curve(
-            &index,
-            wl,
-            ctx.k,
-            &sweep,
-            Mode::MultiCta,
-            HashPolicy::Standard,
-            8,
-            4,
-            1,
-            true,
-        ),
+        cagra_curve(&index, wl, ctx.k, &sweep, Mode::MultiCta, HashPolicy::Standard, 8, 4, 1, true),
         true,
     ));
     let half = index.store().to_f16();

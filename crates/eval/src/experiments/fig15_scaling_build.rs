@@ -6,11 +6,11 @@
 //! is compressed to 1x/4x/16x here (a 100x rung does not fit one core;
 //! the per-decade growth rate is still measurable from two ratios).
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::report::{fmt_secs, Table};
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 use hnsw::{Hnsw, HnswParams};
 use std::time::Instant;
 

@@ -5,7 +5,6 @@
 //! dataset grows, with CAGRA's decline tracking HNSW's; throughput
 //! degradation is not significant.
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::experiments::{build_cagra, itopk_sweep};
 use crate::report::{fmt_qps, Table};
@@ -14,6 +13,7 @@ use cagra::search::planner::Mode;
 use cagra::HashPolicy;
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 use hnsw::{Hnsw, HnswParams};
 
 /// Curves for one (size, k) cell.

@@ -4,12 +4,12 @@
 //! Paper claims to reproduce: reordering is the bigger lever on the
 //! 2-hop count; reverse edges are the bigger lever on strong CC.
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::report::Table;
 use cagra::optimize::{optimize, OptimizeOptions};
 use cagra::params::ReorderStrategy;
 use dataset::presets::PresetName;
+use dataset::VectorStore;
 use graph::stats::graph_stats;
 use graph::two_hop::max_two_hop;
 use graph::AdjacencyGraph;
@@ -26,7 +26,8 @@ const VARIANTS: [(&str, bool, bool); 4] = [
 /// Run the ablation on the figure's two datasets (SIFT-like easy,
 /// GloVe-like hard), `d_init = 3d` as in the paper.
 pub fn run(ctx: &ExpContext) {
-    let mut t = Table::new(&["dataset", "variant", "avg 2-hop", "2-hop max", "strong CC", "largest CC %"]);
+    let mut t =
+        Table::new(&["dataset", "variant", "avg 2-hop", "2-hop max", "strong CC", "largest CC %"]);
     for preset in [PresetName::Sift, PresetName::Glove] {
         let wl = Workload::load(preset, ctx);
         rows_for(&wl, &mut t);
@@ -68,7 +69,14 @@ mod tests {
     fn full_optimization_improves_both_metrics() {
         let ctx = ExpContext { n: 500, queries: 2, ..ExpContext::default() };
         let wl = Workload::load(PresetName::Deep, &ctx);
-        let mut t = Table::new(&["dataset", "variant", "avg 2-hop", "2-hop max", "strong CC", "largest CC %"]);
+        let mut t = Table::new(&[
+            "dataset",
+            "variant",
+            "avg 2-hop",
+            "2-hop max",
+            "strong CC",
+            "largest CC %",
+        ]);
         rows_for(&wl, &mut t);
         assert_eq!(t.len(), 4);
         let render = t.render();

@@ -4,7 +4,6 @@
 //! Paper claim to reproduce: the recall↔throughput balance is nearly
 //! identical — the cheap rank approximation costs no search quality.
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::experiments::itopk_sweep;
 use crate::report::{fmt_qps, Table};
@@ -15,6 +14,7 @@ use cagra::search::planner::Mode;
 use cagra::{CagraIndex, HashPolicy};
 use dataset::presets::PresetName;
 use dataset::Dataset;
+use dataset::VectorStore;
 
 /// Compare the two strategies' recall↔QPS curves.
 pub fn run(ctx: &ExpContext) {

@@ -6,7 +6,6 @@
 //! full warp (32) wins. Recall is identical across team sizes — the
 //! split changes only the hardware mapping.
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use crate::experiments::build_cagra;
 use crate::recall::recall_at_k;
@@ -15,6 +14,7 @@ use crate::sweep::sim_batch_qps;
 use cagra::search::planner::Mode;
 use cagra::SearchParams;
 use dataset::presets::PresetName;
+use dataset::VectorStore;
 use gpu_sim::Mapping;
 
 /// Team sizes the paper sweeps.

@@ -1,5 +1,7 @@
 //! One runner per table/figure of the paper (ids match DESIGN.md).
 
+pub mod ext_search_ablation;
+pub mod ext_sharding;
 pub mod fig10_cta_modes;
 pub mod fig11_construction;
 pub mod fig12_graph_quality;
@@ -7,8 +9,6 @@ pub mod fig13_large_batch;
 pub mod fig14_single_query;
 pub mod fig15_scaling_build;
 pub mod fig16_scaling_search;
-pub mod ext_search_ablation;
-pub mod ext_sharding;
 pub mod fig3_graph_props;
 pub mod fig4_opt_time;
 pub mod fig5_reorder_search;
@@ -17,16 +17,30 @@ pub mod fig9_hash;
 pub mod headline;
 pub mod table1;
 
-use dataset::VectorStore;
 use crate::context::{ExpContext, Workload};
 use cagra::build::{build_graph, BuildReport, GraphConfig};
 use cagra::CagraIndex;
 use dataset::Dataset;
+use dataset::VectorStore;
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "headline", "ext-shard", "ext-search",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "headline",
+    "ext-shard",
+    "ext-search",
 ];
 
 /// Dispatch an experiment by id. Returns false for unknown ids.

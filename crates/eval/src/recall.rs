@@ -27,10 +27,8 @@ pub fn recall_at_k(results: &[Vec<Neighbor>], gt: &[Vec<u32>], k: usize) -> f64 
 
 /// recall@k when the ANNS side is plain id lists.
 pub fn recall_ids(results: &[Vec<u32>], gt: &[Vec<u32>], k: usize) -> f64 {
-    let wrapped: Vec<Vec<Neighbor>> = results
-        .iter()
-        .map(|r| r.iter().map(|&id| Neighbor::new(id, 0.0)).collect())
-        .collect();
+    let wrapped: Vec<Vec<Neighbor>> =
+        results.iter().map(|r| r.iter().map(|&id| Neighbor::new(id, 0.0)).collect()).collect();
     recall_at_k(&wrapped, gt, k)
 }
 

@@ -36,6 +36,10 @@ pub struct CurvePoint {
     pub qps_cpu: f64,
     /// Simulated A100 QPS (0 when not applicable).
     pub qps_sim: f64,
+    /// True when the measured batch ran on recycled per-thread search
+    /// scratch (the zero-allocation path) — recorded so QPS numbers
+    /// state which execution path produced them.
+    pub scratch_reused: bool,
 }
 
 /// Tile measured traces cyclically up to `target` queries.
@@ -120,6 +124,7 @@ pub fn cagra_curve<S: VectorStore>(
                 recall: recall_at_k(&results, &gt, k),
                 qps_cpu: wl.queries.len() as f64 / wall,
                 qps_sim,
+                scratch_reused: traces.iter().any(|t| t.scratch_reused),
             }
         })
         .collect()
@@ -154,13 +159,19 @@ pub fn hnsw_curve<S: VectorStore>(
                 recall: recall_at_k(&results, &gt, k),
                 qps_cpu: wl.queries.len() as f64 / wall,
                 qps_sim: 0.0,
+                scratch_reused: false,
             }
         })
         .collect()
 }
 
 /// Sweep NSSG pool widths (CPU wall clock).
-pub fn nssg_curve<S: VectorStore>(g: &Nssg<S>, wl: &Workload, k: usize, ls: &[usize]) -> Vec<CurvePoint> {
+pub fn nssg_curve<S: VectorStore>(
+    g: &Nssg<S>,
+    wl: &Workload,
+    k: usize,
+    ls: &[usize],
+) -> Vec<CurvePoint> {
     let gt = wl.ground_truth(k);
     ls.iter()
         .map(|&l| {
@@ -172,6 +183,7 @@ pub fn nssg_curve<S: VectorStore>(g: &Nssg<S>, wl: &Workload, k: usize, ls: &[us
                 recall: recall_at_k(&results, &gt, k),
                 qps_cpu: wl.queries.len() as f64 / wall,
                 qps_sim: 0.0,
+                scratch_reused: false,
             }
         })
         .collect()
@@ -208,6 +220,7 @@ pub fn traced_curve(
                     Mapping::SingleCta,
                     batch_target,
                 ),
+                scratch_reused: traces.iter().any(|t| t.scratch_reused),
             }
         })
         .collect()
@@ -264,9 +277,27 @@ mod tests {
     #[test]
     fn qps_at_recall_takes_best_qualifying_point() {
         let curve = vec![
-            CurvePoint { param: 1, recall: 0.5, qps_cpu: 100.0, qps_sim: 1000.0 },
-            CurvePoint { param: 2, recall: 0.95, qps_cpu: 50.0, qps_sim: 500.0 },
-            CurvePoint { param: 3, recall: 0.99, qps_cpu: 10.0, qps_sim: 100.0 },
+            CurvePoint {
+                param: 1,
+                recall: 0.5,
+                qps_cpu: 100.0,
+                qps_sim: 1000.0,
+                scratch_reused: true,
+            },
+            CurvePoint {
+                param: 2,
+                recall: 0.95,
+                qps_cpu: 50.0,
+                qps_sim: 500.0,
+                scratch_reused: true,
+            },
+            CurvePoint {
+                param: 3,
+                recall: 0.99,
+                qps_cpu: 10.0,
+                qps_sim: 100.0,
+                scratch_reused: true,
+            },
         ];
         assert_eq!(qps_at_recall(&curve, 0.9, false), 50.0);
         assert_eq!(qps_at_recall(&curve, 0.9, true), 500.0);

@@ -58,10 +58,10 @@ impl<S: VectorStore> Ganns<S> {
 
         // Seed clique: the first M+1 points link to each other.
         let seed_count = (params.m + 1).min(n);
-        for v in 0..seed_count {
+        for (v, adj) in adjacency.iter_mut().enumerate().take(seed_count) {
             for u in 0..seed_count {
                 if u != v {
-                    adjacency[v].push(u as u32);
+                    adj.push(u as u32);
                 }
             }
         }
@@ -103,8 +103,15 @@ impl<S: VectorStore> Ganns<S> {
     }
 
     /// Single-query search via the SONG-style kernel.
-    pub fn search(&self, query: &[f32], k: usize, beam: usize, seed: u64) -> (Vec<Neighbor>, SearchTrace) {
-        let p = BeamParams { beam: beam.max(k), n_starts: 8, max_iterations: beam.max(k) * 4, seed };
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        seed: u64,
+    ) -> (Vec<Neighbor>, SearchTrace) {
+        let p =
+            BeamParams { beam: beam.max(k), n_starts: 8, max_iterations: beam.max(k) * 4, seed };
         traced_beam_search(&self.adjacency, &self.store, self.metric, query, k, &p)
     }
 
@@ -239,6 +246,10 @@ mod tests {
     fn tiny_m_rejected() {
         let spec = SynthSpec { dim: 4, n: 50, queries: 0, family: Family::Gaussian, seed: 1 };
         let (base, _) = spec.generate();
-        let _ = Ganns::build(base, Metric::SquaredL2, GannsParams { m: 1, ef_construction: 8, batch: 16, seed: 0 });
+        let _ = Ganns::build(
+            base,
+            Metric::SquaredL2,
+            GannsParams { m: 1, ef_construction: 8, batch: 16, seed: 0 },
+        );
     }
 }

@@ -70,7 +70,8 @@ impl<S: VectorStore> Ggnn<S> {
                 for &(start, end) in &blocks[bs..be] {
                     for v in start..end {
                         store.get_into(v, &mut scratch);
-                        let mut top = TopK::new(params.degree.min((end - start).saturating_sub(1)).max(1));
+                        let mut top =
+                            TopK::new(params.degree.min((end - start).saturating_sub(1)).max(1));
                         for u in start..end {
                             if u == v {
                                 continue;
@@ -160,13 +161,15 @@ impl<S: VectorStore> Ggnn<S> {
 
     /// Single-query search with the SONG-style kernel; returns results
     /// plus the GPU-costing trace.
-    pub fn search(&self, query: &[f32], k: usize, beam: usize, seed: u64) -> (Vec<Neighbor>, SearchTrace) {
-        let p = BeamParams {
-            beam: beam.max(k),
-            n_starts: 8,
-            max_iterations: beam.max(k) * 4,
-            seed,
-        };
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        seed: u64,
+    ) -> (Vec<Neighbor>, SearchTrace) {
+        let p =
+            BeamParams { beam: beam.max(k), n_starts: 8, max_iterations: beam.max(k) * 4, seed };
         traced_beam_search(&self.adjacency, &self.store, self.metric, query, k, &p)
     }
 
@@ -273,7 +276,8 @@ mod tests {
         let results = g.search_batch(&queries, 10, 64);
         let traces: Vec<_> = results.into_iter().map(|(_, t)| t).collect();
         let device = gpu_sim::DeviceSpec::a100();
-        let timing = gpu_sim::simulate_batch(&device, &traces, 8, 4, 32, gpu_sim::Mapping::SingleCta);
+        let timing =
+            gpu_sim::simulate_batch(&device, &traces, 8, 4, 32, gpu_sim::Mapping::SingleCta);
         assert!(timing.qps > 0.0);
         assert!(traces.iter().all(|t| !t.hash_in_shared));
     }

@@ -55,8 +55,8 @@ pub fn estimate_construction(
     // edge array a handful of times.
     let detour_bytes = n as f64 * (d_init * d_init) as f64 * 4.0;
     let edge_bytes = (n * d * 4) as f64 * 6.0;
-    let opt_seconds = device.bytes_to_seconds(detour_bytes + edge_bytes)
-        + device.launch_overhead_us * 1e-6;
+    let opt_seconds =
+        device.bytes_to_seconds(detour_bytes + edge_bytes) + device.launch_overhead_us * 1e-6;
 
     ConstructionEstimate { knn_seconds, opt_seconds }
 }

@@ -49,7 +49,12 @@ pub struct KernelConfig {
 impl KernelConfig {
     /// Derive the kernel shape from a recorded trace plus dataset
     /// storage properties.
-    pub fn from_trace(trace: &SearchTrace, dim: usize, bytes_per_elem: usize, team_size: usize) -> Self {
+    pub fn from_trace(
+        trace: &SearchTrace,
+        dim: usize,
+        bytes_per_elem: usize,
+        team_size: usize,
+    ) -> Self {
         KernelConfig {
             team_size,
             dim,
@@ -124,26 +129,24 @@ pub struct Occupancy {
 pub fn cta_occupancy(device: &DeviceSpec, cfg: &KernelConfig) -> Occupancy {
     let wanted_regs = cfg.registers_per_thread();
     let regs = wanted_regs.min(device.max_registers_per_thread);
-    let spill_ratio = if wanted_regs > regs {
-        (wanted_regs - regs) as f64 / wanted_regs as f64
-    } else {
-        0.0
-    };
+    let spill_ratio =
+        if wanted_regs > regs { (wanted_regs - regs) as f64 / wanted_regs as f64 } else { 0.0 };
     let warps_per_cta = cfg.cta_threads.div_ceil(32);
     let by_regs = device.registers_per_sm / (regs * 32 * warps_per_cta).max(1);
     let by_smem = device.shared_mem_per_sm / cfg.shared_mem_per_cta().max(1);
     let by_warps = device.max_warps_per_sm / warps_per_cta.max(1);
     let by_ctas = device.max_ctas_per_sm;
-    let (ctas, limited_by) = [
-        (by_regs, "regs"),
-        (by_smem, "smem"),
-        (by_warps, "warps"),
-        (by_ctas, "ctas"),
-    ]
-    .into_iter()
-    .min_by_key(|&(c, _)| c)
-    .expect("non-empty limits");
-    Occupancy { ctas_per_sm: ctas.max(1).min(by_ctas.max(1)), regs_per_thread: regs, spill_ratio, limited_by }
+    let (ctas, limited_by) =
+        [(by_regs, "regs"), (by_smem, "smem"), (by_warps, "warps"), (by_ctas, "ctas")]
+            .into_iter()
+            .min_by_key(|&(c, _)| c)
+            .expect("non-empty limits");
+    Occupancy {
+        ctas_per_sm: ctas.max(1).min(by_ctas.max(1)),
+        regs_per_thread: regs,
+        spill_ratio,
+        limited_by,
+    }
 }
 
 /// Cycles one CTA spends on the distance phase for `n_dist` vectors.
@@ -227,7 +230,12 @@ fn hash_cycles(device: &DeviceSpec, cfg: &KernelConfig, it: &IterationTrace) -> 
 }
 
 /// Cycles one CTA spends on one search iteration.
-pub fn iteration_cycles(device: &DeviceSpec, cfg: &KernelConfig, occ: &Occupancy, it: &IterationTrace) -> f64 {
+pub fn iteration_cycles(
+    device: &DeviceSpec,
+    cfg: &KernelConfig,
+    occ: &Occupancy,
+    it: &IterationTrace,
+) -> f64 {
     let graph_fetch = (cfg.degree as f64 * 4.0 / 128.0).ceil() * 40.0; // neighbor-list loads
     distance_cycles(cfg, occ, it.distances_computed)
         + topm_cycles(cfg, it.sort_len)
@@ -246,14 +254,9 @@ pub fn init_cycles(cfg: &KernelConfig, occ: &Occupancy, init_distances: usize) -
 pub fn query_bytes(cfg: &KernelConfig, trace: &SearchTrace) -> f64 {
     // Lane waste loads real bytes: a 96-dim FP32 vector on a full-warp
     // team moves 512 of its 384 useful bytes (Sec. IV-B1).
-    let vector_bytes = trace.total_distances() as f64
-        * (cfg.dim * cfg.bytes_per_elem) as f64
+    let vector_bytes = trace.total_distances() as f64 * (cfg.dim * cfg.bytes_per_elem) as f64
         / cfg.lane_efficiency();
-    let graph_bytes: f64 = trace
-        .iterations
-        .iter()
-        .map(|i| (i.candidates * 4) as f64)
-        .sum();
+    let graph_bytes: f64 = trace.iterations.iter().map(|i| (i.candidates * 4) as f64).sum();
     let hash_bytes = if cfg.hash_in_shared {
         0.0
     } else {
@@ -421,6 +424,7 @@ mod tests {
             hash_slots: 2048,
             hash_in_shared: true,
             serial_queue: false,
+            scratch_reused: false,
         };
         let fp32 = query_bytes(&cfg(8, 96), &trace);
         let mut half = cfg(8, 96);

@@ -8,7 +8,9 @@
 //! and by device-memory bandwidth — the same three bounds the paper
 //! reasons about (Secs. IV-C1/C2, Q-C3).
 
-use crate::cost::{cta_occupancy, init_cycles, iteration_cycles, query_bytes, KernelConfig, Occupancy};
+use crate::cost::{
+    cta_occupancy, init_cycles, iteration_cycles, query_bytes, KernelConfig, Occupancy,
+};
 use crate::device::DeviceSpec;
 use cagra::search::trace::{IterationTrace, SearchTrace};
 use serde::{Deserialize, Serialize};
@@ -110,8 +112,7 @@ pub fn simulate_batch(
     let warps_per_cta = cfg.cta_threads.div_ceil(32);
     let mlp_fraction = ((occ.ctas_per_sm * warps_per_cta) as f64 / 24.0).min(1.0);
     let bandwidth_seconds = device.bytes_to_seconds(total_bytes) / mlp_fraction.max(1e-3);
-    let seconds =
-        compute_seconds.max(bandwidth_seconds) + device.launch_overhead_us * 1e-6;
+    let seconds = compute_seconds.max(bandwidth_seconds) + device.launch_overhead_us * 1e-6;
 
     BatchTiming {
         seconds,
@@ -131,7 +132,13 @@ mod tests {
 
     /// Synthesize a plausible trace: `iters` iterations, `workers`
     /// CTAs, `new_frac` of candidates passing the hash.
-    fn mk_trace(iters: usize, workers: usize, degree: usize, itopk: usize, shared: bool) -> SearchTrace {
+    fn mk_trace(
+        iters: usize,
+        workers: usize,
+        degree: usize,
+        itopk: usize,
+        shared: bool,
+    ) -> SearchTrace {
         let per_round = workers * degree;
         SearchTrace {
             init_distances: per_round,
@@ -151,6 +158,7 @@ mod tests {
             hash_slots: if shared { 2048 } else { 1 << 14 },
             hash_in_shared: shared,
             serial_queue: false,
+            scratch_reused: false,
         }
     }
 
@@ -212,8 +220,10 @@ mod tests {
     #[test]
     fn more_work_takes_longer() {
         let d = DeviceSpec::a100();
-        let short = simulate_batch(&d, &[mk_trace(8, 1, 32, 64, true)], 96, 4, 8, Mapping::SingleCta);
-        let long = simulate_batch(&d, &[mk_trace(80, 1, 32, 64, true)], 96, 4, 8, Mapping::SingleCta);
+        let short =
+            simulate_batch(&d, &[mk_trace(8, 1, 32, 64, true)], 96, 4, 8, Mapping::SingleCta);
+        let long =
+            simulate_batch(&d, &[mk_trace(80, 1, 32, 64, true)], 96, 4, 8, Mapping::SingleCta);
         assert!(long.seconds > short.seconds);
     }
 

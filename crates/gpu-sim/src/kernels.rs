@@ -51,11 +51,8 @@ pub fn traced_beam_search<S: VectorStore + ?Sized>(
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     let n = adjacency.len();
     let beam = params.beam.max(k).max(1);
-    let avg_degree = if n == 0 {
-        0
-    } else {
-        adjacency.iter().map(Vec::len).sum::<usize>() / n.max(1)
-    };
+    let avg_degree =
+        if n == 0 { 0 } else { adjacency.iter().map(Vec::len).sum::<usize>() / n.max(1) };
     let mut trace = SearchTrace {
         itopk: beam,
         search_width: 1,

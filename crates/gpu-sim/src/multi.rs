@@ -78,6 +78,7 @@ mod tests {
             hash_slots: 2048,
             hash_in_shared: true,
             serial_queue: false,
+            scratch_reused: false,
         }
     }
 
@@ -86,7 +87,8 @@ mod tests {
         let d = DeviceSpec::a100();
         let fast: Vec<_> = (0..100).map(|_| trace(8)).collect();
         let slow: Vec<_> = (0..100).map(|_| trace(64)).collect();
-        let t = simulate_sharded_batch(&d, &[fast.clone(), slow.clone()], 96, 4, 8, Mapping::SingleCta);
+        let t =
+            simulate_sharded_batch(&d, &[fast.clone(), slow.clone()], 96, 4, 8, Mapping::SingleCta);
         let slow_alone = simulate_batch(&d, &slow, 96, 4, 8, Mapping::SingleCta);
         assert!(t.seconds >= slow_alone.seconds, "{} < {}", t.seconds, slow_alone.seconds);
         assert_eq!(t.per_device.len(), 2);

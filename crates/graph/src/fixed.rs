@@ -23,10 +23,7 @@ impl FixedDegreeGraph {
     pub fn from_flat(neighbors: Vec<u32>, n: usize, degree: usize) -> Self {
         assert!(degree > 0, "degree must be positive");
         assert_eq!(neighbors.len(), n * degree, "neighbor buffer shape mismatch");
-        assert!(
-            neighbors.iter().all(|&v| (v as usize) < n),
-            "neighbor id out of range (n = {n})"
-        );
+        assert!(neighbors.iter().all(|&v| (v as usize) < n), "neighbor id out of range (n = {n})");
         FixedDegreeGraph { neighbors, degree, n }
     }
 
@@ -88,9 +85,7 @@ impl FixedDegreeGraph {
     /// Count self-loop edges (CAGRA graphs should have none after
     /// optimization; the builder asserts on this in debug builds).
     pub fn self_loops(&self) -> usize {
-        (0..self.n)
-            .map(|u| self.neighbors(u).iter().filter(|&&v| v as usize == u).count())
-            .sum()
+        (0..self.n).map(|u| self.neighbors(u).iter().filter(|&&v| v as usize == u).count()).sum()
     }
 }
 
@@ -99,9 +94,8 @@ mod tests {
     use super::*;
 
     fn ring(n: usize, degree: usize) -> FixedDegreeGraph {
-        let rows: Vec<Vec<u32>> = (0..n)
-            .map(|i| (1..=degree).map(|k| ((i + k) % n) as u32).collect())
-            .collect();
+        let rows: Vec<Vec<u32>> =
+            (0..n).map(|i| (1..=degree).map(|k| ((i + k) % n) as u32).collect()).collect();
         FixedDegreeGraph::from_rows(&rows, degree)
     }
 

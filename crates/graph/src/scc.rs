@@ -164,18 +164,16 @@ mod tests {
         for _ in 0..20 {
             let n = rng.gen_range(1..12);
             let lists: Vec<Vec<u32>> = (0..n)
-                .map(|_| {
-                    (0..n).filter(|_| rng.gen_bool(0.25)).map(|v| v as u32).collect()
-                })
+                .map(|_| (0..n).filter(|_| rng.gen_bool(0.25)).map(|v| v as u32).collect())
                 .collect();
             let g = AdjacencyGraph::from_lists(&lists);
             let r = strongly_connected_components(&g);
             // Naive: Floyd-Warshall reachability.
             let mut reach = vec![vec![false; n]; n];
-            for u in 0..n {
-                reach[u][u] = true;
+            for (u, row) in reach.iter_mut().enumerate() {
+                row[u] = true;
                 for &v in g.neighbors(u) {
-                    reach[u][v as usize] = true;
+                    row[v as usize] = true;
                 }
             }
             for k in 0..n {
@@ -187,10 +185,10 @@ mod tests {
                     }
                 }
             }
-            for i in 0..n {
-                for j in 0..n {
+            for (i, ri) in reach.iter().enumerate() {
+                for (j, &fwd) in ri.iter().enumerate() {
                     let same = r.component[i] == r.component[j];
-                    let mutual = reach[i][j] && reach[j][i];
+                    let mutual = fwd && reach[j][i];
                     assert_eq!(same, mutual, "nodes {i},{j}");
                 }
             }

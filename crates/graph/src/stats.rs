@@ -100,8 +100,7 @@ pub fn in_degree_stats(g: &AdjacencyGraph) -> InDegreeStats {
     let gini = if total == 0 {
         0.0
     } else {
-        let weighted: f64 =
-            deg.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+        let weighted: f64 = deg.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
         (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
     };
     InDegreeStats { max, mean, gini }

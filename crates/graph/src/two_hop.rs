@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn sampled_with_stride_one_is_exact() {
-        let lists: Vec<Vec<u32>> = (0..20).map(|i| vec![((i + 1) % 20) as u32, ((i + 7) % 20) as u32]).collect();
+        let lists: Vec<Vec<u32>> =
+            (0..20).map(|i| vec![((i + 1) % 20) as u32, ((i + 7) % 20) as u32]).collect();
         let g = AdjacencyGraph::from_lists(&lists);
         assert_eq!(average_two_hop(&g), average_two_hop_sampled(&g, 1));
     }

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 /// Arbitrary digraph as adjacency lists over `n` nodes.
 fn digraph() -> impl Strategy<Value = Vec<Vec<u32>>> {
     (1usize..16).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..n as u32, 0..n),
-            n..=n,
-        )
+        proptest::collection::vec(proptest::collection::vec(0..n as u32, 0..n), n..=n)
     })
 }
 
@@ -63,9 +60,9 @@ proptest! {
         };
         for i in 0..n {
             let ri = reach(i);
-            for j in 0..n {
+            for (j, &reachable) in ri.iter().enumerate() {
                 if r.component[i] == r.component[j] {
-                    prop_assert!(ri[j], "{i} cannot reach same-component {j}");
+                    prop_assert!(reachable, "{i} cannot reach same-component {j}");
                 }
             }
         }

@@ -49,14 +49,8 @@ impl<S: VectorStore> Hnsw<S> {
         assert!(params.m >= 2, "M must be at least 2");
         assert!(params.ef_construction >= params.m, "efConstruction must be >= M");
         let n = store.len();
-        let mut index = Hnsw {
-            store,
-            metric,
-            nodes: Vec::with_capacity(n),
-            entry: 0,
-            max_level: 0,
-            params,
-        };
+        let mut index =
+            Hnsw { store, metric, nodes: Vec::with_capacity(n), entry: 0, max_level: 0, params };
         let mut rng = StdRng::seed_from_u64(params.seed);
         let ml = 1.0 / (params.m as f64).ln();
         for i in 0..n {
@@ -151,7 +145,6 @@ impl<S: VectorStore> Hnsw<S> {
             self.params.m
         }
     }
-
 }
 
 /// Add the reverse link `nb -> id`, shrinking `nb`'s list with the
@@ -200,9 +193,8 @@ pub(crate) fn select_heuristic<T: VectorStore + ?Sized>(
         if selected.len() == m {
             break;
         }
-        let keep = selected
-            .iter()
-            .all(|s| oracle.between_rows(c.id as usize, s.id as usize) > c.dist);
+        let keep =
+            selected.iter().all(|s| oracle.between_rows(c.id as usize, s.id as usize) > c.dist);
         if keep {
             selected.push(c);
         } else {
@@ -224,8 +216,7 @@ mod tests {
     use dataset::synth::{Family, SynthSpec};
 
     fn gaussian(n: usize, dim: usize, seed: u64) -> dataset::Dataset {
-        let (base, _) =
-            SynthSpec { dim, n, queries: 0, family: Family::Gaussian, seed }.generate();
+        let (base, _) = SynthSpec { dim, n, queries: 0, family: Family::Gaussian, seed }.generate();
         base
     }
 
@@ -249,8 +240,8 @@ mod tests {
         let h = Hnsw::build(base, Metric::SquaredL2, HnswParams::new(16));
         let mut counts = vec![0usize; h.max_level() + 1];
         for node in &h.nodes {
-            for l in 0..node.links.len() {
-                counts[l] += 1;
+            for c in counts.iter_mut().take(node.links.len()) {
+                *c += 1;
             }
         }
         assert_eq!(counts[0], 2000);
@@ -323,7 +314,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "M must be at least 2")]
     fn tiny_m_rejected() {
-        Hnsw::build(gaussian(10, 4, 1), Metric::SquaredL2, HnswParams { m: 1, ef_construction: 10, seed: 0 });
+        Hnsw::build(
+            gaussian(10, 4, 1),
+            Metric::SquaredL2,
+            HnswParams { m: 1, ef_construction: 10, seed: 0 },
+        );
     }
 
     #[test]

@@ -129,7 +129,12 @@ impl<S: VectorStore> Hnsw<S> {
 
     /// Thread-parallel batch search (the paper's OpenMP-style HNSW
     /// batching).
-    pub fn search_batch<Q: VectorStore>(&self, queries: &Q, k: usize, ef: usize) -> Vec<Vec<Neighbor>> {
+    pub fn search_batch<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        ef: usize,
+    ) -> Vec<Vec<Neighbor>> {
         assert_eq!(queries.dim(), self.store.dim(), "query dimension mismatch");
         let dim = queries.dim();
         parallel_map(queries.len(), default_threads(), |qi| {

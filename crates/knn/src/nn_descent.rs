@@ -105,8 +105,10 @@ impl NnDescent {
         k: usize,
     ) -> (Vec<Vec<Neighbor>>, NnDescentStats) {
         let n = store.len();
-        let threads = if self.params.threads == 0 { default_threads() } else { self.params.threads };
-        let lists: Vec<Mutex<Vec<Entry>>> = (0..n).map(|_| Mutex::new(Vec::with_capacity(k))).collect();
+        let threads =
+            if self.params.threads == 0 { default_threads() } else { self.params.threads };
+        let lists: Vec<Mutex<Vec<Entry>>> =
+            (0..n).map(|_| Mutex::new(Vec::with_capacity(k))).collect();
         let dist_count = AtomicU64::new(0);
 
         // Random initialization: k distinct non-self ids per node.
@@ -114,9 +116,10 @@ impl NnDescent {
             let oracle = DistanceOracle::new(store, metric);
             let mut scratch = vec![0.0f32; store.dim()];
             let mut rng = StdRng::seed_from_u64(self.params.seed ^ (start as u64) << 1);
-            for v in start..end {
+            for (off, slot) in lists[start..end].iter().enumerate() {
+                let v = start + off;
                 store.get_into(v, &mut scratch);
-                let mut list = lists[v].lock();
+                let mut list = slot.lock();
                 while list.len() < k {
                     let u = rng.gen_range(0..n);
                     if u == v || list.iter().any(|e| e.n.id as usize == u) {
@@ -146,11 +149,8 @@ impl NnDescent {
                 // Old set is frozen before this round's sampling so a
                 // sampled entry is joined once (as "new"), not twice.
                 fwd_old[v].extend(list.iter().filter(|e| !e.is_new).map(|e| e.n.id));
-                let mut new_positions: Vec<usize> = list
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, e)| e.is_new.then_some(i))
-                    .collect();
+                let mut new_positions: Vec<usize> =
+                    list.iter().enumerate().filter_map(|(i, e)| e.is_new.then_some(i)).collect();
                 new_positions.shuffle(&mut rng);
                 new_positions.truncate(max_samples);
                 for &i in &new_positions {
@@ -214,10 +214,8 @@ impl NnDescent {
             }
         }
 
-        let lists = lists
-            .into_iter()
-            .map(|m| m.into_inner().into_iter().map(|e| e.n).collect())
-            .collect();
+        let lists =
+            lists.into_iter().map(|m| m.into_inner().into_iter().map(|e| e.n).collect()).collect();
         (lists, NnDescentStats { distance_computations: dist_count.load(Ordering::Relaxed) })
     }
 }
@@ -397,7 +395,9 @@ mod tests {
     #[test]
     fn empty_and_singleton_datasets() {
         let empty = dataset::Dataset::empty(4);
-        assert!(NnDescent::new(NnDescentParams::new(4)).build(&empty, Metric::SquaredL2).is_empty());
+        assert!(NnDescent::new(NnDescentParams::new(4))
+            .build(&empty, Metric::SquaredL2)
+            .is_empty());
         let single = dataset::Dataset::from_flat(vec![1.0, 2.0], 2);
         let lists = NnDescent::new(NnDescentParams::new(4)).build(&single, Metric::SquaredL2);
         assert_eq!(lists, vec![Vec::new()]);

@@ -53,6 +53,24 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, threads, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with persistent per-thread state: `init` runs once
+/// on each worker thread and the resulting state is passed (mutably)
+/// to every `f(&mut state, i)` call that thread serves.
+///
+/// This is the primitive behind allocation-free batch search: the
+/// state is a scratch arena created once per worker and recycled
+/// across all of its items. Chunking is static (one contiguous chunk
+/// per thread), so each state sees its chunk's indices in ascending
+/// order.
+pub fn parallel_map_with<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let mut out = vec![T::default(); n];
     {
         let slots = SendPtr(out.as_mut_ptr());
@@ -60,8 +78,9 @@ where
             // SAFETY: each chunk writes a disjoint index range of `out`,
             // and `out` outlives the scoped threads.
             let base = slots;
+            let mut state = init();
             for i in start..end {
-                unsafe { *base.0.add(i) = f(i) };
+                unsafe { *base.0.add(i) = f(&mut state, i) };
             }
         });
     }
@@ -89,8 +108,8 @@ mod tests {
         let n = 1000;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         parallel_chunks(n, 4, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -110,8 +129,8 @@ mod tests {
     fn more_threads_than_items() {
         let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
         parallel_chunks(3, 64, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -129,5 +148,44 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_with_reuses_state_within_a_thread() {
+        // Each worker's state counts the items it served; the total
+        // must cover every index exactly once, and (with one chunk per
+        // thread) at least one state must serve more than one item.
+        let n = 100;
+        let out = parallel_map_with(
+            n,
+            4,
+            || 0usize,
+            |served, i| {
+                *served += 1;
+                (i, *served)
+            },
+        );
+        assert_eq!(out.len(), n);
+        for (idx, (i, served)) in out.iter().enumerate() {
+            assert_eq!(*i, idx);
+            assert!(*served >= 1);
+        }
+        assert!(out.iter().any(|&(_, served)| served > 1), "no state was reused");
+        let total: usize = out.iter().filter(|&&(_, s)| s == 1).count();
+        assert!(total <= 4, "at most one fresh state per thread, got {total}");
+    }
+
+    #[test]
+    fn parallel_map_with_single_thread_sees_all_items() {
+        let out = parallel_map_with(
+            10,
+            1,
+            || 0usize,
+            |count, _| {
+                *count += 1;
+                *count
+            },
+        );
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 }

@@ -104,10 +104,14 @@ impl TopK {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut largest = i;
-            if l < n && cmp_neighbor(&self.heap[l], &self.heap[largest]) == std::cmp::Ordering::Greater {
+            if l < n
+                && cmp_neighbor(&self.heap[l], &self.heap[largest]) == std::cmp::Ordering::Greater
+            {
                 largest = l;
             }
-            if r < n && cmp_neighbor(&self.heap[r], &self.heap[largest]) == std::cmp::Ordering::Greater {
+            if r < n
+                && cmp_neighbor(&self.heap[r], &self.heap[largest]) == std::cmp::Ordering::Greater
+            {
                 largest = r;
             }
             if largest == i {

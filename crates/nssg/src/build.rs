@@ -67,10 +67,7 @@ impl<S: VectorStore> Nssg<S> {
         ensure_connectivity(&mut adjacency, root, &knn);
         let opt_time = t1.elapsed();
 
-        (
-            Nssg { store, metric, adjacency, root, params },
-            NssgBuildReport { knn_time, opt_time },
-        )
+        (Nssg { store, metric, adjacency, root, params }, NssgBuildReport { knn_time, opt_time })
     }
 
     /// Average out-degree (the quantity Fig. 12 matches CAGRA's `d` to).
@@ -164,9 +161,7 @@ fn prune_all<S: VectorStore + ?Sized>(
             for x in &mut dir {
                 *x /= norm;
             }
-            let ok = dirs
-                .chunks_exact(dim)
-                .all(|w| dot(&dir, w) < cos_min);
+            let ok = dirs.chunks_exact(dim).all(|w| dot(&dir, w) < cos_min);
             if ok {
                 selected.push(cand.id);
                 dirs.extend_from_slice(&dir);
@@ -206,11 +201,7 @@ fn ensure_connectivity(adjacency: &mut [Vec<u32>], root: u32, knn: &[Vec<Neighbo
             continue;
         }
         // Attach from the nearest reached neighbor in the base graph.
-        let from = knn[v]
-            .iter()
-            .find(|nb| reached[nb.id as usize])
-            .map(|nb| nb.id)
-            .unwrap_or(root);
+        let from = knn[v].iter().find(|nb| reached[nb.id as usize]).map(|nb| nb.id).unwrap_or(root);
         adjacency[from as usize].push(v as u32);
         // Everything reachable from v becomes reached.
         reached[v] = true;

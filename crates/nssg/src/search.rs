@@ -18,6 +18,7 @@ use std::collections::HashSet;
 /// `n_starts` random nodes (NSSG initializes by random sampling, like
 /// CAGRA). Returns up to `k` ascending-distance results and the number
 /// of distance computations performed.
+#[allow(clippy::too_many_arguments)]
 pub fn beam_search<S: VectorStore + ?Sized>(
     adjacency: &[Vec<u32>],
     store: &S,
@@ -51,10 +52,7 @@ pub fn beam_search<S: VectorStore + ?Sized>(
     pool.sort_unstable_by(|a, b| cmp_neighbor(&a.0, &b.0));
     pool.truncate(l);
 
-    loop {
-        let Some(pos) = pool.iter().position(|(_, expanded)| !expanded) else {
-            break;
-        };
+    while let Some(pos) = pool.iter().position(|(_, expanded)| !expanded) {
         pool[pos].1 = true;
         let node = pool[pos].0.id;
         for &nb in &adjacency[node as usize] {
@@ -87,7 +85,12 @@ impl<S: VectorStore> Nssg<S> {
     /// Thread-parallel batch search (the paper uses HNSW's
     /// bottom-layer multithreaded search for NSSG batching; ours is
     /// query-parallel, which is the same structure).
-    pub fn search_batch<Q: VectorStore>(&self, queries: &Q, k: usize, l: usize) -> Vec<Vec<Neighbor>> {
+    pub fn search_batch<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        l: usize,
+    ) -> Vec<Vec<Neighbor>> {
         let dim = queries.dim();
         assert_eq!(dim, self.store().dim(), "query dimension mismatch");
         parallel_map(queries.len(), default_threads(), |qi| {
@@ -157,20 +160,11 @@ mod tests {
     #[test]
     fn empty_and_zero_k() {
         let store = dataset::Dataset::empty(4);
-        let (got, _) =
-            beam_search(&[], &store, Metric::SquaredL2, &[0.0; 4], 5, 10, 4, 0);
+        let (got, _) = beam_search(&[], &store, Metric::SquaredL2, &[0.0; 4], 5, 10, 4, 0);
         assert!(got.is_empty());
         let (g, queries) = setup(200);
-        let (got, _) = beam_search(
-            g.adjacency(),
-            g.store(),
-            Metric::SquaredL2,
-            queries.row(0),
-            0,
-            10,
-            4,
-            0,
-        );
+        let (got, _) =
+            beam_search(g.adjacency(), g.store(), Metric::SquaredL2, queries.row(0), 0, 10, 4, 0);
         assert!(got.is_empty());
     }
 

@@ -128,16 +128,9 @@ pub fn song_search<S: VectorStore + ?Sized>(
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     let n = adjacency.len();
     let pq_size = params.pq_size.max(k).max(1);
-    let max_iters = if params.max_iterations == 0 {
-        4 * pq_size
-    } else {
-        params.max_iterations
-    };
-    let avg_degree = if n == 0 {
-        1
-    } else {
-        (adjacency.iter().map(Vec::len).sum::<usize>() / n.max(1)).max(1)
-    };
+    let max_iters = if params.max_iterations == 0 { 4 * pq_size } else { params.max_iterations };
+    let avg_degree =
+        if n == 0 { 1 } else { (adjacency.iter().map(Vec::len).sum::<usize>() / n.max(1)).max(1) };
 
     let mut hash = VisitedSet::new(VisitedSet::standard_bits(max_iters, avg_degree));
     let mut trace = SearchTrace {
@@ -266,10 +259,10 @@ mod tests {
         let gt = ground_truth(&base, Metric::SquaredL2, &queries, 10);
         let params = SongParams { starts: StartPolicy::Random(64), ..SongParams::new(128) };
         let mut hits = 0usize;
-        for qi in 0..queries.len() {
+        for (qi, ids) in gt.iter().enumerate() {
             let (res, _) =
                 song_search(&adj, &base, Metric::SquaredL2, queries.row(qi), 10, &params);
-            let truth: std::collections::HashSet<u32> = gt[qi].iter().copied().collect();
+            let truth: std::collections::HashSet<u32> = ids.iter().copied().collect();
             hits += res.iter().filter(|x| truth.contains(&x.id)).count();
         }
         let recall = hits as f64 / (queries.len() * 10) as f64;
@@ -283,10 +276,10 @@ mod tests {
         let score = |pq: usize| {
             let params = SongParams { starts: StartPolicy::Random(32), ..SongParams::new(pq) };
             let mut hits = 0usize;
-            for qi in 0..queries.len() {
+            for (qi, ids) in gt.iter().enumerate() {
                 let (res, _) =
                     song_search(&adj, &base, Metric::SquaredL2, queries.row(qi), 10, &params);
-                let truth: std::collections::HashSet<u32> = gt[qi].iter().copied().collect();
+                let truth: std::collections::HashSet<u32> = ids.iter().copied().collect();
                 hits += res.iter().filter(|x| truth.contains(&x.id)).count();
             }
             hits as f64 / (queries.len() * 10) as f64
@@ -300,8 +293,7 @@ mod tests {
     fn fixed_entry_point_works() {
         let (base, adj, queries) = setup(600);
         let params = SongParams { starts: StartPolicy::Fixed(0), ..SongParams::new(64) };
-        let (res, trace) =
-            song_search(&adj, &base, Metric::SquaredL2, queries.row(0), 5, &params);
+        let (res, trace) = song_search(&adj, &base, Metric::SquaredL2, queries.row(0), 5, &params);
         assert_eq!(res.len(), 5);
         assert_eq!(trace.init_distances, 1);
         assert!(!trace.hash_in_shared);

@@ -39,11 +39,8 @@ fn main() {
     println!("\ndetourable-route counts per edge (rank criterion):");
     for v in 0..knn.len() {
         let counts = detour_counts_rank(&knn, v);
-        let row: Vec<String> = knn[v]
-            .iter()
-            .zip(&counts)
-            .map(|(n, c)| format!("{}:{c}", n.id))
-            .collect();
+        let row: Vec<String> =
+            knn[v].iter().zip(&counts).map(|(n, c)| format!("{}:{c}", n.id)).collect();
         println!("  node {v:>2}: {}", row.join("  "));
     }
 
@@ -57,8 +54,7 @@ fn main() {
 
     // The pieces, shown separately: pruned forward lists and the
     // rank-sorted reverse lists they interleave with.
-    let pruned: Vec<Vec<u32>> =
-        knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
+    let pruned: Vec<Vec<u32>> = knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
     let reversed = reverse_lists(&pruned, d);
     println!("\nreverse lists (sorted by forward rank — \"someone who");
     println!("considers you more important is also more important to you\"):");

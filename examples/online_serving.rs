@@ -25,7 +25,11 @@ fn main() {
     let t = Thresholds::default();
     assert_eq!(choose(1, params.itopk, t), Mode::MultiCta);
     assert_eq!(choose(10_000, params.itopk, t), Mode::SingleCta);
-    println!("dispatch: batch=1 -> {:?}, batch=10k -> {:?}", choose(1, params.itopk, t), choose(10_000, params.itopk, t));
+    println!(
+        "dispatch: batch=1 -> {:?}, batch=10k -> {:?}",
+        choose(1, params.itopk, t),
+        choose(10_000, params.itopk, t)
+    );
 
     // Serve queries one at a time and collect latencies.
     let mut host_lat_us: Vec<f64> = Vec::with_capacity(queries.len());
@@ -33,8 +37,7 @@ fn main() {
     let device = DeviceSpec::a100();
     for qi in 0..queries.len() {
         let t0 = std::time::Instant::now();
-        let (results, trace) =
-            index.search_mode(queries.row(qi), 10, &params, Mode::MultiCta);
+        let (results, trace) = index.search_mode(queries.row(qi), 10, &params, Mode::MultiCta);
         host_lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
         assert_eq!(results.len(), 10);
         let sim = simulate_batch(&device, &[trace], 96, 4, params.team_size, Mapping::MultiCta);

@@ -9,8 +9,8 @@
 //! cargo run --release --example sharded_deployment
 //! ```
 
-use cagra_repro::prelude::*;
 use cagra::ShardedIndex;
+use cagra_repro::prelude::*;
 use gpu_sim::{simulate_sharded_batch, DeviceSpec, Mapping};
 use knn::brute::ground_truth;
 
@@ -34,13 +34,12 @@ fn main() {
     let mut shard_traces: Vec<Vec<cagra::search::trace::SearchTrace>> =
         (0..shards).map(|_| Vec::with_capacity(queries.len())).collect();
     let mut hits = 0usize;
-    for qi in 0..queries.len() {
-        let (results, traces) =
-            index.search_traced(queries.row(qi), 10, &params, Mode::SingleCta);
+    for (qi, ids) in gt.iter().enumerate() {
+        let (results, traces) = index.search_traced(queries.row(qi), 10, &params, Mode::SingleCta);
         for (s, t) in traces.into_iter().enumerate() {
             shard_traces[s].push(t);
         }
-        let truth: std::collections::HashSet<u32> = gt[qi].iter().copied().collect();
+        let truth: std::collections::HashSet<u32> = ids.iter().copied().collect();
         hits += results.iter().filter(|n| truth.contains(&n.id)).count();
     }
     println!("sharded recall@10 = {:.4}", hits as f64 / (queries.len() * 10) as f64);
@@ -57,6 +56,10 @@ fn main() {
         timing.qps
     );
     for (s, t) in timing.per_device.iter().enumerate() {
-        println!("  shard {s}: {:.3} ms compute, {:.3} ms bandwidth", t.compute_seconds * 1e3, t.bandwidth_seconds * 1e3);
+        println!(
+            "  shard {s}: {:.3} ms compute, {:.3} ms bandwidth",
+            t.compute_seconds * 1e3,
+            t.bandwidth_seconds * 1e3
+        );
     }
 }

@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API surface the `bench` crate uses
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size` / `warm_up_time` / `measurement_time`, `b.iter`)
+//! with a plain wall-clock harness: warm up, calibrate an iteration
+//! count per sample, take N samples, report median/min/max ns per
+//! iteration. No statistics beyond that — the goal is honest,
+//! reproducible relative numbers, not criterion's full analysis.
+//!
+//! Results are printed to stdout and written as
+//! `BENCH_<group-slug>.json` under `target/bench-json` (override the
+//! directory with `CAGRA_BENCH_JSON_DIR`), so CI and scripts can
+//! diff runs without parsing log text.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(600),
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier, as in upstream criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+    finished: bool,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget spread across the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.id, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: also yields a per-iteration time estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut iters = 1u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            b.iters = iters;
+            f(&mut b);
+            warm_iters += iters;
+            iters = iters.saturating_mul(2).min(1 << 20);
+        }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
+        let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+
+        // Calibrate so `sample_size` samples fill `measurement_time`.
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let (min, max) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+
+        println!(
+            "{}/{}: median {:.1} ns/iter (min {:.1}, max {:.1}, {} iters x {} samples)",
+            self.name, name, median, min, max, iters_per_sample, self.sample_size
+        );
+        self.results.push(BenchResult {
+            name,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters_per_sample,
+            samples: samples_ns.len(),
+        });
+    }
+
+    /// Finish the group, writing its JSON report.
+    pub fn finish(&mut self) {
+        self.finished = true;
+        let dir = std::env::var("CAGRA_BENCH_JSON_DIR")
+            .unwrap_or_else(|_| "target/bench-json".to_string());
+        let slug: String =
+            self.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"group\": \"{}\",", self.name.replace('"', "\\\""));
+        let _ = writeln!(json, "  \"benchmarks\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"median_ns\": {:.2}, \"mean_ns\": {:.2}, \
+                 \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"iters_per_sample\": {}, \
+                 \"samples\": {}}}{}",
+                r.name.replace('"', "\\\""),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters_per_sample,
+                r.samples,
+                comma,
+            );
+        }
+        let _ = writeln!(json, "  ]");
+        let _ = writeln!(json, "}}");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{slug}.json"));
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup {
+    fn drop(&mut self) {
+        if !self.finished && !self.results.is_empty() {
+            self.finish();
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("CAGRA_BENCH_JSON_DIR", std::env::temp_dir().join("bench-json-test"));
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim/self-test");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_function("count", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        let path = std::env::temp_dir().join("bench-json-test").join("BENCH_shim_self_test.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"group\": \"shim/self-test\""));
+        assert!(text.contains("\"name\": \"count\""));
+        assert!(text.contains("\"name\": \"param/7\""));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes at runtime (there is no
+//! `serde_json` and no `Serializer` anywhere); the derives exist so
+//! that public structs carry the usual annotations and stay
+//! source-compatible with the real crate. `Serialize`/`Deserialize`
+//! are therefore marker traits with blanket impls, and the derive
+//! macros (re-exported from `serde_derive`) expand to nothing while
+//! accepting `#[serde(...)]` helper attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

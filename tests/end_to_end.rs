@@ -16,8 +16,7 @@ const DIM: usize = 24;
 const K: usize = 10;
 
 fn workload() -> (Dataset, Dataset, Vec<Vec<u32>>) {
-    let spec =
-        SynthSpec { dim: DIM, n: N, queries: 60, family: Family::Gaussian, seed: 0xeefe };
+    let spec = SynthSpec { dim: DIM, n: N, queries: 60, family: Family::Gaussian, seed: 0xeefe };
     let (base, queries) = spec.generate();
     let gt = ground_truth(&base, Metric::SquaredL2, &queries, K);
     (base, queries, gt)
@@ -49,7 +48,8 @@ fn cagra_pipeline_end_to_end() {
 
     let mut params = SearchParams::for_k(K);
     params.itopk = 128;
-    let out = index.search_batch_traced(&queries, K, &params, cagra::search::planner::Mode::SingleCta);
+    let out =
+        index.search_batch_traced(&queries, K, &params, cagra::search::planner::Mode::SingleCta);
     let results: Vec<_> = out.iter().map(|(r, _)| r.clone()).collect();
     let r = recall(&results, &gt);
     assert!(r > 0.9, "CAGRA recall@10 = {r}");
@@ -91,8 +91,7 @@ fn cagra_beats_its_own_unoptimized_knn_graph() {
     // recall of the truncated k-NN graph it started from.
     let (base, queries, gt) = workload();
     let d = 16;
-    let knn = knn::NnDescent::new(knn::NnDescentParams::new(2 * d))
-        .build(&base, Metric::SquaredL2);
+    let knn = knn::NnDescent::new(knn::NnDescentParams::new(2 * d)).build(&base, Metric::SquaredL2);
     let plain_rows: Vec<Vec<u32>> =
         knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
     let plain = graph::FixedDegreeGraph::from_rows(&plain_rows, d);

@@ -94,9 +94,9 @@ fn cosine_metric_end_to_end() {
     let gt = knn::brute::ground_truth(&base, Metric::Cosine, &queries, 10);
     let (index, _) = CagraIndex::build(base, Metric::Cosine, &GraphConfig::new(16));
     let mut hits = 0usize;
-    for qi in 0..queries.len() {
+    for (qi, ids) in gt.iter().enumerate() {
         let out = index.search(queries.row(qi), 10, &SearchParams::for_k(10));
-        let truth: std::collections::HashSet<u32> = gt[qi].iter().copied().collect();
+        let truth: std::collections::HashSet<u32> = ids.iter().copied().collect();
         hits += out.iter().filter(|n| truth.contains(&n.id)).count();
     }
     let recall = hits as f64 / (queries.len() * 10) as f64;
@@ -110,9 +110,9 @@ fn inner_product_metric_end_to_end() {
     let gt = knn::brute::ground_truth(&base, Metric::InnerProduct, &queries, 10);
     let (index, _) = CagraIndex::build(base, Metric::InnerProduct, &GraphConfig::new(16));
     let mut hits = 0usize;
-    for qi in 0..queries.len() {
+    for (qi, ids) in gt.iter().enumerate() {
         let out = index.search(queries.row(qi), 10, &SearchParams::for_k(10));
-        let truth: std::collections::HashSet<u32> = gt[qi].iter().copied().collect();
+        let truth: std::collections::HashSet<u32> = ids.iter().copied().collect();
         hits += out.iter().filter(|n| truth.contains(&n.id)).count();
     }
     // MIPS over a graph built for it: weaker than L2 (inner product is
@@ -132,9 +132,9 @@ fn int8_store_is_searchable_with_modest_recall_loss() {
     let params = SearchParams::for_k(10);
     let score = |idx: &dyn Fn(usize) -> Vec<Neighbor>| {
         let mut hits = 0usize;
-        for qi in 0..queries.len() {
+        for (qi, ids) in gt.iter().enumerate() {
             let out = idx(qi);
-            let truth: std::collections::HashSet<u32> = gt[qi].iter().copied().collect();
+            let truth: std::collections::HashSet<u32> = ids.iter().copied().collect();
             hits += out.iter().filter(|n| truth.contains(&n.id)).count();
         }
         hits as f64 / (queries.len() * 10) as f64
