@@ -16,13 +16,73 @@ use dataset::VectorStore;
 use distance::{squared_l2, DistanceOracle, Metric};
 use knn::topk::{Neighbor, TopK};
 
+/// The SIMD engine's three tiers, per metric and element type:
+/// `scalar_row` (canonical scalar kernels, one row per call — the
+/// pre-engine baseline), `simd_row` (detected backend, still one row
+/// per call), and `simd_gang` (detected backend through the batched
+/// `to_rows` path with per-query invariants hoisted). All three
+/// produce bit-identical distances; only the time differs.
 fn bench_distance(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/distance");
-    for dim in [96usize, 200, 960] {
+    let scalar_k = distance::kernels::scalar();
+    let simd_k = distance::kernels::detected();
+    let n = 256usize;
+    let dim = 128usize;
+    let (base, q) = SynthSpec { dim, n, queries: 1, family: Family::Gaussian, seed: 1 }.generate();
+    let query = q.row(0).to_vec();
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let half = base.to_f16();
+    let quant = base.to_i8();
+
+    macro_rules! tier_legs {
+        ($store:expr, $tag:expr) => {{
+            let store = $store;
+            for (mname, metric) in
+                [("l2", Metric::SquaredL2), ("ip", Metric::InnerProduct), ("cos", Metric::Cosine)]
+            {
+                let per_scalar = DistanceOracle::with_kernels(store, metric, scalar_k);
+                let per_simd = DistanceOracle::with_kernels(store, metric, simd_k);
+                g.bench_function(format!("{mname}_{}_d{dim}_scalar_row", $tag), |b| {
+                    b.iter(|| {
+                        let mut acc = 0.0f32;
+                        for i in 0..n {
+                            acc += per_scalar.to_row(black_box(&query), i);
+                        }
+                        acc
+                    })
+                });
+                g.bench_function(format!("{mname}_{}_d{dim}_simd_row", $tag), |b| {
+                    b.iter(|| {
+                        let mut acc = 0.0f32;
+                        for i in 0..n {
+                            acc += per_simd.to_row(black_box(&query), i);
+                        }
+                        acc
+                    })
+                });
+                g.bench_function(format!("{mname}_{}_d{dim}_simd_gang", $tag), |b| {
+                    let mut out = vec![0.0f32; n];
+                    b.iter(|| {
+                        let prepared = per_simd.prepare(black_box(&query));
+                        per_simd.to_rows(&prepared, &ids, &mut out);
+                        out[n - 1]
+                    })
+                });
+            }
+        }};
+    }
+    tier_legs!(&base, "fp32");
+    tier_legs!(&half, "fp16");
+    tier_legs!(&quant, "int8");
+
+    // Dimension sweep (f32 L2 only): the SIMD win grows with row
+    // length; the free function exercises the dispatched entry point.
+    for dim in [96usize, 960] {
         let (base, q) =
             SynthSpec { dim, n: 64, queries: 1, family: Family::Gaussian, seed: 1 }.generate();
         let query = q.row(0).to_vec();
-        g.bench_function(format!("l2_fp32_d{dim}"), |b| {
+        let ids: Vec<u32> = (0..base.len() as u32).collect();
+        g.bench_function(format!("l2_fp32_d{dim}_free_fn"), |b| {
             b.iter(|| {
                 let mut acc = 0.0f32;
                 for i in 0..base.len() {
@@ -31,26 +91,13 @@ fn bench_distance(c: &mut Criterion) {
                 acc
             })
         });
-        let half = base.to_f16();
-        g.bench_function(format!("l2_fp16_d{dim}"), |b| {
-            let oracle = DistanceOracle::new(&half, Metric::SquaredL2);
+        g.bench_function(format!("l2_fp32_d{dim}_simd_gang"), |b| {
+            let oracle = DistanceOracle::with_kernels(&base, Metric::SquaredL2, simd_k);
+            let mut out = vec![0.0f32; base.len()];
             b.iter(|| {
-                let mut acc = 0.0f32;
-                for i in 0..half.len() {
-                    acc += oracle.to_row(black_box(&query), i);
-                }
-                acc
-            })
-        });
-        let quant = base.to_i8();
-        g.bench_function(format!("l2_int8_d{dim}"), |b| {
-            let oracle = DistanceOracle::new(&quant, Metric::SquaredL2);
-            b.iter(|| {
-                let mut acc = 0.0f32;
-                for i in 0..quant.len() {
-                    acc += oracle.to_row(black_box(&query), i);
-                }
-                acc
+                let prepared = oracle.prepare(black_box(&query));
+                oracle.to_rows(&prepared, &ids, &mut out);
+                out[out.len() - 1]
             })
         });
     }

@@ -117,6 +117,8 @@ fn reorder_and_prune<S: VectorStore + ?Sized>(
         let mut counts: Vec<u32> = Vec::new();
         let oracle = DistanceOracle::new(store, metric);
         let mut scratch_x = vec![0.0f32; store.dim()];
+        let mut nb_ids: Vec<u32> = Vec::new();
+        let mut w_x: Vec<f32> = Vec::new();
         for x in start..end {
             let list = &knn[x];
             let k = list.len();
@@ -140,9 +142,15 @@ fn reorder_and_prune<S: VectorStore + ?Sized>(
                     // The paper's costly variant: weights are true
                     // distances recomputed through the oracle
                     // (N * d_init * (d_init - 1) computations overall).
+                    // The whole neighbor list is scored with one
+                    // batched gang call into a reused buffer.
                     store.get_into(x, &mut scratch_x);
-                    let w_x: Vec<f32> =
-                        (0..k).map(|r| oracle.to_row(&scratch_x, list[r].id as usize)).collect();
+                    let prepared = oracle.prepare(&scratch_x);
+                    nb_ids.clear();
+                    nb_ids.extend(list.iter().map(|nb| nb.id));
+                    w_x.clear();
+                    w_x.resize(k, 0.0);
+                    oracle.to_rows(&prepared, &nb_ids, &mut w_x);
                     for (rz, z) in list.iter().enumerate() {
                         for y in knn[z.id as usize].iter() {
                             let (stamp, ry) = rank_of[y.id as usize];

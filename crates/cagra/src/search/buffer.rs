@@ -164,6 +164,15 @@ impl SearchBuffer {
         &self.candidates
     }
 
+    /// Mutable candidate segment. The expansion loop pushes every
+    /// neighbor with a placeholder distance in adjacency order (the
+    /// order feeds the bitonic sort's tie-breaking), then patches the
+    /// first-visit entries from one batched distance call.
+    #[inline]
+    pub fn candidates_mut(&mut self) -> &mut [BufEntry] {
+        &mut self.candidates
+    }
+
     /// Step 1: sort the candidate list and merge it into the top-M
     /// list, keeping the M smallest. Returns the number of candidates
     /// that entered the list (a progress signal).

@@ -77,7 +77,18 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
     // Shared standard hash table sized for all workers (Table II: the
     // multi-CTA table lives in device memory and is never reset).
     scratch.begin(VisitedSet::standard_bits(max_iters, num_cta * d), num_cta, m, d);
-    let SearchScratch { visited, buffers, active, results, trace, record_trace, .. } = scratch;
+    let SearchScratch {
+        visited,
+        buffers,
+        active,
+        results,
+        trace,
+        record_trace,
+        gang_ids,
+        gang_pos,
+        gang_dists,
+        ..
+    } = scratch;
     let hash = visited.as_mut().expect("begin installs the visited set");
     trace.itopk = params.itopk;
     trace.search_width = 1;
@@ -87,17 +98,26 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
     trace.hash_in_shared = false;
 
     let oracle = DistanceOracle::new(store, metric);
+    let prepared = oracle.prepare(query);
 
-    // Per-worker state; each worker draws its own random start set.
+    // Per-worker state; each worker draws its own random start set,
+    // scored with one batched gang call per worker.
     let mut rng = StdRng::seed_from_u64(params.seed);
     for buf in buffers.iter_mut() {
         buf.clear_candidates();
+        gang_ids.clear();
         for _ in 0..d {
             let id = rng.gen_range(0..n) as u32;
             if hash.insert(id) {
-                buf.push_candidate(BufEntry::new(id, oracle.to_row(query, id as usize)));
-                trace.init_distances += 1;
+                gang_ids.push(id);
             }
+        }
+        gang_dists.clear();
+        gang_dists.resize(gang_ids.len(), 0.0);
+        oracle.to_rows(&prepared, gang_ids, gang_dists);
+        for (&id, &dist) in gang_ids.iter().zip(gang_dists.iter()) {
+            buf.push_candidate(BufEntry::new(id, dist));
+            trace.init_distances += 1;
         }
     }
 
@@ -125,15 +145,26 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
                 continue;
             };
             any_active = true;
+            // All d neighbors enter in adjacency order; the first-visit
+            // ones are scored by one batched gang call and patched in.
             buf.clear_candidates();
+            gang_ids.clear();
+            gang_pos.clear();
             for &nb in graph.neighbors(p as usize) {
                 if hash.insert(nb) {
-                    buf.push_candidate(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
-                    round_computed += 1;
-                } else {
-                    buf.push_candidate(BufEntry { dist: f32::MAX, packed: nb });
+                    gang_ids.push(nb);
+                    gang_pos.push(buf.candidates().len() as u32);
                 }
+                buf.push_candidate(BufEntry { dist: f32::MAX, packed: nb });
             }
+            gang_dists.clear();
+            gang_dists.resize(gang_ids.len(), 0.0);
+            oracle.to_rows(&prepared, gang_ids, gang_dists);
+            let cands = buf.candidates_mut();
+            for (&pos, &dist) in gang_pos.iter().zip(gang_dists.iter()) {
+                cands[pos as usize].dist = dist;
+            }
+            round_computed += gang_ids.len();
             round_candidates += buf.candidates().len();
         }
         if !any_active {

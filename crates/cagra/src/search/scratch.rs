@@ -42,6 +42,14 @@ pub struct SearchScratch {
     pub(crate) parents: Vec<u32>,
     /// Staging buffer for batch queries gathered out of a store.
     pub(crate) query: Vec<f32>,
+    /// Fresh (first-visit) node ids gathered during one parent
+    /// expansion, scored in a single `DistanceOracle::to_rows` call.
+    pub(crate) gang_ids: Vec<u32>,
+    /// Candidate-segment positions matching `gang_ids`, where the
+    /// batched distances are patched in.
+    pub(crate) gang_pos: Vec<u32>,
+    /// Output of the batched distance call (parallel to `gang_ids`).
+    pub(crate) gang_dists: Vec<f32>,
     /// Results of the most recent search, ascending by distance.
     pub(crate) results: Vec<Neighbor>,
     /// Trace of the most recent search.
@@ -111,6 +119,9 @@ impl SearchScratch {
         self.active.clear();
         self.active.resize(workers, true);
         self.parents.clear();
+        self.gang_ids.clear();
+        self.gang_pos.clear();
+        self.gang_dists.clear();
         self.results.clear();
         // Reset the trace in place — never replace it wholesale, that
         // would discard the iterations vector's capacity.

@@ -76,7 +76,18 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     };
 
     scratch.begin(bits, 1, params.itopk, width);
-    let SearchScratch { visited, buffers, parents, results, trace, record_trace, .. } = scratch;
+    let SearchScratch {
+        visited,
+        buffers,
+        parents,
+        results,
+        trace,
+        record_trace,
+        gang_ids,
+        gang_pos,
+        gang_dists,
+        ..
+    } = scratch;
     let hash = visited.as_mut().expect("begin installs the visited set");
     let buffer = &mut buffers[0];
     trace.itopk = params.itopk;
@@ -87,16 +98,25 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     trace.hash_in_shared = hash_in_shared;
 
     let oracle = DistanceOracle::new(store, metric);
+    let prepared = oracle.prepare(query);
 
-    // Initialization: p*d uniformly random nodes (Fig. 6, step 0).
+    // Initialization: p*d uniformly random nodes (Fig. 6, step 0),
+    // deduplicated through the hash and scored in one gang call.
     let mut rng = StdRng::seed_from_u64(params.seed);
     buffer.clear_candidates();
+    gang_ids.clear();
     for _ in 0..width {
         let id = rng.gen_range(0..n) as u32;
         if hash.insert(id) {
-            buffer.push_candidate(BufEntry::new(id, oracle.to_row(query, id as usize)));
-            trace.init_distances += 1;
+            gang_ids.push(id);
         }
+    }
+    gang_dists.clear();
+    gang_dists.resize(gang_ids.len(), 0.0);
+    oracle.to_rows(&prepared, gang_ids, gang_dists);
+    for (&id, &dist) in gang_ids.iter().zip(gang_dists.iter()) {
+        buffer.push_candidate(BufEntry::new(id, dist));
+        trace.init_distances += 1;
     }
 
     let mut it = 0usize;
@@ -128,20 +148,31 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
         }
 
         // Steps 2+3: expand parents, computing distances only for
-        // first-time nodes. Candidates go straight into the buffer's
-        // recycled candidate segment.
+        // first-time nodes. Every neighbor enters the candidate
+        // segment in adjacency order (hash-suppressed ones stay at
+        // dist = MAX); the first-visit rows of each parent are then
+        // scored by one batched to_rows gang call and patched in.
         let probes_before = hash.probes();
         let mut computed = 0usize;
         buffer.clear_candidates();
         for &p in parents.iter() {
+            gang_ids.clear();
+            gang_pos.clear();
             for &nb in graph.neighbors(p as usize) {
                 if hash.insert(nb) {
-                    buffer.push_candidate(BufEntry::new(nb, oracle.to_row(query, nb as usize)));
-                    computed += 1;
-                } else {
-                    buffer.push_candidate(BufEntry { dist: f32::MAX, packed: nb });
+                    gang_ids.push(nb);
+                    gang_pos.push(buffer.candidates().len() as u32);
                 }
+                buffer.push_candidate(BufEntry { dist: f32::MAX, packed: nb });
             }
+            gang_dists.clear();
+            gang_dists.resize(gang_ids.len(), 0.0);
+            oracle.to_rows(&prepared, gang_ids, gang_dists);
+            let cands = buffer.candidates_mut();
+            for (&pos, &dist) in gang_pos.iter().zip(gang_dists.iter()) {
+                cands[pos as usize].dist = dist;
+            }
+            computed += gang_ids.len();
         }
         if *record_trace {
             trace.iterations.push(IterationTrace {

@@ -5,9 +5,12 @@
 //! searched on recycled per-thread scratch has to return bit-identical
 //! `Neighbor` lists (ids *and* distances) to searching each query on a
 //! brand-new scratch, across both kernel mappings and any thread
-//! count. Everything runs inside one `#[test]` function because the
-//! thread-count leg mutates the process-wide `CAGRA_THREADS` variable,
-//! and Rust runs `#[test]`s concurrently.
+//! count. The same goes for the SIMD distance backends: forcing the
+//! scalar fallback (the `CAGRA_FORCE_SCALAR` switch) must not move a
+//! bit either. Everything runs inside one `#[test]` function because
+//! the thread-count and backend legs mutate process-wide state
+//! (`CAGRA_THREADS`, the forced-scalar flag), and Rust runs
+//! `#[test]`s concurrently.
 
 use cagra::search::planner::Mode;
 use cagra::{CagraIndex, GraphConfig, HashPolicy, SearchParams, SearchScratch};
@@ -61,6 +64,23 @@ fn batch_scratch_reuse_is_bit_identical_to_fresh_state() {
     for (params, params_label) in [(forgettable, "forgettable"), (standard, "standard")] {
         for mode in [Mode::SingleCta, Mode::MultiCta] {
             let fresh = fresh_per_query(&index, &queries, k, &params, mode);
+
+            // SIMD-vs-scalar axis: the kernel backends share one
+            // canonical summation order, so forcing the scalar
+            // fallback must not move a single result bit — across
+            // both CTA mappings and both hash policies.
+            let forcing_before = distance::kernels::forcing_scalar();
+            distance::kernels::force_scalar(true);
+            let scalar_results = fresh_per_query(&index, &queries, k, &params, mode);
+            distance::kernels::force_scalar(false);
+            let simd_results = fresh_per_query(&index, &queries, k, &params, mode);
+            distance::kernels::force_scalar(forcing_before);
+            assert_bit_identical(
+                &scalar_results,
+                &simd_results,
+                &format!("{params_label}/{mode:?}/scalar-vs-simd"),
+            );
+            assert_bit_identical(&fresh, &simd_results, &format!("{params_label}/{mode:?}/env"));
 
             // The batch path must match fresh state at every thread
             // count: 1 (one scratch serves the whole batch — maximum

@@ -75,6 +75,9 @@ impl VectorStore for DatasetI8 {
     fn bytes_per_vector(&self) -> usize {
         self.dim // one byte per element; scales amortize to ~0
     }
+    fn flat_i8(&self) -> Option<(&[i8], &[f32])> {
+        Some((&self.codes, &self.scales))
+    }
 }
 
 impl Dataset {

@@ -35,6 +35,27 @@ pub trait VectorStore: Sync {
     fn row_f32(&self, _i: usize) -> Option<&[f32]> {
         None
     }
+
+    /// Borrow the whole row-major matrix as f32 if that is the backing
+    /// storage. The distance engine resolves this once per oracle and
+    /// then slices rows out of the flat buffer with no per-row calls.
+    fn flat_f32(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// Borrow the whole matrix as raw binary16 if that is the backing
+    /// storage. Lets the SIMD distance kernels widen f16 lanes inside
+    /// the inner loop instead of paying a `get_into` copy per row.
+    fn flat_f16(&self) -> Option<&[F16]> {
+        None
+    }
+
+    /// Borrow the whole matrix as int8 codes plus per-dimension scales
+    /// if that is the backing storage. Lets the SIMD distance kernels
+    /// dequantize in-loop instead of copying through `get_into`.
+    fn flat_i8(&self) -> Option<(&[i8], &[f32])> {
+        None
+    }
 }
 
 /// An owned row-major f32 matrix.
@@ -113,6 +134,9 @@ impl VectorStore for Dataset {
     fn row_f32(&self, i: usize) -> Option<&[f32]> {
         Some(self.row(i))
     }
+    fn flat_f32(&self) -> Option<&[f32]> {
+        Some(&self.data)
+    }
 }
 
 /// An owned row-major binary16 matrix; rows widen to f32 on access.
@@ -151,6 +175,9 @@ impl VectorStore for DatasetF16 {
     }
     fn bytes_per_vector(&self) -> usize {
         self.dim * 2
+    }
+    fn flat_f16(&self) -> Option<&[F16]> {
+        Some(&self.data)
     }
 }
 

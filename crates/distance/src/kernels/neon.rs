@@ -1,0 +1,171 @@
+//! NEON backend (aarch64) — two `float32x4` accumulators form the
+//! canonical 8-lane shape of [`super::scalar`].
+//!
+//! Lanes 0..4 of a chunk live in the low register, lanes 4..8 in the
+//! high one, so `vaddq_f32(lo, hi)` computes exactly the
+//! `s_l = acc[l] + acc[l+4]` fold of the scalar `hsum8`, and the four
+//! folded lanes combine with the same `(s0+s1)+(s2+s3)` tree. As on
+//! AVX2 there is deliberately no fused multiply-add (`vfmaq_f32`
+//! rounds once; the contract requires `mul` then `add`). Int8 rows
+//! sign-extend through `vmovl_s8`/`vmovl_s16` and convert exactly;
+//! binary16 rows stay on the scalar kernels (the dispatch table never
+//! installs a NEON f16 entry) because widening via the fp16 extension
+//! is not universally available and the scalar path is already exact.
+
+#![cfg(target_arch = "aarch64")]
+
+use core::arch::aarch64::*;
+
+/// Canonical reduction of an 8-lane accumulator held as two quads.
+///
+/// # Safety
+/// NEON must be available (always true for the aarch64 targets we
+/// build, but the dispatch table still runtime-checks it).
+#[inline(always)]
+unsafe fn hsum8(lo: float32x4_t, hi: float32x4_t) -> f32 {
+    let s = vaddq_f32(lo, hi);
+    let mut lanes = [0.0f32; 4];
+    vst1q_f32(lanes.as_mut_ptr(), s);
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+#[inline(always)]
+unsafe fn load_f32(r: &[f32], base: usize) -> (float32x4_t, float32x4_t) {
+    debug_assert!(base + 8 <= r.len());
+    let p = r.as_ptr().add(base);
+    (vld1q_f32(p), vld1q_f32(p.add(4)))
+}
+
+#[inline(always)]
+unsafe fn load_i8(codes: &[i8], scales: &[f32], base: usize) -> (float32x4_t, float32x4_t) {
+    debug_assert!(base + 8 <= codes.len() && base + 8 <= scales.len());
+    let raw = vld1_s8(codes.as_ptr().add(base)); // 8 x i8
+    let w16 = vmovl_s8(raw); // 8 x i16
+    let lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w16))); // exact
+    let hi = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w16)));
+    let sp = scales.as_ptr().add(base);
+    // One rounding per element, same as scalar `code as f32 * scale`.
+    (vmulq_f32(lo, vld1q_f32(sp)), vmulq_f32(hi, vld1q_f32(sp.add(4))))
+}
+
+#[inline(always)]
+unsafe fn l2_body(
+    q: &[f32],
+    load: impl Fn(usize) -> (float32x4_t, float32x4_t),
+    at: impl Fn(usize) -> f32,
+) -> f32 {
+    let n = q.len();
+    let chunks = n / 8;
+    let mut acc_lo = vdupq_n_f32(0.0);
+    let mut acc_hi = vdupq_n_f32(0.0);
+    for c in 0..chunks {
+        let base = c * 8;
+        let qp = q.as_ptr().add(base);
+        let (w_lo, w_hi) = load(base);
+        let d_lo = vsubq_f32(vld1q_f32(qp), w_lo);
+        let d_hi = vsubq_f32(vld1q_f32(qp.add(4)), w_hi);
+        acc_lo = vaddq_f32(acc_lo, vmulq_f32(d_lo, d_lo));
+        acc_hi = vaddq_f32(acc_hi, vmulq_f32(d_hi, d_hi));
+    }
+    let mut sum = hsum8(acc_lo, acc_hi);
+    for j in chunks * 8..n {
+        let d = q[j] - at(j);
+        sum += d * d;
+    }
+    sum
+}
+
+#[inline(always)]
+unsafe fn dot_body(
+    q: &[f32],
+    load: impl Fn(usize) -> (float32x4_t, float32x4_t),
+    at: impl Fn(usize) -> f32,
+) -> f32 {
+    let n = q.len();
+    let chunks = n / 8;
+    let mut acc_lo = vdupq_n_f32(0.0);
+    let mut acc_hi = vdupq_n_f32(0.0);
+    for c in 0..chunks {
+        let base = c * 8;
+        let qp = q.as_ptr().add(base);
+        let (w_lo, w_hi) = load(base);
+        acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(qp), w_lo));
+        acc_hi = vaddq_f32(acc_hi, vmulq_f32(vld1q_f32(qp.add(4)), w_hi));
+    }
+    let mut sum = hsum8(acc_lo, acc_hi);
+    for j in chunks * 8..n {
+        sum += q[j] * at(j);
+    }
+    sum
+}
+
+#[inline(always)]
+unsafe fn dot_norm_body(
+    q: &[f32],
+    load: impl Fn(usize) -> (float32x4_t, float32x4_t),
+    at: impl Fn(usize) -> f32,
+) -> (f32, f32) {
+    let n = q.len();
+    let chunks = n / 8;
+    let mut ab_lo = vdupq_n_f32(0.0);
+    let mut ab_hi = vdupq_n_f32(0.0);
+    let mut bb_lo = vdupq_n_f32(0.0);
+    let mut bb_hi = vdupq_n_f32(0.0);
+    for c in 0..chunks {
+        let base = c * 8;
+        let qp = q.as_ptr().add(base);
+        let (w_lo, w_hi) = load(base);
+        ab_lo = vaddq_f32(ab_lo, vmulq_f32(vld1q_f32(qp), w_lo));
+        ab_hi = vaddq_f32(ab_hi, vmulq_f32(vld1q_f32(qp.add(4)), w_hi));
+        bb_lo = vaddq_f32(bb_lo, vmulq_f32(w_lo, w_lo));
+        bb_hi = vaddq_f32(bb_hi, vmulq_f32(w_hi, w_hi));
+    }
+    let mut sab = hsum8(ab_lo, ab_hi);
+    let mut sbb = hsum8(bb_lo, bb_hi);
+    for j in chunks * 8..n {
+        let w = at(j);
+        sab += q[j] * w;
+        sbb += w * w;
+    }
+    (sab, sbb)
+}
+
+/// # Safety
+/// Requires NEON; `q.len() == r.len()`.
+pub unsafe fn l2_f32(q: &[f32], r: &[f32]) -> f32 {
+    l2_body(q, |base| unsafe { load_f32(r, base) }, |j| r[j])
+}
+
+/// # Safety
+/// Requires NEON; `q.len() == r.len()`.
+pub unsafe fn dot_f32(q: &[f32], r: &[f32]) -> f32 {
+    dot_body(q, |base| unsafe { load_f32(r, base) }, |j| r[j])
+}
+
+/// # Safety
+/// Requires NEON; `q.len() == r.len()`.
+pub unsafe fn dot_norm_f32(q: &[f32], r: &[f32]) -> (f32, f32) {
+    dot_norm_body(q, |base| unsafe { load_f32(r, base) }, |j| r[j])
+}
+
+/// # Safety
+/// Requires NEON; `q`, `codes`, `scales` all of equal length.
+pub unsafe fn l2_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> f32 {
+    l2_body(q, |base| unsafe { load_i8(codes, scales, base) }, |j| codes[j] as f32 * scales[j])
+}
+
+/// # Safety
+/// Requires NEON; `q`, `codes`, `scales` all of equal length.
+pub unsafe fn dot_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> f32 {
+    dot_body(q, |base| unsafe { load_i8(codes, scales, base) }, |j| codes[j] as f32 * scales[j])
+}
+
+/// # Safety
+/// Requires NEON; `q`, `codes`, `scales` all of equal length.
+pub unsafe fn dot_norm_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> (f32, f32) {
+    dot_norm_body(
+        q,
+        |base| unsafe { load_i8(codes, scales, base) },
+        |j| codes[j] as f32 * scales[j],
+    )
+}

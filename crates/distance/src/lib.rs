@@ -3,16 +3,28 @@
 //! Every index in the workspace measures similarity through
 //! [`Metric`], covering the paper's distance options: squared L2 (the
 //! default for SIFT/GIST/DEEP), inner product, and cosine (angular
-//! datasets such as GloVe). Kernels are written as 4-way unrolled
-//! loops over slices so LLVM can vectorize them — the CPU analogue of
-//! the paper's team-based 128-bit loads.
+//! datasets such as GloVe). The arithmetic lives in [`kernels`]: a
+//! SIMD engine (AVX2 on x86_64, NEON on aarch64, scalar everywhere)
+//! selected once at startup through a function-pointer table — the CPU
+//! analogue of the paper's team-based 128-bit loads — with every
+//! backend bit-identical to the canonical scalar order, so recall
+//! numbers do not depend on the host CPU.
 //!
 //! A [`DistanceOracle`] wraps a [`VectorStore`] and hands out
-//! query-to-row distances, widening FP16 rows through a scratch buffer
-//! exactly once per call.
+//! query-to-row distances. It resolves the store's native layout once
+//! (f32 / binary16 / int8 flat matrices) so FP16 and Int8 rows widen
+//! *inside* the SIMD loop instead of through a per-row `get_into`
+//! copy, hoists per-query invariants into a [`PreparedQuery`], and
+//! exposes the batched [`DistanceOracle::to_rows`] gang kernel that
+//! the search hot loops use to score a parent's whole adjacency list
+//! in one call.
 
 use dataset::VectorStore;
 use serde::{Deserialize, Serialize};
+
+pub mod kernels;
+
+pub use kernels::Kernels;
 
 /// Distance (or similarity converted to a distance) between vectors.
 ///
@@ -38,85 +50,127 @@ impl Metric {
     #[inline]
     pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
+        let k = kernels::active();
         match self {
-            Metric::SquaredL2 => squared_l2(a, b),
-            Metric::InnerProduct => -dot(a, b),
-            Metric::Cosine => cosine_distance(a, b),
+            Metric::SquaredL2 => (k.l2)(a, b),
+            Metric::InnerProduct => -(k.dot)(a, b),
+            Metric::Cosine => {
+                let qnorm = (k.dot)(a, a).sqrt();
+                cosine_from_parts(qnorm, (k.dot_norm)(a, b))
+            }
         }
     }
 }
 
-/// Squared L2 distance, 4-way unrolled.
+/// `1 - cos` from the hoisted query norm and a fused `(a·b, b·b)`
+/// pair; zero vectors are maximally far by convention.
 #[inline]
-pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            let d = a[base + lane] - b[base + lane];
-            acc[lane] += d * d;
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
-}
-
-/// Dot product, 4-way unrolled.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            acc[lane] += a[base + lane] * b[base + lane];
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
-}
-
-/// Cosine distance `1 - cos`; zero vectors are treated as maximally far.
-#[inline]
-pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
-    let ab = dot(a, b);
-    let na = dot(a, a).sqrt();
-    let nb = dot(b, b).sqrt();
-    if na == 0.0 || nb == 0.0 {
+fn cosine_from_parts(qnorm: f32, (ab, bb): (f32, f32)) -> f32 {
+    let nb = bb.sqrt();
+    if qnorm == 0.0 || nb == 0.0 {
         return 1.0;
     }
-    1.0 - ab / (na * nb)
+    1.0 - ab / (qnorm * nb)
+}
+
+/// Squared L2 distance via the active SIMD backend.
+#[inline]
+pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    (kernels::active().l2)(a, b)
+}
+
+/// Dot product via the active SIMD backend.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    (kernels::active().dot)(a, b)
+}
+
+/// Cosine distance `1 - cos`; zero vectors are treated as maximally
+/// far. One-shot form — search loops instead hoist the query norm via
+/// [`DistanceOracle::prepare`] so `dot(a, a)` is not recomputed per
+/// pair.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    Metric::Cosine.distance(a, b)
+}
+
+/// A query with its per-query invariants hoisted: for cosine, the
+/// query L2 norm (previously recomputed from `dot(a, a)` on every
+/// pair). Borrowed by the batched oracle entry points.
+pub struct PreparedQuery<'q> {
+    query: &'q [f32],
+    /// `‖q‖₂` under [`Metric::Cosine`]; 0.0 (unused) otherwise.
+    norm: f32,
+}
+
+impl<'q> PreparedQuery<'q> {
+    /// The raw query slice.
+    pub fn query(&self) -> &'q [f32] {
+        self.query
+    }
+
+    /// The hoisted cosine query norm (0.0 for other metrics).
+    pub fn norm(&self) -> f32 {
+        self.norm
+    }
+}
+
+/// The store's native row layout, resolved once per oracle so the hot
+/// path dispatches on it without virtual calls or copies.
+enum Rows<'a> {
+    F32(&'a [f32]),
+    F16(&'a [dataset::F16]),
+    I8(&'a [i8], &'a [f32]),
+    /// No flat view available: widen per row through `get_into`.
+    Opaque,
 }
 
 /// Query-to-dataset distance evaluator over any [`VectorStore`].
 ///
-/// Owns a scratch row buffer so FP16 stores pay one widening copy per
-/// distance and zero heap allocations. Construct one per worker thread
-/// (it is `!Sync` by design — the scratch is interior state).
+/// Captures the active [`Kernels`] table at construction, owns two
+/// scratch rows (so even row-to-row distances on widening stores
+/// allocate nothing per call), and counts every distance computed (the
+/// paper's pruning analyses count these; `gpu-sim` also uses it for
+/// cost). Construct one per worker thread (it is `!Sync` by design —
+/// the scratch is interior state).
 pub struct DistanceOracle<'a, S: VectorStore + ?Sized> {
     store: &'a S,
     metric: Metric,
+    rows: Rows<'a>,
+    kern: &'static Kernels,
+    dim: usize,
     scratch: std::cell::RefCell<Vec<f32>>,
-    /// Number of distance computations issued (the paper's pruning
-    /// analyses count these; `gpu-sim` also uses it for cost).
+    scratch2: std::cell::RefCell<Vec<f32>>,
     count: std::cell::Cell<u64>,
 }
 
 impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
-    /// Create an oracle over `store` with the given metric.
+    /// Create an oracle over `store` with the given metric, using the
+    /// currently active kernel backend.
     pub fn new(store: &'a S, metric: Metric) -> Self {
+        Self::with_kernels(store, metric, kernels::active())
+    }
+
+    /// Create an oracle pinned to a specific kernel backend (benches
+    /// and parity tests compare backends side by side this way).
+    pub fn with_kernels(store: &'a S, metric: Metric, kern: &'static Kernels) -> Self {
+        let rows = if let Some(flat) = store.flat_f32() {
+            Rows::F32(flat)
+        } else if let Some(flat) = store.flat_f16() {
+            Rows::F16(flat)
+        } else if let Some((codes, scales)) = store.flat_i8() {
+            Rows::I8(codes, scales)
+        } else {
+            Rows::Opaque
+        };
         DistanceOracle {
             store,
             metric,
+            rows,
+            kern,
+            dim: store.dim(),
             scratch: std::cell::RefCell::new(vec![0.0; store.dim()]),
+            scratch2: std::cell::RefCell::new(vec![0.0; store.dim()]),
             count: std::cell::Cell::new(0),
         }
     }
@@ -131,31 +185,202 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
         self.store
     }
 
-    /// Distance between `query` and dataset row `i`.
+    /// The kernel backend this oracle dispatches to.
+    pub fn kernels(&self) -> &'static Kernels {
+        self.kern
+    }
+
+    /// Hoist the per-query invariants (cosine query norm) once; the
+    /// result feeds [`Self::to_row_prepared`] and [`Self::to_rows`].
+    #[inline]
+    pub fn prepare<'q>(&self, query: &'q [f32]) -> PreparedQuery<'q> {
+        let norm = match self.metric {
+            Metric::Cosine => (self.kern.dot)(query, query).sqrt(),
+            _ => 0.0,
+        };
+        PreparedQuery { query, norm }
+    }
+
+    /// Distance between `query` and dataset row `i` (one-shot form;
+    /// prefer [`Self::prepare`] + the prepared entry points in loops).
     #[inline]
     pub fn to_row(&self, query: &[f32], i: usize) -> f32 {
+        let pq = self.prepare(query);
+        self.to_row_prepared(&pq, i)
+    }
+
+    /// Distance between a prepared query and dataset row `i`.
+    #[inline]
+    pub fn to_row_prepared(&self, pq: &PreparedQuery<'_>, i: usize) -> f32 {
         self.count.set(self.count.get() + 1);
-        if let Some(row) = self.store.row_f32(i) {
-            return self.metric.distance(query, row);
+        self.row_distance(pq.query, pq.norm, i)
+    }
+
+    /// Batched gang kernel: distances from a prepared query to every
+    /// row in `ids`, written to `out` in order. Metric and row-layout
+    /// dispatch happen once per call, not once per row, and upcoming
+    /// neighbor rows are prefetched while the current one computes —
+    /// this is the CPU analogue of the paper scoring all `d` neighbors
+    /// of a parent in one warp-wide pass.
+    ///
+    /// Equivalent to `to_row` per id, bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `ids.len() != out.len()`.
+    pub fn to_rows(&self, pq: &PreparedQuery<'_>, ids: &[u32], out: &mut [f32]) {
+        assert_eq!(ids.len(), out.len(), "to_rows: ids/out length mismatch");
+        self.count.set(self.count.get() + ids.len() as u64);
+        let k = self.kern;
+        let q = pq.query;
+        let dim = self.dim;
+        match self.rows {
+            Rows::F32(flat) => self.gang_metric(
+                pq,
+                ids,
+                out,
+                |i| (k.l2)(q, &flat[i * dim..(i + 1) * dim]),
+                |i| (k.dot)(q, &flat[i * dim..(i + 1) * dim]),
+                |i| (k.dot_norm)(q, &flat[i * dim..(i + 1) * dim]),
+                |i| kernels::prefetch(flat[i * dim..].as_ptr()),
+            ),
+            Rows::F16(flat) => self.gang_metric(
+                pq,
+                ids,
+                out,
+                |i| (k.l2_f16)(q, &flat[i * dim..(i + 1) * dim]),
+                |i| (k.dot_f16)(q, &flat[i * dim..(i + 1) * dim]),
+                |i| (k.dot_norm_f16)(q, &flat[i * dim..(i + 1) * dim]),
+                |i| kernels::prefetch(flat[i * dim..].as_ptr()),
+            ),
+            Rows::I8(codes, scales) => self.gang_metric(
+                pq,
+                ids,
+                out,
+                |i| (k.l2_i8)(q, &codes[i * dim..(i + 1) * dim], scales),
+                |i| (k.dot_i8)(q, &codes[i * dim..(i + 1) * dim], scales),
+                |i| (k.dot_norm_i8)(q, &codes[i * dim..(i + 1) * dim], scales),
+                |i| kernels::prefetch(codes[i * dim..].as_ptr()),
+            ),
+            Rows::Opaque => {
+                for (o, &id) in out.iter_mut().zip(ids) {
+                    let mut s = self.scratch.borrow_mut();
+                    self.store.get_into(id as usize, &mut s);
+                    *o = self.f32_pair_distance(q, pq.norm, &s);
+                }
+            }
         }
-        let mut scratch = self.scratch.borrow_mut();
-        self.store.get_into(i, &mut scratch);
-        self.metric.distance(query, &scratch)
+    }
+
+    /// Shared gang loop: pick the per-row closure for this metric once,
+    /// then stream the ids with a two-ahead row prefetch.
+    #[allow(clippy::too_many_arguments)]
+    fn gang_metric(
+        &self,
+        pq: &PreparedQuery<'_>,
+        ids: &[u32],
+        out: &mut [f32],
+        l2: impl Fn(usize) -> f32,
+        dotk: impl Fn(usize) -> f32,
+        dot_norm: impl Fn(usize) -> (f32, f32),
+        pf: impl Fn(usize),
+    ) {
+        match self.metric {
+            Metric::SquaredL2 => gang(ids, out, l2, pf),
+            Metric::InnerProduct => gang(ids, out, |i| -dotk(i), pf),
+            Metric::Cosine => {
+                let qnorm = pq.norm;
+                gang(ids, out, |i| cosine_from_parts(qnorm, dot_norm(i)), pf)
+            }
+        }
+    }
+
+    /// Dispatch one query-to-row distance on the resolved row layout.
+    #[inline]
+    fn row_distance(&self, q: &[f32], qnorm: f32, i: usize) -> f32 {
+        let k = self.kern;
+        let dim = self.dim;
+        match self.rows {
+            Rows::F32(flat) => {
+                let r = &flat[i * dim..(i + 1) * dim];
+                match self.metric {
+                    Metric::SquaredL2 => (k.l2)(q, r),
+                    Metric::InnerProduct => -(k.dot)(q, r),
+                    Metric::Cosine => cosine_from_parts(qnorm, (k.dot_norm)(q, r)),
+                }
+            }
+            Rows::F16(flat) => {
+                let r = &flat[i * dim..(i + 1) * dim];
+                match self.metric {
+                    Metric::SquaredL2 => (k.l2_f16)(q, r),
+                    Metric::InnerProduct => -(k.dot_f16)(q, r),
+                    Metric::Cosine => cosine_from_parts(qnorm, (k.dot_norm_f16)(q, r)),
+                }
+            }
+            Rows::I8(codes, scales) => {
+                let r = &codes[i * dim..(i + 1) * dim];
+                match self.metric {
+                    Metric::SquaredL2 => (k.l2_i8)(q, r, scales),
+                    Metric::InnerProduct => -(k.dot_i8)(q, r, scales),
+                    Metric::Cosine => cosine_from_parts(qnorm, (k.dot_norm_i8)(q, r, scales)),
+                }
+            }
+            Rows::Opaque => {
+                let mut s = self.scratch.borrow_mut();
+                self.store.get_into(i, &mut s);
+                self.f32_pair_distance(q, qnorm, &s)
+            }
+        }
+    }
+
+    /// Metric on two f32 slices with an already-hoisted query norm.
+    #[inline]
+    fn f32_pair_distance(&self, q: &[f32], qnorm: f32, r: &[f32]) -> f32 {
+        let k = self.kern;
+        match self.metric {
+            Metric::SquaredL2 => (k.l2)(q, r),
+            Metric::InnerProduct => -(k.dot)(q, r),
+            Metric::Cosine => cosine_from_parts(qnorm, (k.dot_norm)(q, r)),
+        }
     }
 
     /// Distance between dataset rows `i` and `j`.
+    ///
+    /// Widening stores pay one `get_into` for row `i` into a
+    /// persistent scratch row — row `j` runs through the typed kernel
+    /// directly — so no call allocates.
     #[inline]
     pub fn between_rows(&self, i: usize, j: usize) -> f32 {
-        if let (Some(a), Some(b)) = (self.store.row_f32(i), self.store.row_f32(j)) {
-            self.count.set(self.count.get() + 1);
-            return self.metric.distance(a, b);
-        }
-        let mut scratch = self.scratch.borrow_mut();
-        self.store.get_into(i, &mut scratch);
-        let a = scratch.clone();
-        self.store.get_into(j, &mut scratch);
         self.count.set(self.count.get() + 1);
-        self.metric.distance(&a, &scratch)
+        match self.rows {
+            Rows::F32(flat) => {
+                let dim = self.dim;
+                let a = &flat[i * dim..(i + 1) * dim];
+                let qnorm = self.hoist_norm(a);
+                self.row_distance(a, qnorm, j)
+            }
+            Rows::F16(..) | Rows::I8(..) => {
+                let mut a = self.scratch.borrow_mut();
+                self.store.get_into(i, &mut a);
+                let qnorm = self.hoist_norm(&a);
+                self.row_distance(&a, qnorm, j)
+            }
+            Rows::Opaque => {
+                let mut a = self.scratch.borrow_mut();
+                let mut b = self.scratch2.borrow_mut();
+                self.store.get_into(i, &mut a);
+                self.store.get_into(j, &mut b);
+                let qnorm = self.hoist_norm(&a);
+                self.f32_pair_distance(&a, qnorm, &b)
+            }
+        }
+    }
+
+    #[inline]
+    fn hoist_norm(&self, q: &[f32]) -> f32 {
+        match self.metric {
+            Metric::Cosine => (self.kern.dot)(q, q).sqrt(),
+            _ => 0.0,
+        }
     }
 
     /// How many distances have been computed through this oracle.
@@ -166,6 +391,19 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
     /// Reset the distance counter.
     pub fn reset_count(&self) {
         self.count.set(0);
+    }
+}
+
+/// Stream `ids` through a per-row distance closure with a two-ahead
+/// prefetch: while row `j` computes, the cache line of row `j + 2`
+/// starts moving.
+#[inline(always)]
+fn gang(ids: &[u32], out: &mut [f32], f: impl Fn(usize) -> f32, pf: impl Fn(usize)) {
+    for (j, (o, &id)) in out.iter_mut().zip(ids).enumerate() {
+        if let Some(&ahead) = ids.get(j + 2) {
+            pf(ahead as usize);
+        }
+        *o = f(id as usize);
     }
 }
 
@@ -184,7 +422,7 @@ mod tests {
 
     #[test]
     fn l2_of_identical_is_zero() {
-        let a = [0.25f32; 131]; // non-multiple-of-4 length exercises the tail
+        let a = [0.25f32; 131]; // non-multiple-of-8 length exercises the tail
         assert_eq!(squared_l2(&a, &a), 0.0);
     }
 
@@ -233,5 +471,44 @@ mod tests {
         let o = DistanceOracle::new(&h, Metric::SquaredL2);
         assert_eq!(o.to_row(&[0.0, 0.0], 1), 25.0);
         assert_eq!(o.between_rows(0, 1), 25.0);
+    }
+
+    #[test]
+    fn oracle_dequantizes_i8_store() {
+        let d = Dataset::from_flat(vec![0.0, 0.0, 3.0, 4.0], 2);
+        let q = d.to_i8();
+        let o = DistanceOracle::new(&q, Metric::SquaredL2);
+        assert_eq!(o.to_row(&[0.0, 0.0], 1), 25.0);
+        assert_eq!(o.between_rows(0, 1), 25.0);
+    }
+
+    #[test]
+    fn to_rows_counts_batch_and_matches_to_row() {
+        let d = Dataset::from_flat((0..24).map(|x| x as f32).collect(), 3);
+        let o = DistanceOracle::new(&d, Metric::SquaredL2);
+        let query = [1.0, 0.5, -2.0];
+        let pq = o.prepare(&query);
+        let ids = [7u32, 0, 3, 3, 5];
+        let mut out = [0.0f32; 5];
+        o.to_rows(&pq, &ids, &mut out);
+        assert_eq!(o.computed(), 5);
+        for (&id, &got) in ids.iter().zip(&out) {
+            assert_eq!(got.to_bits(), o.to_row(&query, id as usize).to_bits());
+        }
+    }
+
+    #[test]
+    fn prepared_cosine_norm_is_hoisted() {
+        let d = Dataset::from_flat(vec![1.0, 0.0, 0.0, 1.0, -3.0, 4.0], 2);
+        let o = DistanceOracle::new(&d, Metric::Cosine);
+        let query = [3.0, 4.0];
+        let pq = o.prepare(&query);
+        assert_eq!(pq.norm(), 5.0);
+        for i in 0..3 {
+            assert_eq!(
+                o.to_row_prepared(&pq, i).to_bits(),
+                cosine_distance(&query, d.row(i)).to_bits()
+            );
+        }
     }
 }

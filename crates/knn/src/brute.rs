@@ -9,7 +9,15 @@ use crate::topk::{Neighbor, TopK};
 use dataset::VectorStore;
 use distance::{DistanceOracle, Metric};
 
+/// Rows scored per batched `to_rows` call in the scan loops: big
+/// enough to amortize metric dispatch, small enough to stay on stack.
+pub(crate) const GANG: usize = 256;
+
 /// Exact top-k for one query.
+///
+/// Scans the dataset in [`GANG`]-row blocks through the batched
+/// distance kernel, so metric/layout dispatch and the cosine query
+/// norm are paid once per block, not once per row.
 pub fn exact_search<S: VectorStore + ?Sized>(
     store: &S,
     metric: Metric,
@@ -18,12 +26,24 @@ pub fn exact_search<S: VectorStore + ?Sized>(
 ) -> Vec<Neighbor> {
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     let oracle = DistanceOracle::new(store, metric);
+    let prepared = oracle.prepare(query);
     let mut top = TopK::new(k.max(1));
-    for i in 0..store.len() {
-        let d = oracle.to_row(query, i);
-        if d < top.threshold() {
-            top.push(Neighbor::new(i as u32, d));
+    let mut ids = [0u32; GANG];
+    let mut dists = [0.0f32; GANG];
+    let n = store.len();
+    let mut start = 0usize;
+    while start < n {
+        let m = GANG.min(n - start);
+        for (t, id) in ids[..m].iter_mut().enumerate() {
+            *id = (start + t) as u32;
         }
+        oracle.to_rows(&prepared, &ids[..m], &mut dists[..m]);
+        for (t, &d) in dists[..m].iter().enumerate() {
+            if d < top.threshold() {
+                top.push(Neighbor::new((start + t) as u32, d));
+            }
+        }
+        start += m;
     }
     top.into_sorted()
 }

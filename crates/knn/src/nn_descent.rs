@@ -111,22 +111,31 @@ impl NnDescent {
             (0..n).map(|_| Mutex::new(Vec::with_capacity(k))).collect();
         let dist_count = AtomicU64::new(0);
 
-        // Random initialization: k distinct non-self ids per node.
+        // Random initialization: k distinct non-self ids per node,
+        // gathered first and scored with one batched gang call.
         parallel_chunks(n, threads, |start, end| {
             let oracle = DistanceOracle::new(store, metric);
             let mut scratch = vec![0.0f32; store.dim()];
+            let mut cand: Vec<u32> = Vec::with_capacity(k);
+            let mut dists = vec![0.0f32; k];
             let mut rng = StdRng::seed_from_u64(self.params.seed ^ (start as u64) << 1);
             for (off, slot) in lists[start..end].iter().enumerate() {
                 let v = start + off;
                 store.get_into(v, &mut scratch);
-                let mut list = slot.lock();
-                while list.len() < k {
+                let prepared = oracle.prepare(&scratch);
+                cand.clear();
+                while cand.len() < k {
                     let u = rng.gen_range(0..n);
-                    if u == v || list.iter().any(|e| e.n.id as usize == u) {
+                    if u == v || cand.iter().any(|&c| c as usize == u) {
                         continue;
                     }
-                    let d = oracle.to_row(&scratch, u);
-                    list.push(Entry { n: Neighbor::new(u as u32, d), is_new: true });
+                    cand.push(u as u32);
+                }
+                oracle.to_rows(&prepared, &cand, &mut dists[..k]);
+                let mut list = slot.lock();
+                list.clear();
+                for (&u, &d) in cand.iter().zip(dists.iter()) {
+                    list.push(Entry { n: Neighbor::new(u, d), is_new: true });
                 }
                 list.sort_unstable_by(|a, b| cmp_neighbor(&a.n, &b.n));
             }
@@ -292,18 +301,26 @@ pub fn exact_all_pairs<S: VectorStore + ?Sized>(
         parallel_chunks(n, threads, |start, end| {
             let oracle = DistanceOracle::new(store, metric);
             let mut scratch = vec![0.0f32; store.dim()];
+            let gang = crate::brute::GANG;
+            let mut ids: Vec<u32> = Vec::with_capacity(gang);
+            let mut dists = vec![0.0f32; gang];
             let mut local: Vec<(usize, Vec<Neighbor>)> = Vec::with_capacity(end - start);
             for v in start..end {
                 store.get_into(v, &mut scratch);
+                let prepared = oracle.prepare(&scratch);
                 let mut top = crate::topk::TopK::new(k.max(1));
-                for u in 0..n {
-                    if u == v {
-                        continue;
+                let mut u0 = 0usize;
+                while u0 < n {
+                    let stop = (u0 + gang).min(n);
+                    ids.clear();
+                    ids.extend((u0..stop).filter(|&u| u != v).map(|u| u as u32));
+                    oracle.to_rows(&prepared, &ids, &mut dists[..ids.len()]);
+                    for (&u, &d) in ids.iter().zip(dists.iter()) {
+                        if d < top.threshold() {
+                            top.push(Neighbor::new(u, d));
+                        }
                     }
-                    let d = oracle.to_row(&scratch, u);
-                    if d < top.threshold() {
-                        top.push(Neighbor::new(u as u32, d));
-                    }
+                    u0 = stop;
                 }
                 local.push((v, top.into_sorted()));
             }
