@@ -22,9 +22,10 @@ fn bench(c: &mut Criterion) {
             optimize(&knn, &base, Metric::SquaredL2, &opts)
         })
     });
-    // The reverse-list construction in isolation.
+    // The reverse-list construction in isolation (naive serial form;
+    // the parallel counting-scatter path is timed in micro/build).
     let pruned: Vec<Vec<u32>> =
-        knn.iter().map(|l| l[..DEGREE].iter().map(|n| n.id).collect()).collect();
+        knn.rows().map(|l| l[..DEGREE].iter().map(|n| n.id).collect()).collect();
     g.bench_function("reverse_lists_only", |b| b.iter(|| reverse_lists(&pruned, DEGREE)));
     g.finish();
 }

@@ -4,7 +4,8 @@
 //! knobs the Rust-side performance work tunes; the figure-level
 //! benches sit on top of them.
 
-use bench::{cagra_index, deep_like};
+use bench::{cagra_index, deep_like, knn_lists, DEGREE};
+use cagra::optimize::{optimize, optimize_naive, OptimizeOptions};
 use cagra::search::buffer::{bitonic_sort, BufEntry};
 use cagra::search::hash::VisitedSet;
 use cagra::search::planner::Mode;
@@ -15,6 +16,7 @@ use dataset::synth::{Family, SynthSpec};
 use dataset::VectorStore;
 use distance::{squared_l2, DistanceOracle, Metric};
 use knn::topk::{Neighbor, TopK};
+use knn::{reference_build, NnDescent, NnDescentParams};
 
 /// The SIMD engine's three tiers, per metric and element type:
 /// `scalar_row` (canonical scalar kernels, one row per call — the
@@ -240,6 +242,47 @@ fn bench_scratch_reuse(c: &mut Criterion) {
     g.finish();
 }
 
+/// Construction-pipeline stages on the flat-arena path, at 1 and 4
+/// threads, next to the retained serial `Vec<Vec<_>>` references. All
+/// variants produce bit-identical graphs (see the `build_parity`
+/// integration test); only the time differs. `optimize_full` minus
+/// `reorder_prune` is the reverse-edge scatter + merge cost.
+fn bench_build(c: &mut Criterion) {
+    let (base, _) = deep_like(0);
+    let knn = knn_lists(&base, 2 * DEGREE);
+    let mut g = c.benchmark_group("micro/build");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    for threads in [1usize, 4] {
+        let params = NnDescentParams { threads, ..NnDescentParams::new(2 * DEGREE) };
+        g.bench_function(format!("nn_descent_t{threads}"), |b| {
+            b.iter(|| NnDescent::new(params.clone()).build(black_box(&base), Metric::SquaredL2))
+        });
+        let prune_only =
+            OptimizeOptions { reverse: false, threads, ..OptimizeOptions::new(DEGREE) };
+        g.bench_function(format!("reorder_prune_t{threads}"), |b| {
+            b.iter(|| optimize(black_box(&knn), &base, Metric::SquaredL2, &prune_only))
+        });
+        let full = OptimizeOptions { threads, ..OptimizeOptions::new(DEGREE) };
+        g.bench_function(format!("optimize_full_t{threads}"), |b| {
+            b.iter(|| optimize(black_box(&knn), &base, Metric::SquaredL2, &full))
+        });
+    }
+
+    let serial = NnDescentParams { threads: 1, ..NnDescentParams::new(2 * DEGREE) };
+    g.bench_function("nn_descent_reference_serial", |b| {
+        b.iter(|| reference_build(&serial, black_box(&base), Metric::SquaredL2))
+    });
+    g.bench_function("optimize_naive_serial", |b| {
+        b.iter(|| {
+            optimize_naive(black_box(&knn), &base, Metric::SquaredL2, &OptimizeOptions::new(DEGREE))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_distance,
@@ -247,5 +290,6 @@ criterion_group!(
     bench_hash,
     bench_bitonic,
     bench_scratch_reuse,
+    bench_build,
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use cagra::CagraIndex;
 use dataset::synth::{Family, SynthSpec};
 use dataset::{Dataset, VectorStore};
 use distance::Metric;
-use knn::topk::Neighbor;
+use knn::flat::KnnLists;
 use knn::{NnDescent, NnDescentParams};
 
 /// Benchmark dataset size (`CAGRA_BENCH_N`, default 1500).
@@ -45,7 +45,7 @@ pub fn cagra_index(base: &Dataset) -> CagraIndex<Dataset> {
 }
 
 /// Pre-built NN-Descent lists (shared by the optimization benches).
-pub fn knn_lists(base: &Dataset, k: usize) -> Vec<Vec<Neighbor>> {
+pub fn knn_lists(base: &Dataset, k: usize) -> KnnLists {
     NnDescent::new(NnDescentParams::new(k)).build(base, Metric::SquaredL2)
 }
 

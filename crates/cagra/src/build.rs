@@ -3,7 +3,7 @@
 //! pipeline, with the per-stage timing breakdown the paper reports in
 //! Fig. 11.
 
-use crate::optimize::{optimize, OptimizeOptions};
+use crate::optimize::{optimize_with_stats, OptimizeOptions};
 use crate::params::ReorderStrategy;
 use dataset::VectorStore;
 use distance::Metric;
@@ -59,6 +59,8 @@ pub struct BuildReport {
     /// Distance computations NN-Descent performed (input to the
     /// GPU construction-time estimate).
     pub nn_distance_computations: u64,
+    /// Per-stage breakdown of the two coarse times above.
+    pub stats: BuildStats,
 }
 
 impl BuildReport {
@@ -66,6 +68,29 @@ impl BuildReport {
     pub fn total(&self) -> Duration {
         self.knn_time + self.opt_time
     }
+}
+
+/// Fine-grained per-stage timing of one build: where `knn_time` and
+/// `opt_time` actually go. Surfaced by the CLI `build` command and the
+/// Fig. 4/11 experiment drivers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// NN-Descent random initialization (or the exact-all-pairs
+    /// shortcut on tiny datasets).
+    pub nn_init: Duration,
+    /// NN-Descent descent iterations (sampling + scatter + joins).
+    pub nn_iters: Duration,
+    /// Descent iterations executed (0 when the exact path was taken).
+    pub nn_iterations: u32,
+    /// Detour-count reordering + prune.
+    pub reorder: Duration,
+    /// Reverse edge gather + rank sort.
+    pub reverse: Duration,
+    /// Interleaved merge into the final graph.
+    pub merge: Duration,
+    /// Distance computations performed by the optimizer (nonzero only
+    /// for the distance-based reordering ablation).
+    pub opt_distance_computations: u64,
 }
 
 /// Build a CAGRA graph over `store`.
@@ -104,7 +129,7 @@ pub fn build_graph<S: VectorStore + ?Sized>(
         reverse: true,
         threads: config.threads,
     };
-    let g = optimize(&knn, store, metric, &opts);
+    let (g, opt_stats) = optimize_with_stats(&knn, store, metric, &opts);
     let opt_time = t1.elapsed();
 
     (
@@ -113,6 +138,15 @@ pub fn build_graph<S: VectorStore + ?Sized>(
             knn_time,
             opt_time,
             nn_distance_computations: nn_stats.distance_computations,
+            stats: BuildStats {
+                nn_init: nn_stats.init_time,
+                nn_iters: nn_stats.iter_time,
+                nn_iterations: nn_stats.iterations,
+                reorder: opt_stats.reorder_time,
+                reverse: opt_stats.reverse_time,
+                merge: opt_stats.merge_time,
+                opt_distance_computations: opt_stats.distance_computations,
+            },
         },
     )
 }

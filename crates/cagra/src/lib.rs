@@ -40,7 +40,7 @@ pub mod params;
 pub mod search;
 pub mod shard;
 
-pub use build::{build_graph, BuildReport, GraphConfig};
+pub use build::{build_graph, BuildReport, BuildStats, GraphConfig};
 pub use params::{HashPolicy, ReorderStrategy, SearchParams};
 pub use search::index::CagraIndex;
 pub use search::scratch::SearchScratch;

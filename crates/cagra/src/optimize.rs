@@ -20,16 +20,25 @@
 //!    `d/2` from the reversed graph, backfilling from the pruned graph
 //!    when a node has fewer than `d/2` reverse edges.
 //!
-//! Every step is embarrassingly parallel over nodes; none touches the
-//! dataset except the distance-based ablation.
+//! Every step is embarrassingly parallel over nodes, and every step
+//! runs that way here, allocation-flat and bit-deterministic for any
+//! thread count: reorder+prune writes chunk-owned disjoint rows of one
+//! `n × d` buffer, reverse edges are gathered by the deterministic
+//! counting scatter from `knn::flat`, and merge writes each node's row
+//! straight into the final `FixedDegreeGraph` array. The original
+//! serial `Vec<Vec<_>>` implementation is retained as
+//! [`optimize_naive`] (plus [`reverse_lists`] / [`merge`]) — it is the
+//! reference the `build_parity` test compares against, bit for bit.
 
 use crate::params::ReorderStrategy;
 use dataset::VectorStore;
 use distance::{DistanceOracle, Metric};
 use graph::FixedDegreeGraph;
-use knn::parallel::{default_threads, parallel_chunks};
+use knn::flat::{counting_scatter, CsrRows, KnnLists, ScatterScratch};
+use knn::parallel::{default_threads, parallel_fill_rows_with};
 use knn::topk::Neighbor;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Options for [`optimize`].
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +70,21 @@ impl OptimizeOptions {
     }
 }
 
+/// Timing and work breakdown of one [`optimize_with_stats`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimizeStats {
+    /// Steps 1–2 (detour counting + prune), or the plain truncation
+    /// when reordering is disabled.
+    pub reorder_time: Duration,
+    /// Step 3 (reverse edge gather + rank sort).
+    pub reverse_time: Duration,
+    /// Step 4 (interleaved merge into the final graph).
+    pub merge_time: Duration,
+    /// Distance computations (nonzero only for the distance-based
+    /// reordering ablation).
+    pub distance_computations: u64,
+}
+
 /// Run the optimization pipeline on sorted k-NN lists, producing the
 /// fixed-degree CAGRA graph.
 ///
@@ -69,71 +93,128 @@ impl OptimizeOptions {
 /// expensive; see Fig. 4).
 ///
 /// # Panics
-/// Panics if any list is shorter than `degree` or contains
+/// Panics if the lists are shorter than `degree` or contain
 /// self/duplicate edges.
 pub fn optimize<S: VectorStore + ?Sized>(
-    knn: &[Vec<Neighbor>],
+    knn: &KnnLists,
     store: &S,
     metric: Metric,
     opts: &OptimizeOptions,
 ) -> FixedDegreeGraph {
-    let d = opts.degree;
-    assert!(d > 0, "degree must be positive");
-    assert!(
-        knn.iter().all(|l| l.len() >= d),
-        "every k-NN list must have at least degree={d} entries"
-    );
-    let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
-
-    let pruned: Vec<Vec<u32>> = if opts.reorder {
-        reorder_and_prune(knn, store, metric, d, opts.strategy, threads)
-    } else {
-        // Keep the d closest by distance (initial rank order).
-        knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect()
-    };
-
-    if !opts.reverse {
-        return rows_to_fixed(&pruned, d);
-    }
-
-    let reversed = reverse_lists(&pruned, d);
-    merge(&pruned, &reversed, d)
+    optimize_with_stats(knn, store, metric, opts).0
 }
 
-/// Step 1 + 2: detour counting, stable reorder, prune to `d`.
+/// [`optimize`] with a per-stage timing breakdown.
+pub fn optimize_with_stats<S: VectorStore + ?Sized>(
+    knn: &KnnLists,
+    store: &S,
+    metric: Metric,
+    opts: &OptimizeOptions,
+) -> (FixedDegreeGraph, OptimizeStats) {
+    let d = opts.degree;
+    let n = knn.len();
+    assert!(d > 0, "degree must be positive");
+    assert!(knn.k() >= d, "every k-NN list must have at least degree={d} entries");
+    let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
+    let mut stats = OptimizeStats::default();
+
+    let t = Instant::now();
+    let pruned: Vec<u32> = if opts.reorder {
+        reorder_and_prune(knn, store, metric, d, opts.strategy, threads, &mut stats)
+    } else {
+        // Keep the d closest by distance (initial rank order).
+        let mut rows = vec![0u32; n * d];
+        parallel_fill_rows_with(
+            &mut rows,
+            n,
+            d,
+            threads,
+            || (),
+            |(), x, row| {
+                for (slot, nb) in row.iter_mut().zip(knn.row(x)) {
+                    *slot = nb.id;
+                }
+            },
+        );
+        rows
+    };
+    stats.reorder_time = t.elapsed();
+
+    if !opts.reverse {
+        // Pruned rows carry ids straight out of the validated k-NN
+        // lists, so the id range re-check is redundant.
+        return (FixedDegreeGraph::from_flat_unchecked(pruned, n, d), stats);
+    }
+
+    let t = Instant::now();
+    let mut scatter = ScatterScratch::new();
+    let mut rev: CsrRows<(u32, u32)> = CsrRows::new();
+    reverse_flat(&pruned, n, d, threads, &mut scatter, &mut rev);
+    stats.reverse_time = t.elapsed();
+
+    let t = Instant::now();
+    let graph = merge_flat(&pruned, &rev, n, d, threads);
+    stats.merge_time = t.elapsed();
+    (graph, stats)
+}
+
+/// Step 1 + 2: detour counting, stable reorder, prune to `d`. Output
+/// is one flat `n × d` row-major buffer; workers own disjoint
+/// contiguous row chunks (no per-node locks, no per-node allocations).
 fn reorder_and_prune<S: VectorStore + ?Sized>(
-    knn: &[Vec<Neighbor>],
+    knn: &KnnLists,
     store: &S,
     metric: Metric,
     d: usize,
     strategy: ReorderStrategy,
     threads: usize,
-) -> Vec<Vec<u32>> {
+    stats: &mut OptimizeStats,
+) -> Vec<u32> {
+    struct Scratch<'a, S: VectorStore + ?Sized> {
+        // Stamped id -> rank map reused across this worker's nodes.
+        rank_of: Vec<(u32, u32)>,
+        counts: Vec<u32>,
+        order: Vec<u32>,
+        oracle: DistanceOracle<'a, S>,
+        scratch_x: Vec<f32>,
+        nb_ids: Vec<u32>,
+        w_x: Vec<f32>,
+        counted: u64,
+    }
+
     let n = knn.len();
-    let out: Vec<Mutex<Vec<u32>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-    parallel_chunks(n, threads, |start, end| {
-        // Stamped id -> rank map reused across nodes in this chunk.
-        let mut rank_of: Vec<(u32, u32)> = vec![(u32::MAX, 0); n];
-        let mut counts: Vec<u32> = Vec::new();
-        let oracle = DistanceOracle::new(store, metric);
-        let mut scratch_x = vec![0.0f32; store.dim()];
-        let mut nb_ids: Vec<u32> = Vec::new();
-        let mut w_x: Vec<f32> = Vec::new();
-        for x in start..end {
-            let list = &knn[x];
+    let dist_count = AtomicU64::new(0);
+    let mut pruned = vec![0u32; n * d];
+    parallel_fill_rows_with(
+        &mut pruned,
+        n,
+        d,
+        threads,
+        || Scratch {
+            rank_of: vec![(u32::MAX, 0); n],
+            counts: Vec::new(),
+            order: Vec::new(),
+            oracle: DistanceOracle::new(store, metric),
+            scratch_x: vec![0.0f32; store.dim()],
+            nb_ids: Vec::new(),
+            w_x: Vec::new(),
+            counted: 0,
+        },
+        |st, x, out_row| {
+            let list = knn.row(x);
             let k = list.len();
             for (r, nb) in list.iter().enumerate() {
-                rank_of[nb.id as usize] = (x as u32, r as u32);
+                st.rank_of[nb.id as usize] = (x as u32, r as u32);
             }
-            counts.clear();
-            counts.resize(k, 0);
+            st.counts.clear();
+            st.counts.resize(k, 0);
             match strategy {
                 ReorderStrategy::RankBased => {
                     for (rz, z) in list.iter().enumerate() {
-                        for (rzy, y) in knn[z.id as usize].iter().enumerate() {
-                            let (stamp, ry) = rank_of[y.id as usize];
+                        for (rzy, y) in knn.row(z.id as usize).iter().enumerate() {
+                            let (stamp, ry) = st.rank_of[y.id as usize];
                             if stamp == x as u32 && rz.max(rzy) < ry as usize {
-                                counts[ry as usize] += 1;
+                                st.counts[ry as usize] += 1;
                             }
                         }
                     }
@@ -144,38 +225,185 @@ fn reorder_and_prune<S: VectorStore + ?Sized>(
                     // (N * d_init * (d_init - 1) computations overall).
                     // The whole neighbor list is scored with one
                     // batched gang call into a reused buffer.
-                    store.get_into(x, &mut scratch_x);
-                    let prepared = oracle.prepare(&scratch_x);
-                    nb_ids.clear();
-                    nb_ids.extend(list.iter().map(|nb| nb.id));
-                    w_x.clear();
-                    w_x.resize(k, 0.0);
-                    oracle.to_rows(&prepared, &nb_ids, &mut w_x);
+                    store.get_into(x, &mut st.scratch_x);
+                    let prepared = st.oracle.prepare(&st.scratch_x);
+                    st.nb_ids.clear();
+                    st.nb_ids.extend(list.iter().map(|nb| nb.id));
+                    st.w_x.clear();
+                    st.w_x.resize(k, 0.0);
+                    st.oracle.to_rows(&prepared, &st.nb_ids, &mut st.w_x);
                     for (rz, z) in list.iter().enumerate() {
-                        for y in knn[z.id as usize].iter() {
-                            let (stamp, ry) = rank_of[y.id as usize];
+                        for y in knn.row(z.id as usize).iter() {
+                            let (stamp, ry) = st.rank_of[y.id as usize];
                             if stamp == x as u32 {
-                                let w_zy = oracle.between_rows(z.id as usize, y.id as usize);
-                                if w_x[rz].max(w_zy) < w_x[ry as usize] {
-                                    counts[ry as usize] += 1;
+                                let w_zy = st.oracle.between_rows(z.id as usize, y.id as usize);
+                                if st.w_x[rz].max(w_zy) < st.w_x[ry as usize] {
+                                    st.counts[ry as usize] += 1;
                                 }
                             }
                         }
                     }
+                    let now = st.oracle.computed();
+                    dist_count.fetch_add(now - st.counted, Ordering::Relaxed);
+                    st.counted = now;
                 }
             }
             // Stable reorder by ascending detour count; original rank
             // breaks ties, so an untouched list keeps its order.
-            let mut order: Vec<u32> = (0..k as u32).collect();
-            order.sort_by_key(|&r| (counts[r as usize], r));
-            let row: Vec<u32> = order[..d].iter().map(|&r| list[r as usize].id).collect();
-            *out[x].lock() = row;
-        }
-    });
-    out.into_iter().map(|m| m.into_inner()).collect()
+            st.order.clear();
+            st.order.extend(0..k as u32);
+            st.order.sort_by_key(|&r| (st.counts[r as usize], r));
+            for (slot, &r) in out_row.iter_mut().zip(&st.order[..d]) {
+                *slot = list[r as usize].id;
+            }
+        },
+    );
+    stats.distance_computations = dist_count.load(Ordering::Relaxed);
+    pruned
 }
 
-/// Step 3: reversed graph, rank-sorted, capped at `d` edges per node.
+/// Step 3, flat and parallel: gather `(rank, source)` pairs per target
+/// with the deterministic counting scatter, then rank-sort each row in
+/// parallel. Consumers read at most the first `d` pairs of a row —
+/// exactly what the naive [`reverse_lists`] keeps after truncation.
+fn reverse_flat(
+    pruned: &[u32],
+    n: usize,
+    d: usize,
+    threads: usize,
+    scatter: &mut ScatterScratch,
+    rev: &mut CsrRows<(u32, u32)>,
+) {
+    counting_scatter(n, n, threads, scatter, rev, |x| {
+        pruned[x * d..(x + 1) * d]
+            .iter()
+            .enumerate()
+            .map(move |(rank, &y)| (y, (rank as u32, x as u32)))
+    });
+    rev.par_rows_mut(threads, |_, row| row.sort_unstable());
+}
+
+/// Step 4, flat and parallel: interleave pruned and reverse children,
+/// writing each node's row directly into the final graph's flat array.
+/// Takes alternately from each list, skipping duplicates and
+/// self-edges, backfilling from the pruned list (which always holds
+/// `d` distinct non-self ids).
+fn merge_flat(
+    pruned: &[u32],
+    rev: &CsrRows<(u32, u32)>,
+    n: usize,
+    d: usize,
+    threads: usize,
+) -> FixedDegreeGraph {
+    let mut flat = vec![0u32; n * d];
+    parallel_fill_rows_with(
+        &mut flat,
+        n,
+        d,
+        threads,
+        // Per-worker stamp array: seen[id] == x marks id as already
+        // taken for node x (no clearing between nodes).
+        || vec![u32::MAX; n],
+        |seen, x, out_row| {
+            let p_row = &pruned[x * d..(x + 1) * d];
+            let r_full = rev.row(x);
+            let r_row = &r_full[..r_full.len().min(d)];
+            let mut out_len = 0usize;
+            let mut pi = 0usize;
+            let mut ri = 0usize;
+            let mut take = |id: u32, out_len: &mut usize, out_row: &mut [u32]| {
+                if id as usize != x && seen[id as usize] != x as u32 {
+                    seen[id as usize] = x as u32;
+                    out_row[*out_len] = id;
+                    *out_len += 1;
+                }
+            };
+            while out_len < d {
+                let want_pruned = out_len.is_multiple_of(2);
+                if want_pruned && pi < p_row.len() {
+                    take(p_row[pi], &mut out_len, out_row);
+                    pi += 1;
+                } else if ri < r_row.len() {
+                    take(r_row[ri].1, &mut out_len, out_row);
+                    ri += 1;
+                } else if pi < p_row.len() {
+                    take(p_row[pi], &mut out_len, out_row);
+                    pi += 1;
+                } else {
+                    panic!("node {x}: fewer than {d} distinct merge candidates");
+                }
+            }
+        },
+    );
+    // Every id came from the pruned rows or reverse sources, both of
+    // which are valid node ids.
+    FixedDegreeGraph::from_flat_unchecked(flat, n, d)
+}
+
+/// Serial `Vec<Vec<_>>` reference for the whole pipeline. Same
+/// algorithm, same tie-breaking, none of the flat-arena machinery —
+/// the `build_parity` test asserts [`optimize`] matches this bit for
+/// bit at every thread count.
+pub fn optimize_naive<S: VectorStore + ?Sized>(
+    knn: &KnnLists,
+    store: &S,
+    metric: Metric,
+    opts: &OptimizeOptions,
+) -> FixedDegreeGraph {
+    let d = opts.degree;
+    assert!(d > 0, "degree must be positive");
+    assert!(knn.k() >= d, "every k-NN list must have at least degree={d} entries");
+    let n = knn.len();
+    let oracle = DistanceOracle::new(store, metric);
+    let mut scratch_x = vec![0.0f32; store.dim()];
+
+    let pruned: Vec<Vec<u32>> = if opts.reorder {
+        (0..n)
+            .map(|x| {
+                let list = knn.row(x);
+                let k = list.len();
+                let counts = match opts.strategy {
+                    ReorderStrategy::RankBased => detour_counts_rank_row(|v| knn.row(v), x),
+                    ReorderStrategy::DistanceBased => {
+                        store.get_into(x, &mut scratch_x);
+                        let prepared = oracle.prepare(&scratch_x);
+                        let nb_ids: Vec<u32> = list.iter().map(|nb| nb.id).collect();
+                        let mut w_x = vec![0.0f32; k];
+                        oracle.to_rows(&prepared, &nb_ids, &mut w_x);
+                        let rank_of: std::collections::HashMap<u32, usize> =
+                            list.iter().enumerate().map(|(r, nb)| (nb.id, r)).collect();
+                        let mut counts = vec![0u32; k];
+                        for (rz, z) in list.iter().enumerate() {
+                            for y in knn.row(z.id as usize).iter() {
+                                if let Some(&ry) = rank_of.get(&y.id) {
+                                    let w_zy = oracle.between_rows(z.id as usize, y.id as usize);
+                                    if w_x[rz].max(w_zy) < w_x[ry] {
+                                        counts[ry] += 1;
+                                    }
+                                }
+                            }
+                        }
+                        counts
+                    }
+                };
+                let mut order: Vec<u32> = (0..k as u32).collect();
+                order.sort_by_key(|&r| (counts[r as usize], r));
+                order[..d].iter().map(|&r| list[r as usize].id).collect()
+            })
+            .collect()
+    } else {
+        (0..n).map(|x| knn.row(x)[..d].iter().map(|nb| nb.id).collect()).collect()
+    };
+
+    if !opts.reverse {
+        return rows_to_fixed(&pruned, d);
+    }
+    let reversed = reverse_lists(&pruned, d);
+    merge(&pruned, &reversed, d)
+}
+
+/// Step 3, naive serial form: reversed graph, rank-sorted, capped at
+/// `d` edges per node.
 pub fn reverse_lists(pruned: &[Vec<u32>], d: usize) -> Vec<Vec<u32>> {
     let n = pruned.len();
     // (rank in pruned list, source) pairs per target node.
@@ -194,10 +422,8 @@ pub fn reverse_lists(pruned: &[Vec<u32>], d: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Step 4: interleave pruned and reverse children into a final
-/// fixed-degree graph. Takes alternately from each list, skipping
-/// duplicates and self-edges, backfilling from the pruned list (which
-/// always holds `d` distinct non-self ids).
+/// Step 4, naive serial form: interleave pruned and reverse children
+/// into a final fixed-degree graph.
 pub fn merge(pruned: &[Vec<u32>], reversed: &[Vec<u32>], d: usize) -> FixedDegreeGraph {
     let n = pruned.len();
     let mut flat = Vec::with_capacity(n * d);
@@ -244,16 +470,23 @@ fn rows_to_fixed(rows: &[Vec<u32>], d: usize) -> FixedDegreeGraph {
 }
 
 /// Detour-count computation exposed for tests and the Fig. 2 example:
-/// returns, for each rank position in `list`, the number of detourable
-/// routes under the rank criterion.
-pub fn detour_counts_rank(knn: &[Vec<Neighbor>], x: usize) -> Vec<u32> {
-    let list = &knn[x];
+/// returns, for each rank position in node `x`'s list, the number of
+/// detourable routes under the rank criterion.
+pub fn detour_counts_rank(knn: &KnnLists, x: usize) -> Vec<u32> {
+    detour_counts_rank_row(|v| knn.row(v), x)
+}
+
+fn detour_counts_rank_row<'a, F>(row: F, x: usize) -> Vec<u32>
+where
+    F: Fn(usize) -> &'a [Neighbor],
+{
+    let list = row(x);
     let k = list.len();
     let mut counts = vec![0u32; k];
     let rank_of: std::collections::HashMap<u32, usize> =
         list.iter().enumerate().map(|(r, n)| (n.id, r)).collect();
     for (rz, z) in list.iter().enumerate() {
-        for (rzy, y) in knn[z.id as usize].iter().enumerate() {
+        for (rzy, y) in row(z.id as usize).iter().enumerate() {
             if let Some(&ry) = rank_of.get(&y.id) {
                 if rz.max(rzy) < ry {
                     counts[ry] += 1;
@@ -275,16 +508,20 @@ mod tests {
         Dataset::from_flat((0..n).map(|i| i as f32).collect(), 1)
     }
 
+    fn exact_lists(base: &Dataset, k: usize) -> KnnLists {
+        KnnLists::from_rows(&exact_all_pairs(base, Metric::SquaredL2, k, 1))
+    }
+
     /// Hand-built 4-node k-NN lists where detour structure is known.
-    fn square_lists() -> Vec<Vec<Neighbor>> {
+    fn square_lists() -> KnnLists {
         // Points on a line: 0,1,2,3. 2-NN lists (sorted by distance):
         // 0: [1,2]  1: [0,2]  2: [1,3]  3: [2,1]
-        vec![
+        KnnLists::from_rows(&[
             vec![Neighbor::new(1, 1.0), Neighbor::new(2, 4.0)],
             vec![Neighbor::new(0, 1.0), Neighbor::new(2, 1.0)],
             vec![Neighbor::new(1, 1.0), Neighbor::new(3, 1.0)],
             vec![Neighbor::new(2, 1.0), Neighbor::new(1, 4.0)],
-        ]
+        ])
     }
 
     #[test]
@@ -305,11 +542,19 @@ mod tests {
     fn reorder_moves_detourable_edges_back() {
         let knn = square_lists();
         let store = toy_store(4);
-        let pruned =
-            reorder_and_prune(&knn, &store, Metric::SquaredL2, 2, ReorderStrategy::RankBased, 1);
+        let mut stats = OptimizeStats::default();
+        let pruned = reorder_and_prune(
+            &knn,
+            &store,
+            Metric::SquaredL2,
+            2,
+            ReorderStrategy::RankBased,
+            1,
+            &mut stats,
+        );
         // All counts for node 3 are [0 (edge->2), 1 (edge->1)], so the
         // stable order keeps [2, 1].
-        assert_eq!(pruned[3], vec![2, 1]);
+        assert_eq!(&pruned[3 * 2..4 * 2], &[2, 1]);
     }
 
     #[test]
@@ -350,11 +595,53 @@ mod tests {
         assert_eq!(g.neighbors(2), &[0, 1]);
     }
 
+    /// The flat parallel pipeline vs. the retained serial reference:
+    /// bit-identical graphs across strategies, ablation flags, and
+    /// thread counts.
+    #[test]
+    fn flat_pipeline_matches_naive_reference_bitwise() {
+        let spec = SynthSpec { dim: 6, n: 280, queries: 0, family: Family::Gaussian, seed: 7 };
+        let (base, _) = spec.generate();
+        let knn = exact_lists(&base, 20);
+        for strategy in [ReorderStrategy::RankBased, ReorderStrategy::DistanceBased] {
+            for reverse in [true, false] {
+                let opts = OptimizeOptions { strategy, reverse, ..OptimizeOptions::new(8) };
+                let want = optimize_naive(&knn, &base, Metric::SquaredL2, &opts);
+                for threads in [1usize, 4] {
+                    let got = optimize(
+                        &knn,
+                        &base,
+                        Metric::SquaredL2,
+                        &OptimizeOptions { threads, ..opts },
+                    );
+                    assert_eq!(
+                        got.as_flat(),
+                        want.as_flat(),
+                        "{strategy:?} reverse={reverse} threads={threads} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_per_stage_timing() {
+        let spec = SynthSpec { dim: 6, n: 280, queries: 0, family: Family::Gaussian, seed: 7 };
+        let (base, _) = spec.generate();
+        let knn = exact_lists(&base, 20);
+        let opts = OptimizeOptions::new(8);
+        let (_, stats) = optimize_with_stats(&knn, &base, Metric::SquaredL2, &opts);
+        assert_eq!(stats.distance_computations, 0, "rank-based must not touch the dataset");
+        let dist_opts = OptimizeOptions { strategy: ReorderStrategy::DistanceBased, ..opts };
+        let (_, dstats) = optimize_with_stats(&knn, &base, Metric::SquaredL2, &dist_opts);
+        assert!(dstats.distance_computations > 0);
+    }
+
     #[test]
     fn optimized_graph_invariants_on_synthetic_data() {
         let spec = SynthSpec { dim: 8, n: 300, queries: 0, family: Family::Gaussian, seed: 4 };
         let (base, _) = spec.generate();
-        let knn = exact_all_pairs(&base, Metric::SquaredL2, 24, 1);
+        let knn = exact_lists(&base, 24);
         let g = optimize(&knn, &base, Metric::SquaredL2, &OptimizeOptions::new(8));
         assert_eq!(g.len(), 300);
         assert_eq!(g.degree(), 8);
@@ -374,10 +661,10 @@ mod tests {
         let spec = SynthSpec { dim: 4, n: 500, queries: 0, family: Family::Gaussian, seed: 8 };
         let (base, _) = spec.generate();
         let d = 8;
-        let knn = exact_all_pairs(&base, Metric::SquaredL2, 3 * d, 1);
+        let knn = exact_lists(&base, 3 * d);
         // Plain kNN graph truncated to d vs fully optimized CAGRA.
         let plain: Vec<Vec<u32>> =
-            knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
+            (0..knn.len()).map(|v| knn.row(v)[..d].iter().map(|n| n.id).collect()).collect();
         let plain_g = AdjacencyGraph::from_fixed(&rows_to_fixed(&plain, d));
         let opt = optimize(&knn, &base, Metric::SquaredL2, &OptimizeOptions::new(d));
         let opt_g = AdjacencyGraph::from_fixed(&opt);
@@ -406,7 +693,7 @@ mod tests {
         // graph sharing most edges with the rank-based one.
         let spec = SynthSpec { dim: 4, n: 250, queries: 0, family: Family::Gaussian, seed: 6 };
         let (base, _) = spec.generate();
-        let knn = exact_all_pairs(&base, Metric::SquaredL2, 16, 1);
+        let knn = exact_lists(&base, 16);
         let mut opts = OptimizeOptions::new(8);
         let a = optimize(&knn, &base, Metric::SquaredL2, &opts);
         opts.strategy = ReorderStrategy::DistanceBased;
@@ -425,7 +712,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least degree")]
     fn short_lists_rejected() {
-        let knn = vec![vec![Neighbor::new(1, 1.0)], vec![Neighbor::new(0, 1.0)]];
+        let knn = KnnLists::from_rows(&[vec![Neighbor::new(1, 1.0)], vec![Neighbor::new(0, 1.0)]]);
         let store = toy_store(2);
         optimize(&knn, &store, Metric::SquaredL2, &OptimizeOptions::new(2));
     }
@@ -434,7 +721,7 @@ mod tests {
     fn ablation_flags_produce_distinct_graphs() {
         let spec = SynthSpec { dim: 4, n: 200, queries: 0, family: Family::Gaussian, seed: 2 };
         let (base, _) = spec.generate();
-        let knn = exact_all_pairs(&base, Metric::SquaredL2, 16, 1);
+        let knn = exact_lists(&base, 16);
         let full = optimize(&knn, &base, Metric::SquaredL2, &OptimizeOptions::new(8));
         let no_rev = optimize(
             &knn,

@@ -87,12 +87,23 @@ pub fn build(args: &Args) -> Result<String, String> {
     let config = GraphConfig { strategy, intermediate_degree: d_init, ..GraphConfig::new(degree) };
     let (index, report) = CagraIndex::build(base, metric, &config);
     graph::io::write_fixed(create(out)?, index.graph()).map_err(|e| e.to_string())?;
+    let s = report.stats;
     Ok(format!(
-        "built degree-{degree} graph over {} vectors in {:.2?} (kNN {:.2?} + optimize {:.2?}); wrote {out}",
+        "built degree-{degree} graph over {} vectors in {:.2?} (kNN {:.2?} + optimize {:.2?}); wrote {out}\n\
+         stages: nn-init {:.2?} | nn-iters {:.2?} ({} iters) | reorder {:.2?} | reverse {:.2?} | merge {:.2?}; \
+         distances: nn {} + opt {}",
         index.graph().len(),
         report.total(),
         report.knn_time,
-        report.opt_time
+        report.opt_time,
+        s.nn_init,
+        s.nn_iters,
+        s.nn_iterations,
+        s.reorder,
+        s.reverse,
+        s.merge,
+        report.nn_distance_computations,
+        s.opt_distance_computations,
     ))
 }
 

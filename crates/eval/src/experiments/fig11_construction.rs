@@ -33,6 +33,25 @@ pub struct BuildRow {
     pub opt_s: f64,
     /// End-to-end seconds.
     pub total_s: f64,
+    /// Fine-grained stage timings (CAGRA only).
+    pub stages: Option<StageBreakdown>,
+}
+
+/// CAGRA's pipeline stages, as reported by `BuildStats`.
+#[derive(Clone, Copy, Debug)]
+pub struct StageBreakdown {
+    /// NN-Descent list initialization (random sampling + first sort).
+    pub nn_init_s: f64,
+    /// NN-Descent local-join iterations.
+    pub nn_iters_s: f64,
+    /// Number of NN-Descent iterations run.
+    pub nn_iterations: u32,
+    /// Detour-count reordering + prune.
+    pub reorder_s: f64,
+    /// Reverse-edge construction.
+    pub reverse_s: f64,
+    /// Forward/reverse interleaved merge.
+    pub merge_s: f64,
 }
 
 /// Time every builder on one workload; degrees matched to the CAGRA
@@ -43,11 +62,20 @@ pub fn measure(wl: &Workload) -> Vec<BuildRow> {
     let mut rows = Vec::new();
 
     let (_, report) = crate::experiments::build_cagra_graph(wl);
+    let s = report.stats;
     rows.push(BuildRow {
         method: "CAGRA",
         knn_s: report.knn_time.as_secs_f64(),
         opt_s: report.opt_time.as_secs_f64(),
         total_s: report.total().as_secs_f64(),
+        stages: Some(StageBreakdown {
+            nn_init_s: s.nn_init.as_secs_f64(),
+            nn_iters_s: s.nn_iters.as_secs_f64(),
+            nn_iterations: s.nn_iterations,
+            reorder_s: s.reorder.as_secs_f64(),
+            reverse_s: s.reverse.as_secs_f64(),
+            merge_s: s.merge.as_secs_f64(),
+        }),
     });
 
     // The paper builds CAGRA on the GPU; price the same work on the
@@ -67,6 +95,7 @@ pub fn measure(wl: &Workload) -> Vec<BuildRow> {
         knn_s: est.knn_seconds,
         opt_s: est.opt_seconds,
         total_s: est.total(),
+        stages: None,
     });
 
     let (_, report) = Nssg::build(clone(), Metric::SquaredL2, NssgParams::new(d));
@@ -75,6 +104,7 @@ pub fn measure(wl: &Workload) -> Vec<BuildRow> {
         knn_s: report.knn_time.as_secs_f64(),
         opt_s: report.opt_time.as_secs_f64(),
         total_s: (report.knn_time + report.opt_time).as_secs_f64(),
+        stages: None,
     });
 
     let t0 = Instant::now();
@@ -84,13 +114,26 @@ pub fn measure(wl: &Workload) -> Vec<BuildRow> {
         knn_s: 0.0,
         opt_s: 0.0,
         total_s: t0.elapsed().as_secs_f64(),
+        stages: None,
     });
 
     let (_, dur) = Ggnn::build(clone(), Metric::SquaredL2, GgnnParams::new(d));
-    rows.push(BuildRow { method: "GGNN", knn_s: 0.0, opt_s: 0.0, total_s: dur.as_secs_f64() });
+    rows.push(BuildRow {
+        method: "GGNN",
+        knn_s: 0.0,
+        opt_s: 0.0,
+        total_s: dur.as_secs_f64(),
+        stages: None,
+    });
 
     let (_, dur) = Ganns::build(clone(), Metric::SquaredL2, GannsParams::new((d / 2).max(4)));
-    rows.push(BuildRow { method: "GANNS", knn_s: 0.0, opt_s: 0.0, total_s: dur.as_secs_f64() });
+    rows.push(BuildRow {
+        method: "GANNS",
+        knn_s: 0.0,
+        opt_s: 0.0,
+        total_s: dur.as_secs_f64(),
+        stages: None,
+    });
 
     rows
 }
@@ -98,6 +141,8 @@ pub fn measure(wl: &Workload) -> Vec<BuildRow> {
 /// Run on the figure's four datasets.
 pub fn run(ctx: &ExpContext) {
     let mut t = Table::new(&["dataset", "method", "kNN stage", "opt stage", "total"]);
+    let mut stages =
+        Table::new(&["dataset", "nn init", "nn iters", "(count)", "reorder", "reverse", "merge"]);
     for preset in [PresetName::Sift, PresetName::Gist, PresetName::Glove, PresetName::NyTimes] {
         let wl = Workload::load(preset, ctx);
         for row in measure(&wl) {
@@ -108,9 +153,21 @@ pub fn run(ctx: &ExpContext) {
                 if row.opt_s > 0.0 { fmt_secs(row.opt_s) } else { "-".into() },
                 fmt_secs(row.total_s),
             ]);
+            if let Some(s) = row.stages {
+                stages.row(vec![
+                    preset.label().to_string(),
+                    fmt_secs(s.nn_init_s),
+                    fmt_secs(s.nn_iters_s),
+                    s.nn_iterations.to_string(),
+                    fmt_secs(s.reorder_s),
+                    fmt_secs(s.reverse_s),
+                    fmt_secs(s.merge_s),
+                ]);
+            }
         }
     }
     t.print("Fig. 11 — construction time");
+    stages.print("Fig. 11 — CAGRA stage breakdown");
 }
 
 #[cfg(test)]
@@ -127,5 +184,15 @@ mod tests {
         let cagra = &rows[0];
         assert!(cagra.knn_s > 0.0 && cagra.opt_s > 0.0);
         assert!((cagra.knn_s + cagra.opt_s - cagra.total_s).abs() < 1e-6);
+        let s = cagra.stages.expect("CAGRA row carries the stage breakdown");
+        assert!(s.nn_init_s > 0.0 && s.reorder_s > 0.0 && s.merge_s > 0.0, "{s:?}");
+        assert!(
+            (s.nn_init_s + s.nn_iters_s - cagra.knn_s).abs() < 0.05 * cagra.knn_s + 1e-3,
+            "kNN stage {} should be covered by init {} + iters {}",
+            cagra.knn_s,
+            s.nn_init_s,
+            s.nn_iters_s
+        );
+        assert!(rows[1..].iter().all(|r| r.stages.is_none()));
     }
 }

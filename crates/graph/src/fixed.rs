@@ -27,6 +27,20 @@ impl FixedDegreeGraph {
         FixedDegreeGraph { neighbors, degree, n }
     }
 
+    /// [`FixedDegreeGraph::from_flat`] for buffers whose ids are
+    /// in-range by construction (e.g. filled from an already-validated
+    /// graph): skips the O(n·d) id scan in release builds but keeps it
+    /// as a debug assertion.
+    pub fn from_flat_unchecked(neighbors: Vec<u32>, n: usize, degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        assert_eq!(neighbors.len(), n * degree, "neighbor buffer shape mismatch");
+        debug_assert!(
+            neighbors.iter().all(|&v| (v as usize) < n),
+            "neighbor id out of range (n = {n})"
+        );
+        FixedDegreeGraph { neighbors, degree, n }
+    }
+
     /// Build from per-node neighbor rows.
     ///
     /// # Panics

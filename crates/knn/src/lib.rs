@@ -1,12 +1,18 @@
 //! k-NN substrate: exact search for ground truth, bounded top-k
-//! selection, NN-Descent initial graph construction, and the small
-//! thread-parallel helper shared by the builders in this workspace.
+//! selection, NN-Descent initial graph construction (flat-arena,
+//! parallel, thread-count deterministic), its naive serial reference,
+//! and the small thread-parallel helpers shared by the builders in
+//! this workspace.
 
 pub mod brute;
+pub mod flat;
 pub mod nn_descent;
 pub mod parallel;
+pub mod reference;
 pub mod topk;
 
 pub use brute::ground_truth;
+pub use flat::{counting_scatter, CsrRows, FlatArena, KnnLists, ScatterScratch};
 pub use nn_descent::{NnDescent, NnDescentParams, NnDescentStats};
+pub use reference::reference_build;
 pub use topk::{Neighbor, TopK};

@@ -4,24 +4,58 @@
 //! (Sec. III-B1): start from random neighbor lists and iteratively run
 //! *local joins* — every pair of neighbors of a node are candidate
 //! neighbors of each other — until the update rate drops below a
-//! threshold. The implementation is parallel over nodes with per-node
-//! locks (the paper uses the GPU variant of Wang et al.; the structure
-//! of the computation is identical).
+//! threshold. Every phase here is parallel over nodes and
+//! allocation-flat:
+//!
+//! * neighbor lists live in one row-locked `n × k` slab
+//!   ([`LockedLists`]) instead of `n` heap vectors behind `n` mutexes
+//!   wrapping `Vec`s;
+//! * forward samples go into two [`FlatArena`]s and reverse candidates
+//!   into two [`CsrRows`] buffers, all reused (cleared in place)
+//!   across iterations;
+//! * the reverse-candidate scatter is the deterministic
+//!   [`counting_scatter`], so the build is bit-identical for any
+//!   thread count — sampling RNGs are seeded per `(iteration, node)`
+//!   and termination counts *positional* list changes against a
+//!   snapshot rather than racing transient insertions.
 //!
 //! Neighbor lists are kept sorted ascending by distance throughout, so
 //! the paper's final "sort each node list by distance" step is already
 //! satisfied on output, and list positions are exactly the *initial
 //! ranks* that CAGRA's rank-based reordering consumes.
 
-use crate::parallel::{default_threads, parallel_chunks};
+use crate::flat::{counting_scatter, CsrRows, FlatArena, KnnLists, ScatterScratch};
+use crate::parallel::{chunk_ranges, default_threads, parallel_chunks, parallel_fill_rows_with};
 use crate::topk::{cmp_neighbor, Neighbor};
 use dataset::VectorStore;
 use distance::{DistanceOracle, Metric};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-node seed salts. Each RNG in the build is seeded from
+/// `(seed, salt, iteration, node)` alone, never from a shared stream,
+/// which is what makes every phase parallelizable without changing its
+/// output.
+pub(crate) const SALT_SAMPLE: u64 = 0xa5a5_5a5a;
+pub(crate) const SALT_REV_NEW: u64 = 0x0bad_f00d;
+pub(crate) const SALT_REV_OLD: u64 = 0x0bad_f11d;
+
+/// Seed for node `v`'s random initial neighbor list.
+#[inline]
+pub(crate) fn init_seed(seed: u64, v: usize) -> u64 {
+    seed ^ ((v as u64) << 1)
+}
+
+/// Seed for a per-`(iteration, node)` sampling RNG.
+#[inline]
+pub(crate) fn iter_seed(seed: u64, salt: u64, iter: usize, v: usize) -> u64 {
+    seed ^ salt ^ ((iter as u64) << 32) ^ v as u64
+}
 
 /// Tuning parameters for NN-Descent.
 #[derive(Clone, Debug)]
@@ -33,7 +67,7 @@ pub struct NnDescentParams {
     /// Hard iteration cap.
     pub max_iters: usize,
     /// Terminate when an iteration changes fewer than `delta * n * k`
-    /// entries.
+    /// list positions.
     pub delta: f64,
     /// RNG seed for the random initialization and sampling.
     pub seed: u64,
@@ -48,10 +82,105 @@ impl NnDescentParams {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    n: Neighbor,
-    is_new: bool,
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Entry {
+    pub(crate) n: Neighbor,
+    pub(crate) is_new: bool,
+}
+
+/// `n` bounded neighbor lists in one flat `n × cap` slab, each row
+/// guarded by its own lock. The lock's payload *is* the row length, so
+/// acquiring it grants exclusive access to the row — no `Vec` per
+/// node, no allocation after construction.
+pub(crate) struct LockedLists {
+    slab: Box<[UnsafeCell<Entry>]>,
+    rows: Vec<Mutex<u32>>,
+    cap: usize,
+}
+
+// SAFETY: a row's slab cells are only touched through `RowGuard`,
+// which holds that row's mutex; distinct rows never alias.
+unsafe impl Sync for LockedLists {}
+
+impl LockedLists {
+    pub(crate) fn new(n: usize, cap: usize) -> Self {
+        assert!(cap > 0, "row capacity must be positive");
+        LockedLists {
+            slab: (0..n * cap).map(|_| UnsafeCell::new(Entry::default())).collect(),
+            rows: (0..n).map(|_| Mutex::new(0)).collect(),
+            cap,
+        }
+    }
+
+    /// Lock row `v` for exclusive access.
+    #[inline]
+    pub(crate) fn lock(&self, v: usize) -> RowGuard<'_> {
+        let len = self.rows[v].lock();
+        RowGuard { len, row: self.slab[v * self.cap].get(), cap: self.cap }
+    }
+}
+
+/// Exclusive access to one row of a [`LockedLists`].
+pub(crate) struct RowGuard<'a> {
+    len: MutexGuard<'a, u32>,
+    row: *mut Entry,
+    cap: usize,
+}
+
+impl RowGuard<'_> {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        *self.len as usize
+    }
+
+    #[inline]
+    pub(crate) fn entries(&self) -> &[Entry] {
+        // SAFETY: the mutex guard makes this row exclusively ours and
+        // `len <= cap` is an invariant maintained by every writer.
+        unsafe { std::slice::from_raw_parts(self.row, *self.len as usize) }
+    }
+
+    #[inline]
+    pub(crate) fn entries_mut(&mut self) -> &mut [Entry] {
+        // SAFETY: as in `entries`, plus `&mut self` forbids aliasing
+        // through the guard itself.
+        unsafe { std::slice::from_raw_parts_mut(self.row, *self.len as usize) }
+    }
+
+    /// Replace the row contents (used by initialization).
+    pub(crate) fn fill(&mut self, entries: &[Entry]) {
+        assert!(entries.len() <= self.cap, "row overflow");
+        // SAFETY: exclusive access via the guard; length set to match.
+        unsafe { std::ptr::copy_nonoverlapping(entries.as_ptr(), self.row, entries.len()) };
+        *self.len = entries.len() as u32;
+    }
+
+    /// Insert into the sorted bounded row if closer than the current
+    /// worst and not already present. Returns true if the row changed.
+    pub(crate) fn try_insert(&mut self, n: Neighbor) -> bool {
+        let len = self.len();
+        let full = len == self.cap;
+        {
+            let row = self.entries();
+            if full && cmp_neighbor(&n, &row[len - 1].n) != std::cmp::Ordering::Less {
+                return false;
+            }
+            if row.iter().any(|e| e.n.id == n.id) {
+                return false;
+            }
+        }
+        let pos =
+            self.entries().partition_point(|e| cmp_neighbor(&e.n, &n) == std::cmp::Ordering::Less);
+        if !full {
+            *self.len += 1;
+        }
+        let row = self.entries_mut();
+        if pos + 1 < row.len() {
+            row.copy_within(pos..row.len() - 1, pos + 1);
+        }
+        row[pos] = Entry { n, is_new: true };
+        true
+    }
 }
 
 /// NN-Descent builder.
@@ -68,32 +197,39 @@ impl NnDescent {
     }
 
     /// Build the approximate k-NN lists for every node, each sorted
-    /// ascending by distance. Lists have exactly `min(k, n-1)` entries.
-    pub fn build<S: VectorStore + ?Sized>(&self, store: &S, metric: Metric) -> Vec<Vec<Neighbor>> {
+    /// ascending by distance. Every list has exactly `min(k, n-1)`
+    /// entries. The result is bit-identical for any thread count.
+    pub fn build<S: VectorStore + ?Sized>(&self, store: &S, metric: Metric) -> KnnLists {
         self.build_with_stats(store, metric).0
     }
 
-    /// Like [`NnDescent::build`], additionally reporting the number of
-    /// distance computations performed — the quantity the GPU
-    /// construction-time model prices (Fig. 11's simulated estimate).
+    /// Like [`NnDescent::build`], additionally reporting work counters
+    /// and the init/iteration timing split — the quantities the GPU
+    /// construction-time model prices (Fig. 11's simulated estimate)
+    /// and `BuildStats` surfaces.
     pub fn build_with_stats<S: VectorStore + ?Sized>(
         &self,
         store: &S,
         metric: Metric,
-    ) -> (Vec<Vec<Neighbor>>, NnDescentStats) {
+    ) -> (KnnLists, NnDescentStats) {
         let n = store.len();
         if n == 0 {
-            return (Vec::new(), NnDescentStats::default());
+            return (KnnLists::from_rows(&[]), NnDescentStats::default());
         }
         let k = self.params.k.min(n - 1);
         if k == 0 {
-            return (vec![Vec::new(); n], NnDescentStats::default());
+            return (KnnLists::from_flat(Vec::new(), n, 0), NnDescentStats::default());
         }
         // Tiny datasets: exact all-pairs is both faster and exact.
         if n <= 2048 && n * n <= 64 * n * self.params.k.max(1) {
+            let start = Instant::now();
             let lists = exact_all_pairs(store, metric, k, self.params.threads);
-            let stats = NnDescentStats { distance_computations: (n * (n - 1)) as u64 };
-            return (lists, stats);
+            let stats = NnDescentStats {
+                distance_computations: (n * (n - 1)) as u64,
+                init_time: start.elapsed(),
+                ..NnDescentStats::default()
+            };
+            return (KnnLists::from_rows(&lists), stats);
         }
         self.descent(store, metric, k)
     }
@@ -103,24 +239,27 @@ impl NnDescent {
         store: &S,
         metric: Metric,
         k: usize,
-    ) -> (Vec<Vec<Neighbor>>, NnDescentStats) {
+    ) -> (KnnLists, NnDescentStats) {
         let n = store.len();
+        let seed = self.params.seed;
         let threads =
             if self.params.threads == 0 { default_threads() } else { self.params.threads };
-        let lists: Vec<Mutex<Vec<Entry>>> =
-            (0..n).map(|_| Mutex::new(Vec::with_capacity(k))).collect();
+        let lists = LockedLists::new(n, k);
         let dist_count = AtomicU64::new(0);
 
         // Random initialization: k distinct non-self ids per node,
-        // gathered first and scored with one batched gang call.
+        // gathered first and scored with one batched gang call. The
+        // RNG is seeded per node, so the initial lists do not depend
+        // on the chunking.
+        let t_init = Instant::now();
         parallel_chunks(n, threads, |start, end| {
             let oracle = DistanceOracle::new(store, metric);
             let mut scratch = vec![0.0f32; store.dim()];
             let mut cand: Vec<u32> = Vec::with_capacity(k);
             let mut dists = vec![0.0f32; k];
-            let mut rng = StdRng::seed_from_u64(self.params.seed ^ (start as u64) << 1);
-            for (off, slot) in lists[start..end].iter().enumerate() {
-                let v = start + off;
+            let mut entries: Vec<Entry> = Vec::with_capacity(k);
+            for v in start..end {
+                let mut rng = StdRng::seed_from_u64(init_seed(seed, v));
                 store.get_into(v, &mut scratch);
                 let prepared = oracle.prepare(&scratch);
                 cand.clear();
@@ -132,156 +271,245 @@ impl NnDescent {
                     cand.push(u as u32);
                 }
                 oracle.to_rows(&prepared, &cand, &mut dists[..k]);
-                let mut list = slot.lock();
-                list.clear();
+                entries.clear();
                 for (&u, &d) in cand.iter().zip(dists.iter()) {
-                    list.push(Entry { n: Neighbor::new(u, d), is_new: true });
+                    entries.push(Entry { n: Neighbor::new(u, d), is_new: true });
                 }
-                list.sort_unstable_by(|a, b| cmp_neighbor(&a.n, &b.n));
+                entries.sort_unstable_by(|a, b| cmp_neighbor(&a.n, &b.n));
+                lists.lock(v).fill(&entries);
             }
             dist_count.fetch_add(oracle.computed(), Ordering::Relaxed);
         });
+        let init_time = t_init.elapsed();
 
         let max_samples = ((self.params.rho * k as f64).ceil() as usize).max(1);
         let stop_at = (self.params.delta * n as f64 * k as f64).max(1.0) as u64;
+        let ranges = chunk_ranges(n, threads);
 
+        // All iteration scratch is allocated once and reused: forward
+        // samples in fixed-stride arenas, reverse candidates in CSR
+        // buffers refilled by the counting scatter, plus the previous
+        // ids snapshot that drives termination.
+        let mut fwd_new: FlatArena<u32> = FlatArena::new(n, max_samples.min(k));
+        let mut fwd_old: FlatArena<u32> = FlatArena::new(n, k);
+        let mut rev_new: CsrRows<u32> = CsrRows::new();
+        let mut rev_old: CsrRows<u32> = CsrRows::new();
+        let mut scatter = ScatterScratch::new();
+        let mut prev_ids: Vec<u32> = vec![0; n * k];
+        parallel_fill_rows_with(
+            &mut prev_ids,
+            n,
+            k,
+            threads,
+            || (),
+            |(), v, row| {
+                for (slot, e) in row.iter_mut().zip(lists.lock(v).entries()) {
+                    *slot = e.n.id;
+                }
+            },
+        );
+
+        let t_iters = Instant::now();
+        let mut iterations = 0u32;
         for iter in 0..self.params.max_iters {
+            iterations = iter as u32 + 1;
+
             // Phase 1: sample forward candidates, marking sampled new
-            // entries old (they will have been joined after this round).
-            let mut fwd_new: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut fwd_old: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for v in 0..n {
-                let mut list = lists[v].lock();
-                let mut rng = StdRng::seed_from_u64(
-                    self.params.seed ^ 0xa5a5_5a5a ^ ((iter as u64) << 32) ^ v as u64,
-                );
-                // Old set is frozen before this round's sampling so a
-                // sampled entry is joined once (as "new"), not twice.
-                fwd_old[v].extend(list.iter().filter(|e| !e.is_new).map(|e| e.n.id));
-                let mut new_positions: Vec<usize> =
-                    list.iter().enumerate().filter_map(|(i, e)| e.is_new.then_some(i)).collect();
-                new_positions.shuffle(&mut rng);
-                new_positions.truncate(max_samples);
-                for &i in &new_positions {
-                    fwd_new[v].push(list[i].n.id);
-                    list[i].is_new = false;
-                }
+            // entries old (they will have been joined after this
+            // round). Parallel over nodes: each worker owns a disjoint
+            // row range of both arenas, and the sampling RNG is seeded
+            // per (iteration, node).
+            fwd_new.clear();
+            fwd_old.clear();
+            {
+                let new_chunks = fwd_new.chunks_mut(&ranges);
+                let old_chunks = fwd_old.chunks_mut(&ranges);
+                std::thread::scope(|scope| {
+                    for ((mut nc, mut oc), &(start, end)) in
+                        new_chunks.into_iter().zip(old_chunks).zip(&ranges)
+                    {
+                        let lists = &lists;
+                        scope.spawn(move || {
+                            let mut positions: Vec<usize> = Vec::with_capacity(k);
+                            for v in start..end {
+                                let mut rng =
+                                    StdRng::seed_from_u64(iter_seed(seed, SALT_SAMPLE, iter, v));
+                                let mut row = lists.lock(v);
+                                // Old set is frozen before this round's
+                                // sampling so a sampled entry is joined
+                                // once (as "new"), not twice.
+                                positions.clear();
+                                for (i, e) in row.entries().iter().enumerate() {
+                                    if e.is_new {
+                                        positions.push(i);
+                                    } else {
+                                        oc.push(v, e.n.id);
+                                    }
+                                }
+                                positions.shuffle(&mut rng);
+                                positions.truncate(max_samples);
+                                let entries = row.entries_mut();
+                                for &i in &positions {
+                                    nc.push(v, entries[i].n.id);
+                                    entries[i].is_new = false;
+                                }
+                            }
+                        });
+                    }
+                });
             }
 
-            // Phase 2: reverse candidates, subsampled to max_samples.
-            let mut rev_new: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut rev_old: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for v in 0..n {
-                for &u in &fwd_new[v] {
-                    rev_new[u as usize].push(v as u32);
+            // Phase 2: reverse candidates via the deterministic
+            // counting scatter (every row receives its sources in
+            // ascending-id order regardless of thread count), then
+            // per-node shuffles that pick which prefix survives.
+            counting_scatter(n, n, threads, &mut scatter, &mut rev_new, |v| {
+                fwd_new.row(v).iter().map(move |&u| (u, v as u32))
+            });
+            counting_scatter(n, n, threads, &mut scatter, &mut rev_old, |v| {
+                fwd_old.row(v).iter().map(move |&u| (u, v as u32))
+            });
+            rev_new.par_rows_mut(threads, |v, row| {
+                if row.len() > max_samples {
+                    let mut rng = StdRng::seed_from_u64(iter_seed(seed, SALT_REV_NEW, iter, v));
+                    row.shuffle(&mut rng);
                 }
-                for &u in &fwd_old[v] {
-                    rev_old[u as usize].push(v as u32);
+            });
+            rev_old.par_rows_mut(threads, |v, row| {
+                if row.len() > max_samples {
+                    let mut rng = StdRng::seed_from_u64(iter_seed(seed, SALT_REV_OLD, iter, v));
+                    row.shuffle(&mut rng);
                 }
-            }
-            let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x0badf00d ^ iter as u64);
-            for v in 0..n {
-                subsample(&mut rev_new[v], max_samples, &mut rng);
-                subsample(&mut rev_old[v], max_samples, &mut rng);
-            }
+            });
 
-            // Phase 3: local joins, parallel over nodes.
-            let updates = AtomicU64::new(0);
+            // Phase 3: local joins, parallel over nodes. Joins mutate
+            // shared rows under per-row locks; the result is a set
+            // (bounded sorted insert with dedup = keep-k-smallest over
+            // the round's offer multiset), so it does not depend on
+            // the interleaving.
             parallel_chunks(n, threads, |start, end| {
                 let oracle = DistanceOracle::new(store, metric);
                 let mut news: Vec<u32> = Vec::new();
                 let mut olds: Vec<u32> = Vec::new();
-                let mut local_updates = 0u64;
                 for v in start..end {
                     news.clear();
                     olds.clear();
-                    news.extend_from_slice(&fwd_new[v]);
-                    news.extend_from_slice(&rev_new[v]);
+                    news.extend_from_slice(fwd_new.row(v));
+                    news.extend_from_slice(sample_prefix(rev_new.row(v), max_samples));
                     news.sort_unstable();
                     news.dedup();
-                    olds.extend_from_slice(&fwd_old[v]);
-                    olds.extend_from_slice(&rev_old[v]);
+                    olds.extend_from_slice(fwd_old.row(v));
+                    olds.extend_from_slice(sample_prefix(rev_old.row(v), max_samples));
                     olds.sort_unstable();
                     olds.dedup();
                     for (ai, &a) in news.iter().enumerate() {
                         for &b in &news[ai + 1..] {
-                            local_updates += join(&oracle, &lists, a, b, k);
+                            join(&oracle, &lists, a, b);
                         }
                         for &b in olds.iter() {
                             if a != b {
-                                local_updates += join(&oracle, &lists, a, b, k);
+                                join(&oracle, &lists, a, b);
                             }
                         }
                     }
                 }
-                updates.fetch_add(local_updates, Ordering::Relaxed);
                 dist_count.fetch_add(oracle.computed(), Ordering::Relaxed);
             });
 
-            if updates.load(Ordering::Relaxed) < stop_at {
+            // Termination: count list positions whose id changed this
+            // iteration (and refresh the snapshot in the same pass).
+            // Unlike a racy "insertions this round" counter, this is a
+            // pure function of the lists, hence thread-count
+            // independent.
+            let changed = AtomicU64::new(0);
+            {
+                let mut rest: &mut [u32] = &mut prev_ids;
+                std::thread::scope(|scope| {
+                    for &(start, end) in &ranges {
+                        let (head, tail) =
+                            std::mem::take(&mut rest).split_at_mut((end - start) * k);
+                        rest = tail;
+                        let (lists, changed) = (&lists, &changed);
+                        scope.spawn(move || {
+                            let mut local = 0u64;
+                            let mut head = head;
+                            for v in start..end {
+                                let (row, t) = std::mem::take(&mut head).split_at_mut(k);
+                                head = t;
+                                let guard = lists.lock(v);
+                                for (slot, e) in row.iter_mut().zip(guard.entries()) {
+                                    if *slot != e.n.id {
+                                        local += 1;
+                                        *slot = e.n.id;
+                                    }
+                                }
+                            }
+                            changed.fetch_add(local, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+            if changed.load(Ordering::Relaxed) < stop_at {
                 break;
             }
         }
+        let iter_time = t_iters.elapsed();
 
-        let lists =
-            lists.into_iter().map(|m| m.into_inner().into_iter().map(|e| e.n).collect()).collect();
-        (lists, NnDescentStats { distance_computations: dist_count.load(Ordering::Relaxed) })
+        // Drain the slab into the flat result (no per-node locks left).
+        let mut data: Vec<Neighbor> = vec![Neighbor::default(); n * k];
+        parallel_fill_rows_with(
+            &mut data,
+            n,
+            k,
+            threads,
+            || (),
+            |(), v, row| {
+                for (slot, e) in row.iter_mut().zip(lists.lock(v).entries()) {
+                    *slot = e.n;
+                }
+            },
+        );
+        let stats = NnDescentStats {
+            distance_computations: dist_count.load(Ordering::Relaxed),
+            init_time,
+            iter_time,
+            iterations,
+        };
+        (KnnLists::from_flat(data, n, k), stats)
     }
 }
 
-/// Work counters from one NN-Descent build.
+/// The subsampled prefix of a shuffled reverse-candidate row.
+#[inline]
+fn sample_prefix(row: &[u32], max_samples: usize) -> &[u32] {
+    &row[..row.len().min(max_samples)]
+}
+
+/// Work counters and timing split from one NN-Descent build.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NnDescentStats {
     /// Total query/dataset distance computations performed.
     pub distance_computations: u64,
+    /// Time spent in random initialization (or the exact-all-pairs
+    /// shortcut for tiny datasets).
+    pub init_time: Duration,
+    /// Time spent in the descent iterations (sampling + scatter +
+    /// local joins).
+    pub iter_time: Duration,
+    /// Descent iterations executed (0 when the exact path was taken).
+    pub iterations: u32,
 }
 
-/// Try to make `a` and `b` neighbors of each other; returns the number
-/// of list entries changed (0, 1 or 2).
+/// Try to make `a` and `b` neighbors of each other.
 fn join<S: VectorStore + ?Sized>(
     oracle: &DistanceOracle<'_, S>,
-    lists: &[Mutex<Vec<Entry>>],
+    lists: &LockedLists,
     a: u32,
     b: u32,
-    k: usize,
-) -> u64 {
+) {
     let d = oracle.between_rows(a as usize, b as usize);
-    let mut changed = 0u64;
-    if try_insert(&mut lists[a as usize].lock(), Neighbor::new(b, d), k) {
-        changed += 1;
-    }
-    if try_insert(&mut lists[b as usize].lock(), Neighbor::new(a, d), k) {
-        changed += 1;
-    }
-    changed
-}
-
-/// Insert into a sorted bounded list if closer than the current worst
-/// and not already present.
-fn try_insert(list: &mut Vec<Entry>, n: Neighbor, k: usize) -> bool {
-    if list.len() == k {
-        if let Some(worst) = list.last() {
-            if cmp_neighbor(&n, &worst.n) != std::cmp::Ordering::Less {
-                return false;
-            }
-        }
-    }
-    if list.iter().any(|e| e.n.id == n.id) {
-        return false;
-    }
-    let pos = list.partition_point(|e| cmp_neighbor(&e.n, &n) == std::cmp::Ordering::Less);
-    list.insert(pos, Entry { n, is_new: true });
-    if list.len() > k {
-        list.pop();
-    }
-    true
-}
-
-fn subsample(v: &mut Vec<u32>, max: usize, rng: &mut StdRng) {
-    if v.len() > max {
-        v.shuffle(rng);
-        v.truncate(max);
-    }
+    lists.lock(a as usize).try_insert(Neighbor::new(b, d));
+    lists.lock(b as usize).try_insert(Neighbor::new(a, d));
 }
 
 /// Exact k-NN lists by all-pairs distance (used for tiny datasets and
@@ -334,14 +562,15 @@ pub fn exact_all_pairs<S: VectorStore + ?Sized>(
 }
 
 /// Fraction of true k-NN edges recovered by `approx` (graph recall).
-pub fn knn_graph_recall(approx: &[Vec<Neighbor>], exact: &[Vec<Neighbor>]) -> f64 {
+pub fn knn_graph_recall(approx: &KnnLists, exact: &[Vec<Neighbor>]) -> f64 {
     assert_eq!(approx.len(), exact.len());
     if approx.is_empty() {
         return 1.0;
     }
     let mut hit = 0usize;
     let mut total = 0usize;
-    for (a, e) in approx.iter().zip(exact) {
+    for (v, e) in exact.iter().enumerate() {
+        let a = approx.row(v);
         total += e.len();
         for t in e {
             if a.iter().any(|x| x.id == t.id) {
@@ -379,7 +608,7 @@ mod tests {
         let (base, _) = spec.generate();
         let nd = NnDescent::new(NnDescentParams { threads: 2, ..NnDescentParams::new(8) });
         let lists = nd.build(&base, Metric::SquaredL2);
-        for (v, list) in lists.iter().enumerate() {
+        for (v, list) in lists.rows().enumerate() {
             assert_eq!(list.len(), 8, "node {v}");
             assert!(list.iter().all(|n| n.id as usize != v), "self loop at {v}");
             assert!(list.windows(2).all(|w| w[0].dist <= w[1].dist), "unsorted at {v}");
@@ -406,7 +635,8 @@ mod tests {
         let spec = SynthSpec { dim: 4, n: 6, queries: 0, family: Family::Gaussian, seed: 2 };
         let (base, _) = spec.generate();
         let lists = NnDescent::new(NnDescentParams::new(32)).build(&base, Metric::SquaredL2);
-        assert!(lists.iter().all(|l| l.len() == 5));
+        assert_eq!(lists.k(), 5);
+        assert!(lists.rows().all(|l| l.len() == 5));
     }
 
     #[test]
@@ -417,7 +647,7 @@ mod tests {
             .is_empty());
         let single = dataset::Dataset::from_flat(vec![1.0, 2.0], 2);
         let lists = NnDescent::new(NnDescentParams::new(4)).build(&single, Metric::SquaredL2);
-        assert_eq!(lists, vec![Vec::new()]);
+        assert_eq!(lists.to_vecs(), vec![Vec::new()]);
     }
 
     #[test]
@@ -427,13 +657,34 @@ mod tests {
         let p = NnDescentParams { threads: 1, ..NnDescentParams::new(6) };
         let a = NnDescent::new(p.clone()).build(&base, Metric::SquaredL2);
         let b = NnDescent::new(p).build(&base, Metric::SquaredL2);
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(
-                x.iter().map(|n| n.id).collect::<Vec<_>>(),
-                y.iter().map(|n| n.id).collect::<Vec<_>>()
-            );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        // The determinism contract of the flat pipeline: per-node RNG
+        // seeding, counting scatter, and snapshot-based termination
+        // make the output independent of the chunking.
+        let spec = SynthSpec { dim: 6, n: 3000, queries: 0, family: Family::Gaussian, seed: 5 };
+        let (base, _) = spec.generate();
+        let one = NnDescent::new(NnDescentParams { threads: 1, ..NnDescentParams::new(6) })
+            .build(&base, Metric::SquaredL2);
+        for threads in [2usize, 4, 7] {
+            let multi = NnDescent::new(NnDescentParams { threads, ..NnDescentParams::new(6) })
+                .build(&base, Metric::SquaredL2);
+            assert_eq!(one, multi, "{threads} threads diverged from 1 thread");
         }
+    }
+
+    #[test]
+    fn stats_report_iterations_and_timing() {
+        let spec = SynthSpec { dim: 6, n: 3000, queries: 0, family: Family::Gaussian, seed: 5 };
+        let (base, _) = spec.generate();
+        let nd = NnDescent::new(NnDescentParams { threads: 1, ..NnDescentParams::new(6) });
+        let (_, stats) = nd.build_with_stats(&base, Metric::SquaredL2);
+        assert!(stats.iterations >= 1);
+        assert!(stats.distance_computations > 0);
+        assert!(stats.init_time + stats.iter_time > Duration::ZERO);
     }
 
     #[test]
@@ -441,35 +692,54 @@ mod tests {
     fn invalid_rho_rejected() {
         NnDescent::new(NnDescentParams { rho: 0.0, ..NnDescentParams::new(4) });
     }
+
+    #[test]
+    fn row_guard_insert_matches_sorted_bounded_semantics() {
+        let lists = LockedLists::new(1, 3);
+        let mut g = lists.lock(0);
+        assert!(g.try_insert(Neighbor::new(5, 5.0)));
+        assert!(g.try_insert(Neighbor::new(1, 1.0)));
+        assert!(g.try_insert(Neighbor::new(3, 3.0)));
+        // Full: worse is rejected, duplicate is rejected, better evicts.
+        assert!(!g.try_insert(Neighbor::new(9, 9.0)));
+        assert!(!g.try_insert(Neighbor::new(1, 1.0)));
+        assert!(g.try_insert(Neighbor::new(2, 2.0)));
+        let ids: Vec<u32> = g.entries().iter().map(|e| e.n.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(g.entries().windows(2).all(|w| w[0].n.dist <= w[1].n.dist));
+    }
 }
 
 /// Convert NN-Descent lists into a fixed-degree graph, truncating each
 /// list to `degree` (the "plain k-NN graph" baseline of Fig. 3).
 ///
 /// # Panics
-/// Panics if any list is shorter than `degree`.
-pub fn lists_to_fixed_graph(lists: &[Vec<Neighbor>], degree: usize) -> graph::FixedDegreeGraph {
-    let rows: Vec<Vec<u32>> = lists
-        .iter()
-        .map(|l| {
-            assert!(l.len() >= degree, "list shorter than degree {degree}");
-            l[..degree].iter().map(|n| n.id).collect()
-        })
-        .collect();
-    graph::FixedDegreeGraph::from_rows(&rows, degree)
+/// Panics if the lists are shorter than `degree`.
+pub fn lists_to_fixed_graph(lists: &KnnLists, degree: usize) -> graph::FixedDegreeGraph {
+    assert!(lists.k() >= degree, "list shorter than degree {degree}");
+    let n = lists.len();
+    let mut flat: Vec<u32> = Vec::with_capacity(n * degree);
+    for v in 0..n {
+        flat.extend(lists.row(v)[..degree].iter().map(|n| n.id));
+    }
+    graph::FixedDegreeGraph::from_flat(flat, n, degree)
 }
 
 #[cfg(test)]
 mod graph_conv_tests {
     use super::*;
 
-    #[test]
-    fn lists_convert_to_fixed_graph() {
-        let lists = vec![
+    fn sample_lists() -> KnnLists {
+        KnnLists::from_rows(&[
             vec![Neighbor::new(1, 0.1), Neighbor::new(2, 0.2)],
             vec![Neighbor::new(0, 0.1), Neighbor::new(2, 0.3)],
             vec![Neighbor::new(0, 0.2), Neighbor::new(1, 0.3)],
-        ];
+        ])
+    }
+
+    #[test]
+    fn lists_convert_to_fixed_graph() {
+        let lists = sample_lists();
         let g = lists_to_fixed_graph(&lists, 2);
         assert_eq!(g.degree(), 2);
         assert_eq!(g.neighbors(0), &[1, 2]);
@@ -480,6 +750,6 @@ mod graph_conv_tests {
     #[test]
     #[should_panic(expected = "shorter than degree")]
     fn short_lists_rejected_in_conversion() {
-        lists_to_fixed_graph(&[vec![Neighbor::new(1, 0.1)], vec![]], 1);
+        lists_to_fixed_graph(&sample_lists(), 3);
     }
 }

@@ -20,6 +20,28 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The canonical static chunking of `0..n` over up to `threads`
+/// workers: contiguous equal-size ranges (the last may be short).
+/// Every parallel helper in the workspace chunks this way, so code
+/// that pre-splits buffers (arena chunk views, histogram rows) lines
+/// up exactly with the ranges the workers receive. Always returns at
+/// least one range (`(0, 0)` when `n == 0`).
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(threads).max(1);
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push((start, end));
+        start = end;
+    }
+    if out.is_empty() {
+        out.push((0, 0));
+    }
+    out
+}
+
 /// Invoke `f(start, end)` over disjoint chunks of `0..n` on up to
 /// `threads` scoped threads. Falls back to a direct call when `n` is
 /// small or one thread is requested (avoids spawn overhead — the
@@ -28,21 +50,62 @@ pub fn parallel_chunks<F>(n: usize, threads: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || n < 2 {
-        f(0, n);
+    let ranges = chunk_ranges(n, threads);
+    if ranges.len() == 1 {
+        f(ranges[0].0, ranges[0].1);
         return;
     }
-    let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(n);
-            if start >= end {
-                break;
-            }
+        for &(start, end) in &ranges {
             let f = &f;
             scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Fill a flat row-major `n_rows x row_len` buffer in parallel:
+/// `f(&mut state, row_index, row)` runs once per row, rows are handed
+/// out in disjoint contiguous chunks (one per worker), and `init`
+/// creates the per-worker scratch state. Entirely safe: the buffer is
+/// pre-split at chunk boundaries, so no worker can alias another's
+/// rows. This is the primitive behind the flat-arena construction
+/// pipeline (reorder/prune output, merge output).
+pub fn parallel_fill_rows_with<T, S, I, F>(
+    buf: &mut [T],
+    n_rows: usize,
+    row_len: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    assert_eq!(buf.len(), n_rows * row_len, "row buffer shape mismatch");
+    let ranges = chunk_ranges(n_rows, threads);
+    if ranges.len() == 1 {
+        let mut state = init();
+        for v in 0..n_rows {
+            f(&mut state, v, &mut buf[v * row_len..(v + 1) * row_len]);
+        }
+        return;
+    }
+    let mut rest = buf;
+    std::thread::scope(|scope| {
+        for &(start, end) in &ranges {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut((end - start) * row_len);
+            rest = tail;
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                let mut head = head;
+                for v in start..end {
+                    let (row, t) = std::mem::take(&mut head).split_at_mut(row_len);
+                    f(&mut state, v, row);
+                    head = t;
+                }
+            });
         }
     });
 }
@@ -87,7 +150,7 @@ where
     out
 }
 
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self

@@ -5,7 +5,10 @@
 //! NN-Descent, and all baseline searchers.
 
 /// A candidate: node id plus its distance to the query.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Default` (id 0, distance 0.0) exists so flat arena buffers can be
+/// pre-sized; a default entry is never a meaningful neighbor.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Neighbor {
     /// Dataset row id.
     pub id: u32,

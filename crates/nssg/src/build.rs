@@ -3,6 +3,7 @@
 use dataset::VectorStore;
 use distance::{dot, DistanceOracle, Metric};
 use graph::AdjacencyGraph;
+use knn::flat::KnnLists;
 use knn::topk::Neighbor;
 use knn::{NnDescent, NnDescentParams};
 use std::collections::VecDeque;
@@ -114,7 +115,7 @@ impl<S: VectorStore> Nssg<S> {
 fn prune_all<S: VectorStore + ?Sized>(
     store: &S,
     metric: Metric,
-    knn: &[Vec<Neighbor>],
+    knn: &KnnLists,
     params: &NssgParams,
 ) -> Vec<Vec<u32>> {
     let n = knn.len();
@@ -132,9 +133,9 @@ fn prune_all<S: VectorStore + ?Sized>(
         store.get_into(v, &mut v_buf);
         // Pool: k-NN plus neighbors-of-neighbors up to L entries.
         pool.clear();
-        pool.extend_from_slice(&knn[v]);
-        'outer: for nb in &knn[v] {
-            for nn in &knn[nb.id as usize] {
+        pool.extend_from_slice(knn.row(v));
+        'outer: for nb in knn.row(v) {
+            for nn in knn.row(nb.id as usize) {
                 if pool.len() >= params.l {
                     break 'outer;
                 }
@@ -170,7 +171,7 @@ fn prune_all<S: VectorStore + ?Sized>(
         // Degenerate fallback (all candidates colinear/duplicates):
         // keep nearest neighbors so no node is edgeless.
         if selected.is_empty() {
-            selected.extend(knn[v].iter().take(params.range).map(|nb| nb.id));
+            selected.extend(knn.row(v).iter().take(params.range).map(|nb| nb.id));
         }
         out.push(selected);
     }
@@ -179,7 +180,7 @@ fn prune_all<S: VectorStore + ?Sized>(
 
 /// BFS from the root; any unreached node gets an incoming edge from
 /// its nearest reached k-NN (or the root), the NSG/NSSG tree-link step.
-fn ensure_connectivity(adjacency: &mut [Vec<u32>], root: u32, knn: &[Vec<Neighbor>]) {
+fn ensure_connectivity(adjacency: &mut [Vec<u32>], root: u32, knn: &KnnLists) {
     let n = adjacency.len();
     if n == 0 {
         return;
@@ -201,7 +202,8 @@ fn ensure_connectivity(adjacency: &mut [Vec<u32>], root: u32, knn: &[Vec<Neighbo
             continue;
         }
         // Attach from the nearest reached neighbor in the base graph.
-        let from = knn[v].iter().find(|nb| reached[nb.id as usize]).map(|nb| nb.id).unwrap_or(root);
+        let from =
+            knn.row(v).iter().find(|nb| reached[nb.id as usize]).map(|nb| nb.id).unwrap_or(root);
         adjacency[from as usize].push(v as u32);
         // Everything reachable from v becomes reached.
         reached[v] = true;

@@ -9,6 +9,7 @@
 
 use cagra::optimize::{detour_counts_rank, merge, reverse_lists};
 use cagra_repro::prelude::*;
+use knn::flat::KnnLists;
 use knn::nn_descent::exact_all_pairs;
 
 fn main() {
@@ -25,9 +26,9 @@ fn main() {
 
     // Stage 1: exact k-NN lists, sorted by distance — list position is
     // the *initial rank* the optimization uses in place of distances.
-    let knn = exact_all_pairs(&base, Metric::SquaredL2, d_init, 1);
+    let knn = KnnLists::from_rows(&exact_all_pairs(&base, Metric::SquaredL2, d_init, 1));
     println!("initial {d_init}-NN lists (id:rank, sorted by distance):");
-    for (v, list) in knn.iter().enumerate() {
+    for (v, list) in knn.rows().enumerate() {
         let row: Vec<String> =
             list.iter().enumerate().map(|(r, n)| format!("{}@r{r}", n.id)).collect();
         println!("  node {v:>2}: {}", row.join("  "));
@@ -40,7 +41,7 @@ fn main() {
     for v in 0..knn.len() {
         let counts = detour_counts_rank(&knn, v);
         let row: Vec<String> =
-            knn[v].iter().zip(&counts).map(|(n, c)| format!("{}:{c}", n.id)).collect();
+            knn.row(v).iter().zip(&counts).map(|(n, c)| format!("{}:{c}", n.id)).collect();
         println!("  node {v:>2}: {}", row.join("  "));
     }
 
@@ -54,7 +55,7 @@ fn main() {
 
     // The pieces, shown separately: pruned forward lists and the
     // rank-sorted reverse lists they interleave with.
-    let pruned: Vec<Vec<u32>> = knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
+    let pruned: Vec<Vec<u32>> = knn.rows().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
     let reversed = reverse_lists(&pruned, d);
     println!("\nreverse lists (sorted by forward rank — \"someone who");
     println!("considers you more important is also more important to you\"):");
@@ -71,7 +72,7 @@ fn main() {
     use graph::stats::graph_stats;
     use graph::AdjacencyGraph;
     let knn_graph: Vec<Vec<u32>> =
-        knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
+        knn.rows().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
     let before = graph_stats(&AdjacencyGraph::from_lists(&knn_graph), 1);
     let after = graph_stats(&AdjacencyGraph::from_fixed(&graph), 1);
     println!(

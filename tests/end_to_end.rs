@@ -93,7 +93,7 @@ fn cagra_beats_its_own_unoptimized_knn_graph() {
     let d = 16;
     let knn = knn::NnDescent::new(knn::NnDescentParams::new(2 * d)).build(&base, Metric::SquaredL2);
     let plain_rows: Vec<Vec<u32>> =
-        knn.iter().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
+        knn.rows().map(|l| l[..d].iter().map(|n| n.id).collect()).collect();
     let plain = graph::FixedDegreeGraph::from_rows(&plain_rows, d);
     let opts = cagra::optimize::OptimizeOptions::new(d);
     let optimized = cagra::optimize::optimize(&knn, &base, Metric::SquaredL2, &opts);
