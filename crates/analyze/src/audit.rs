@@ -1,0 +1,317 @@
+//! The unsafe-audit pass: inventory every `unsafe` site in the
+//! workspace and check that each carries the adjacent safety
+//! documentation the workspace convention demands.
+//!
+//! Conventions enforced (see DESIGN.md "Soundness & analysis"):
+//!
+//! * `unsafe {}` **blocks** need a `// SAFETY:` comment on the same
+//!   line or in the contiguous comment run directly above;
+//! * `unsafe fn` declarations need a `/// # Safety` doc section (or a
+//!   `SAFETY:` comment) directly above, explaining the caller
+//!   contract;
+//! * `unsafe impl` / `unsafe trait` need a `// SAFETY:` comment
+//!   directly above justifying the asserted invariant.
+//!
+//! The pass is purely textual (via [`crate::lexer`]), so it also
+//! covers sources that are `cfg`'d out on the build host — e.g. the
+//! NEON kernels on an x86 CI runner — which no compiler-based lint
+//! can see.
+
+use crate::lexer;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What kind of `unsafe` a site introduces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// `unsafe { .. }` expression block (incl. `unsafe extern` blocks).
+    Block,
+    /// `unsafe fn` declaration (caller-contract unsafety).
+    Fn,
+    /// `unsafe impl` (asserting a marker/contract invariant).
+    Impl,
+    /// `unsafe trait` declaration.
+    Trait,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::Block => "block",
+            Kind::Fn => "fn",
+            Kind::Impl => "impl",
+            Kind::Trait => "trait",
+        })
+    }
+}
+
+/// One `unsafe` occurrence in the workspace.
+pub struct Site {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    pub kind: Kind,
+    /// Whether the required adjacent safety documentation was found.
+    pub documented: bool,
+}
+
+impl Site {
+    /// The budget bucket this site belongs to: `crates/<name>`,
+    /// `shims/<name>`, or `root` for the top-level package.
+    pub fn bucket(&self) -> String {
+        let mut parts = self.path.components().filter_map(|c| c.as_os_str().to_str());
+        match (parts.next(), parts.next()) {
+            (Some(top @ ("crates" | "shims")), Some(name)) => format!("{top}/{name}"),
+            _ => "root".to_string(),
+        }
+    }
+}
+
+/// Per-bucket tallies, the unit the budget file is expressed in.
+#[derive(Default, Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Counts {
+    pub blocks: usize,
+    pub fns: usize,
+    pub impls: usize,
+    pub traits: usize,
+}
+
+impl Counts {
+    pub fn add(&mut self, kind: Kind) {
+        match kind {
+            Kind::Block => self.blocks += 1,
+            Kind::Fn => self.fns += 1,
+            Kind::Impl => self.impls += 1,
+            Kind::Trait => self.traits += 1,
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.blocks + self.fns + self.impls + self.traits
+    }
+}
+
+/// Directories under the workspace root that hold Rust sources. The
+/// walk skips build output (`target/`) and anything hidden.
+const SCOPES: &[&str] = &["crates", "shims", "src", "tests", "examples", "benches"];
+
+/// Collect every `.rs` file in scope, paths relative to `root`,
+/// sorted for deterministic reports.
+pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for scope in SCOPES {
+        let dir = root.join(scope);
+        if dir.is_dir() {
+            walk(&dir, Path::new(scope), &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let path = entry.path();
+        let rel = rel.join(name);
+        if path.is_dir() {
+            walk(&path, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Audit every in-scope source file under `root`.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Site>> {
+    let mut sites = Vec::new();
+    for rel in source_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        scan_file(&rel, &src, &mut sites);
+    }
+    Ok(sites)
+}
+
+/// Scan one file's source text for `unsafe` sites.
+pub fn scan_file(rel: &Path, src: &str, out: &mut Vec<Site>) {
+    let masks = lexer::mask(src);
+    let code = masks.code.as_bytes();
+    let code_lines: Vec<&str> = masks.code.lines().collect();
+    let comment_lines: Vec<&str> = masks.comment.lines().collect();
+
+    for pos in word_occurrences(&masks.code, "unsafe") {
+        let Some(kind) = classify(code, pos + "unsafe".len()) else {
+            continue; // `unsafe fn(..)` pointer type: no site, nothing to document
+        };
+        let line = masks.code[..pos].bytes().filter(|&b| b == b'\n').count();
+        let documented = is_documented(kind, line, &code_lines, &comment_lines);
+        out.push(Site { path: rel.to_path_buf(), line: line + 1, kind, documented });
+    }
+}
+
+/// Byte offsets of whole-word matches of `word` in `hay`.
+fn word_occurrences(hay: &str, word: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    hay.match_indices(word)
+        .filter(|&(i, _)| {
+            let before_ok = i == 0 || !is_word(bytes[i - 1]);
+            let after = i + word.len();
+            let after_ok = after >= bytes.len() || !is_word(bytes[after]);
+            before_ok && after_ok
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Decide what an `unsafe` keyword at `code[..from]` introduces by
+/// looking at the following code tokens. Returns `None` for
+/// fn-pointer *types* (`unsafe fn(..)`, `unsafe extern "C" fn(..)`),
+/// which declare no new obligation site.
+fn classify(code: &[u8], mut from: usize) -> Option<Kind> {
+    loop {
+        let (tok, next) = next_token(code, from)?;
+        from = next;
+        match tok.as_str() {
+            // `unsafe extern "C" fn(..)` type or `unsafe extern {}`
+            // block: keep scanning past the (masked) ABI string.
+            "extern" => continue,
+            "fn" => {
+                // `fn` directly followed by `(` is a pointer type.
+                let (peek, _) = next_token(code, from)?;
+                return if peek == "(" { None } else { Some(Kind::Fn) };
+            }
+            "impl" => return Some(Kind::Impl),
+            "trait" => return Some(Kind::Trait),
+            "{" => return Some(Kind::Block),
+            // Anything else is a shape this scanner doesn't know;
+            // surface it as a block so the audit flags rather than
+            // silently skips it.
+            _ => return Some(Kind::Block),
+        }
+    }
+}
+
+/// Read the next code token at/after `from`: a word (`[A-Za-z0-9_]+`)
+/// or a single punctuation byte. Returns `(token, offset_after)`.
+fn next_token(code: &[u8], mut from: usize) -> Option<(String, usize)> {
+    while from < code.len() && (code[from] as char).is_whitespace() {
+        from += 1;
+    }
+    if from >= code.len() {
+        return None;
+    }
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let start = from;
+    if is_word(code[from]) {
+        while from < code.len() && is_word(code[from]) {
+            from += 1;
+        }
+    } else {
+        from += 1;
+    }
+    Some((String::from_utf8_lossy(&code[start..from]).into_owned(), from))
+}
+
+/// Check the adjacency convention for a site on 0-based `line`.
+fn is_documented(kind: Kind, line: usize, code_lines: &[&str], comment_lines: &[&str]) -> bool {
+    let marker_hit = |l: usize| {
+        let c = comment_lines.get(l).copied().unwrap_or("");
+        c.contains("SAFETY:") || (kind == Kind::Fn && c.contains("# Safety"))
+    };
+    // Same-line comment (e.g. `unsafe { .. } // SAFETY: ..` or the
+    // comment introducing a one-liner).
+    if marker_hit(line) {
+        return true;
+    }
+    // Walk the contiguous run of comment-only and attribute lines
+    // directly above; any code or blank line ends the run.
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let code_l = code_lines.get(l).copied().unwrap_or("").trim();
+        let comment_l = comment_lines.get(l).copied().unwrap_or("").trim();
+        let is_comment_only = code_l.is_empty() && !comment_l.is_empty();
+        let is_attr = code_l.starts_with("#[");
+        if is_comment_only || is_attr {
+            if marker_hit(l) {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Site> {
+        let mut out = Vec::new();
+        scan_file(Path::new("crates/demo/src/lib.rs"), src, &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_block_passes_and_bare_block_fails() {
+        let sites = scan("fn f() {\n    // SAFETY: index is in bounds by loop invariant.\n    unsafe { g() }\n}\nfn h() {\n    unsafe { g() }\n}\n");
+        assert_eq!(sites.len(), 2);
+        assert_eq!((sites[0].kind, sites[0].documented), (Kind::Block, true));
+        assert_eq!((sites[1].kind, sites[1].documented, sites[1].line), (Kind::Block, false, 6));
+    }
+
+    #[test]
+    fn fn_accepts_safety_doc_section_through_attributes() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n/// Caller must uphold X.\n#[inline]\npub unsafe fn f() {}\n";
+        let sites = scan(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!((sites[0].kind, sites[0].documented), (Kind::Fn, true));
+    }
+
+    #[test]
+    fn impl_requires_safety_comment() {
+        let sites = scan("// SAFETY: T: Send suffices; see DESIGN.md.\nunsafe impl<T: Send> Sync for P<T> {}\nunsafe impl<T> Send for Q<T> {}\n");
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].documented);
+        assert!(!sites[1].documented);
+        assert!(sites.iter().all(|s| s.kind == Kind::Impl));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_sites() {
+        let sites = scan("type K = unsafe fn(*const f32, usize) -> f32;\ntype E = unsafe extern \"C\" fn(i32);\n");
+        assert!(sites.is_empty(), "fn-pointer types declare no obligation");
+    }
+
+    #[test]
+    fn blank_line_breaks_the_comment_run() {
+        let sites = scan("// SAFETY: stale, detached comment.\n\nunsafe { g() }\n");
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].documented, "a blank line must detach the justification");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let sites = scan("// this mentions unsafe { } casually\nlet s = \"unsafe impl Sync\";\n");
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn buckets_attribute_by_top_level_dir() {
+        let mut out = Vec::new();
+        scan_file(Path::new("shims/loom/src/lib.rs"), "unsafe { g() }\n", &mut out);
+        scan_file(Path::new("tests/end_to_end.rs"), "unsafe { g() }\n", &mut out);
+        assert_eq!(out[0].bucket(), "shims/loom");
+        assert_eq!(out[1].bucket(), "root");
+    }
+}

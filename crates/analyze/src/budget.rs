@@ -1,0 +1,162 @@
+//! The committed per-crate unsafe budget: a ratchet that makes any
+//! change to the workspace's unsafe surface a conscious, reviewed
+//! diff of `crates/analyze/unsafe_budget.toml`.
+//!
+//! The audit demands an **exact** match in both directions: counts
+//! above budget mean new unsafe landed without review; counts below
+//! budget mean unsafe was removed and the ratchet should be tightened
+//! so it cannot silently creep back.
+//!
+//! The file is a small TOML subset (quoted-key sections, integer
+//! values, `#` comments) parsed here without any dependency, since
+//! the workspace builds offline.
+
+use crate::audit::{Counts, Site};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parse the budget file. Returns bucket → expected counts, or a
+/// human-readable error naming the offending line.
+pub fn parse(text: &str) -> Result<BTreeMap<String, Counts>, String> {
+    let mut out = BTreeMap::new();
+    let mut section: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("unsafe_budget.toml:{}: {msg}: `{raw}`", idx + 1);
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim().trim_matches('"').to_string();
+            if out.insert(name.clone(), Counts::default()).is_some() {
+                return Err(err("duplicate section"));
+            }
+            section = Some(name);
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| err("expected `key = value`"))?;
+        let value: usize =
+            value.trim().parse().map_err(|_| err("expected a non-negative integer"))?;
+        let section = section.as_ref().ok_or_else(|| err("key outside any [section]"))?;
+        let counts = out.get_mut(section).expect("section inserted when header was seen");
+        match key.trim() {
+            "blocks" => counts.blocks = value,
+            "fns" => counts.fns = value,
+            "impls" => counts.impls = value,
+            "traits" => counts.traits = value,
+            _ => return Err(err("unknown key (expected blocks/fns/impls/traits)")),
+        }
+    }
+    Ok(out)
+}
+
+/// Tally audited sites into per-bucket counts.
+pub fn tally(sites: &[Site]) -> BTreeMap<String, Counts> {
+    let mut out: BTreeMap<String, Counts> = BTreeMap::new();
+    for site in sites {
+        out.entry(site.bucket()).or_default().add(site.kind);
+    }
+    out
+}
+
+/// Render the canonical budget file for the given tallies (what
+/// `analyze budget-write` commits).
+pub fn render(tallies: &BTreeMap<String, Counts>) -> String {
+    let mut s = String::from(
+        "# Per-crate unsafe budget, enforced by `cargo run -p analyze -- audit`.\n\
+         # The audit requires an EXACT match: growing a count needs review of the\n\
+         # new unsafe (with its SAFETY justification), shrinking one ratchets the\n\
+         # budget down so removed unsafe cannot silently return. Regenerate with\n\
+         # `cargo run -p analyze -- budget-write` and commit the diff.\n",
+    );
+    for (bucket, c) in tallies {
+        if c.total() == 0 {
+            continue;
+        }
+        let _ = write!(
+            s,
+            "\n[\"{bucket}\"]\nblocks = {}\nfns = {}\nimpls = {}\ntraits = {}\n",
+            c.blocks, c.fns, c.impls, c.traits
+        );
+    }
+    s
+}
+
+/// Compare actual tallies against the committed budget. Returns a
+/// list of violations (empty = pass).
+pub fn diff(actual: &BTreeMap<String, Counts>, budget: &BTreeMap<String, Counts>) -> Vec<String> {
+    let mut problems = Vec::new();
+    let fields = |c: &Counts| {
+        [("blocks", c.blocks), ("fns", c.fns), ("impls", c.impls), ("traits", c.traits)]
+    };
+    let zero = Counts::default();
+    let buckets: std::collections::BTreeSet<&String> = actual.keys().chain(budget.keys()).collect();
+    for bucket in buckets {
+        let a = actual.get(bucket.as_str()).unwrap_or(&zero);
+        let b = budget.get(bucket.as_str()).unwrap_or(&zero);
+        for ((name, av), (_, bv)) in fields(a).into_iter().zip(fields(b)) {
+            if av > bv {
+                problems.push(format!(
+                    "{bucket}: {name} grew to {av} (budget {bv}) — review the new unsafe, \
+                     then `cargo run -p analyze -- budget-write`"
+                ));
+            } else if av < bv {
+                problems.push(format!(
+                    "{bucket}: {name} shrank to {av} (budget {bv}) — ratchet the budget \
+                     down with `cargo run -p analyze -- budget-write`"
+                ));
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip_is_exact() {
+        let mut t = BTreeMap::new();
+        t.insert("crates/knn".to_string(), Counts { blocks: 7, fns: 2, impls: 3, traits: 0 });
+        t.insert("shims/bytes".to_string(), Counts { blocks: 1, fns: 0, impls: 0, traits: 1 });
+        t.insert("crates/empty".to_string(), Counts::default()); // omitted from render
+        let parsed = parse(&render(&t)).unwrap();
+        t.remove("crates/empty");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn diff_flags_growth_and_shrinkage_separately() {
+        let mut actual = BTreeMap::new();
+        actual.insert("crates/knn".to_string(), Counts { blocks: 5, ..Counts::default() });
+        let mut budget = BTreeMap::new();
+        budget.insert("crates/knn".to_string(), Counts { blocks: 4, fns: 1, ..Counts::default() });
+        let problems = diff(&actual, &budget);
+        assert_eq!(problems.len(), 2);
+        assert!(problems[0].contains("grew to 5"));
+        assert!(problems[1].contains("shrank to 0"));
+    }
+
+    #[test]
+    fn diff_catches_buckets_missing_from_either_side() {
+        let mut actual = BTreeMap::new();
+        actual.insert("crates/new".to_string(), Counts { fns: 1, ..Counts::default() });
+        assert_eq!(diff(&actual, &BTreeMap::new()).len(), 1, "unbudgeted bucket must fail");
+        assert_eq!(diff(&BTreeMap::new(), &actual).len(), 1, "vanished bucket must fail");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("blocks = 1\n").is_err(), "key before any section");
+        assert!(parse("[\"a\"]\nblocks = -1\n").is_err(), "negative count");
+        assert!(parse("[\"a\"]\nwat = 3\n").is_err(), "unknown key");
+        assert!(parse("[\"a\"]\n[\"a\"]\n").is_err(), "duplicate section");
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let t = parse("# header\n\n[\"crates/x\"] # trailing\nblocks = 2 # two\n").unwrap();
+        assert_eq!(t["crates/x"].blocks, 2);
+    }
+}

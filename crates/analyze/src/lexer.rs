@@ -1,0 +1,230 @@
+//! A comment/string-aware scanner for Rust source.
+//!
+//! The audit never needs a real parse tree — only to know, for every
+//! byte of a file, whether it is *code*, *comment*, or *string/char
+//! literal*. This module produces two parallel masks of the input
+//! (same byte offsets, newlines preserved):
+//!
+//! * [`Masks::code`] — code bytes verbatim, everything else blanked,
+//!   so keyword scans (`unsafe`, `fn`, `impl`) can never be fooled by
+//!   comments or string literals;
+//! * [`Masks::comment`] — comment bytes verbatim, everything else
+//!   blanked, so `SAFETY:` adjacency checks can never be fooled by
+//!   code or strings mentioning the word.
+//!
+//! Handled: line comments, nested block comments, string literals
+//! with escapes, raw strings with any `#` arity (including raw byte
+//! and raw C strings), byte strings, char literals, and the
+//! char-vs-lifetime ambiguity (`'a'` vs `'a`).
+
+/// The two masks produced by [`mask`].
+pub struct Masks {
+    /// Code bytes verbatim; comments/strings/chars blanked to spaces.
+    pub code: String,
+    /// Comment bytes verbatim (without the `//`/`/*` introducers'
+    /// following text removed — the whole comment including markers is
+    /// kept); everything else blanked.
+    pub comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+/// Split `src` into code and comment masks. Total is lossless for
+/// newlines, so line numbers in the masks match the original.
+pub fn mask(src: &str) -> Masks {
+    let b = src.as_bytes();
+    let mut code = vec![b' '; b.len()];
+    let mut comment = vec![b' '; b.len()];
+    let mut st = State::Code;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            code[i] = b'\n';
+            comment[i] = b'\n';
+            if st == State::LineComment {
+                st = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Code => {
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    st = State::LineComment;
+                    comment[i] = c;
+                } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    st = State::BlockComment(1);
+                    comment[i] = b'/';
+                    comment[i + 1] = b'*';
+                    i += 2;
+                    continue;
+                } else if c == b'"' {
+                    st = State::Str;
+                } else if (c == b'r' || c == b'b' || c == b'c')
+                    && raw_string_hashes(&b[i..]).is_some()
+                {
+                    let (hashes, intro) = raw_string_hashes(&b[i..]).unwrap();
+                    st = State::RawStr(hashes);
+                    // keep the introducer (r#"..) out of the code mask
+                    i += intro;
+                    continue;
+                } else if c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+                    code[i] = c; // the `b` prefix is code-ish; harmless
+                    st = State::Str;
+                    i += 2;
+                    continue;
+                } else if c == b'\'' {
+                    // `'a'`/`'\n'` are char literals; `'a` (no closing
+                    // quote within the escape window) is a lifetime.
+                    let is_char = b.get(i + 1) == Some(&b'\\')
+                        || b.get(i + 2) == Some(&b'\'')
+                        || (b.get(i + 1).is_some_and(|c| c.is_ascii_alphanumeric())
+                            && b.get(i + 2) == Some(&b'\''));
+                    if is_char {
+                        st = State::Char;
+                    } else {
+                        code[i] = c; // lifetime tick stays code
+                    }
+                } else {
+                    code[i] = c;
+                }
+            }
+            State::LineComment => comment[i] = c,
+            State::BlockComment(depth) => {
+                comment[i] = c;
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    comment[i + 1] = b'*';
+                    st = State::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                if c == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    comment[i + 1] = b'/';
+                    st = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                    continue;
+                }
+            }
+            State::Str => {
+                if c == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == b'"' {
+                    st = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && closes_raw(&b[i + 1..], hashes) {
+                    i += 1 + hashes as usize;
+                    st = State::Code;
+                    continue;
+                }
+            }
+            State::Char => {
+                if c == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == b'\'' {
+                    st = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    Masks {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comment: String::from_utf8_lossy(&comment).into_owned(),
+    }
+}
+
+/// If `b` starts a raw (byte/C) string literal, return `(hash_count,
+/// introducer_len)` where introducer covers through the opening quote.
+fn raw_string_hashes(b: &[u8]) -> Option<(u8, usize)> {
+    let mut i = 0usize;
+    if b.first() == Some(&b'b') || b.first() == Some(&b'c') {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0u8;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) == Some(&b'"') {
+        Some((hashes, i + 1))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` (the bytes after a `"`) closes a raw string with
+/// `hashes` trailing `#`s.
+fn closes_raw(rest: &[u8], hashes: u8) -> bool {
+    rest.len() >= hashes as usize && rest[..hashes as usize].iter().all(|&c| c == b'#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_leave_the_code_mask() {
+        let src = "let x = \"unsafe { }\"; // unsafe trailing\nunsafe { real() }\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches("unsafe").count(), 1, "only the real unsafe survives");
+        assert!(m.comment.contains("unsafe trailing"));
+        assert!(!m.comment.contains("real"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ unsafe {}";
+        let m = mask(src);
+        assert!(m.code.contains("unsafe"));
+        assert!(m.comment.contains("still comment"));
+        assert!(!m.code.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_masked() {
+        let src = r###"let s = r#"unsafe fn nope() { " quote "#; unsafe { yes() }"###;
+        let m = mask(src);
+        assert_eq!(m.code.matches("unsafe").count(), 1);
+        assert!(m.code.contains("yes"));
+        assert!(!m.code.contains("nope"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src =
+            "fn f<'a>(x: &'a str) { let q = '\"'; let t = 'u'; } // unsafe? no: code has none";
+        let m = mask(src);
+        assert!(!m.code.contains("unsafe"));
+        // The lifetime tick survives as code; the char contents do not.
+        assert!(m.code.contains("<'a>"));
+        assert!(!m.code.contains("'u'"));
+    }
+
+    #[test]
+    fn line_numbers_are_preserved() {
+        let src = "line one\n// c\nunsafe {\n}\n";
+        let m = mask(src);
+        assert_eq!(m.code.lines().count(), src.lines().count());
+        assert_eq!(m.code.lines().nth(2).unwrap().trim(), "unsafe {");
+    }
+}

@@ -1,0 +1,73 @@
+//! Static-analysis driver for the workspace's soundness story
+//! (DESIGN.md "Soundness & analysis").
+//!
+//! The binary front-end is `cargo run -p analyze -- <check>`:
+//!
+//! * `audit` — inventory every `unsafe` block/fn/impl/trait in the
+//!   workspace, fail on any missing `SAFETY:` / `# Safety`
+//!   documentation, and fail unless the per-crate counts exactly
+//!   match the committed budget in `crates/analyze/unsafe_budget.toml`;
+//! * `list` — print the full inventory (path:line, kind, doc status);
+//! * `budget-write` — regenerate the budget file from current counts.
+//!
+//! Being textual, the audit sees *all* sources — including targets'
+//! `cfg`'d-out kernels (NEON on an x86 host) that `clippy::`
+//! `undocumented_unsafe_blocks` cannot reach. The two checks are
+//! deliberately redundant where they overlap.
+
+pub mod audit;
+pub mod budget;
+pub mod lexer;
+
+use std::path::{Path, PathBuf};
+
+pub use audit::{audit_workspace, Counts, Kind, Site};
+
+/// The workspace root, resolved relative to this crate so the tool
+/// works from any cwd (`cargo run -p analyze` sets the manifest dir).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Location of the committed budget file under `root`.
+pub fn budget_path(root: &Path) -> PathBuf {
+    root.join("crates/analyze/unsafe_budget.toml")
+}
+
+/// Run the full audit (documentation + budget) over the workspace at
+/// `root`. Returns the inventory on success, or the list of
+/// violations on failure.
+pub fn run_audit(root: &Path) -> Result<Vec<Site>, Vec<String>> {
+    let sites = audit_workspace(root).map_err(|e| vec![format!("walking sources: {e}")])?;
+    let mut problems: Vec<String> = sites
+        .iter()
+        .filter(|s| !s.documented)
+        .map(|s| {
+            format!(
+                "{}:{}: undocumented `unsafe {}` (needs an adjacent {} per DESIGN.md)",
+                s.path.display(),
+                s.line,
+                s.kind,
+                if s.kind == Kind::Fn { "`# Safety` doc section" } else { "`SAFETY:` comment" },
+            )
+        })
+        .collect();
+    let budget_text = std::fs::read_to_string(budget_path(root)).map_err(|e| {
+        vec![format!(
+            "reading {}: {e} (run `cargo run -p analyze -- budget-write` to create it)",
+            budget_path(root).display()
+        )]
+    })?;
+    match budget::parse(&budget_text) {
+        Ok(budget) => problems.extend(budget::diff(&budget::tally(&sites), &budget)),
+        Err(e) => problems.push(e),
+    }
+    if problems.is_empty() {
+        Ok(sites)
+    } else {
+        Err(problems)
+    }
+}

@@ -1,0 +1,97 @@
+//! CLI driver: `cargo run -p analyze -- <audit|list|budget-write>
+//! [--root <path>]`. See the crate docs (src/lib.rs) for what each
+//! check does; CI runs `audit` as a required lane.
+
+use analyze::{audit, budget};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p analyze -- <audit|list|budget-write> [--root <path>]
+
+  audit         enforce SAFETY documentation and the committed unsafe budget
+  list          print the full unsafe inventory
+  budget-write  regenerate crates/analyze/unsafe_budget.toml from current counts";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut root = analyze::workspace_root();
+    match (args.next().as_deref(), args.next()) {
+        (None, _) => {}
+        (Some("--root"), Some(p)) => root = PathBuf::from(p),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match cmd.as_str() {
+        "audit" => match analyze::run_audit(&root) {
+            Ok(sites) => {
+                let tallies = budget::tally(&sites);
+                println!(
+                    "unsafe audit PASS: {} sites across {} crates, all documented, \
+                     budget exact",
+                    sites.len(),
+                    tallies.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("audit: {p}");
+                }
+                eprintln!("unsafe audit FAIL: {} problem(s)", problems.len());
+                ExitCode::FAILURE
+            }
+        },
+        "list" => match audit::audit_workspace(&root) {
+            Ok(sites) => {
+                for s in &sites {
+                    println!(
+                        "{}:{}\t{}\t{}",
+                        s.path.display(),
+                        s.line,
+                        s.kind,
+                        if s.documented { "documented" } else { "UNDOCUMENTED" }
+                    );
+                }
+                let tallies = budget::tally(&sites);
+                for (bucket, c) in &tallies {
+                    println!(
+                        "# {bucket}: {} blocks, {} fns, {} impls, {} traits",
+                        c.blocks, c.fns, c.impls, c.traits
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("list: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "budget-write" => match audit::audit_workspace(&root) {
+            Ok(sites) => {
+                let path = analyze::budget_path(&root);
+                let text = budget::render(&budget::tally(&sites));
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("budget-write: writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {} ({} sites)", path.display(), sites.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("budget-write: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("unknown check `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

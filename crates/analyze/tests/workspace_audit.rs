@@ -1,0 +1,28 @@
+//! Runs the real unsafe audit over the real workspace as part of
+//! tier-1 `cargo test`, so an undocumented `unsafe` or an unreviewed
+//! budget drift fails the ordinary test run — not just the dedicated
+//! CI lane.
+
+#[test]
+fn workspace_audit_is_clean() {
+    let root = analyze::workspace_root();
+    match analyze::run_audit(&root) {
+        Ok(sites) => assert!(!sites.is_empty(), "audit found no unsafe at all — scan is broken"),
+        Err(problems) => panic!(
+            "unsafe audit failed with {} problem(s):\n  {}",
+            problems.len(),
+            problems.join("\n  ")
+        ),
+    }
+}
+
+#[test]
+fn budget_file_is_canonical() {
+    // `budget-write` output must be byte-identical to the committed
+    // file, so formatting drift can't mask a count change in review.
+    let root = analyze::workspace_root();
+    let sites = analyze::audit_workspace(&root).expect("walk workspace");
+    let expected = analyze::budget::render(&analyze::budget::tally(&sites));
+    let committed = std::fs::read_to_string(analyze::budget_path(&root)).expect("read budget");
+    assert_eq!(committed, expected, "run `cargo run -p analyze -- budget-write` and commit");
+}

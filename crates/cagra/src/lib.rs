@@ -33,6 +33,11 @@
 //! assert_eq!(hits.len(), 5);
 //! ```
 
+// See the workspace soundness policy (DESIGN.md "Soundness & analysis"):
+// unsafe ops inside `unsafe fn` need their own `unsafe {}` + SAFETY.
+// This crate currently has zero unsafe code; the lint keeps it honest.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod build;
 pub mod index_io;
 pub mod optimize;

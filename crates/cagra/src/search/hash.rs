@@ -39,7 +39,32 @@ impl VisitedSet {
     pub fn new(bits: u8) -> Self {
         assert!((4..=30).contains(&bits), "hash bits {bits} out of range");
         let size = 1usize << bits;
-        VisitedSet { slots: vec![EMPTY; size], mask: (size - 1) as u32, len: 0, probes: 0 }
+        let v = VisitedSet { slots: vec![EMPTY; size], mask: (size - 1) as u32, len: 0, probes: 0 };
+        v.check_shape();
+        v
+    }
+
+    /// `debug_invariants` shadow: the linear-probe loops terminate
+    /// because (a) the table is a power of two whose wrap mask is
+    /// `size - 1`, so `(slot + 1) & mask` cycles through every slot,
+    /// and (b) each loop is bounded by `capacity` steps. Verify (a)
+    /// and the occupancy accounting that (b)'s full-table fallback
+    /// relies on.
+    #[inline]
+    fn check_shape(&self) {
+        #[cfg(feature = "debug_invariants")]
+        {
+            assert!(
+                self.slots.len().is_power_of_two(),
+                "probe invariant: table not a power of two"
+            );
+            assert_eq!(
+                self.mask as usize,
+                self.slots.len() - 1,
+                "probe invariant: wrap mask does not match table size"
+            );
+            assert!(self.len <= self.slots.len(), "probe invariant: len exceeds capacity");
+        }
     }
 
     /// Table size adequate for a standard (never-reset) search: at
@@ -88,10 +113,19 @@ impl VisitedSet {
             if cur == EMPTY {
                 self.slots[slot as usize] = id;
                 self.len += 1;
+                self.check_shape();
                 return true;
             }
             slot = (slot + 1) & self.mask;
         }
+        // The bounded probe loop visited every slot without finding
+        // `id` or a hole — only a genuinely full table can do that.
+        #[cfg(feature = "debug_invariants")]
+        assert_eq!(
+            self.len, cap,
+            "probe invariant: probe loop exhausted {cap} slots but only {} are occupied",
+            self.len
+        );
         false
     }
 
@@ -130,6 +164,7 @@ impl VisitedSet {
         }
         self.len = 0;
         self.probes = 0;
+        self.check_shape();
     }
 
     /// Forgettable-mode reset: evict everything, then re-register the

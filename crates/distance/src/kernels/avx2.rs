@@ -26,41 +26,63 @@ use dataset::F16;
 /// Requires `avx2`.
 #[inline(always)]
 unsafe fn hsum8(acc: __m256) -> f32 {
-    let lo = _mm256_castps256_ps128(acc);
-    let hi = _mm256_extractf128_ps::<1>(acc);
-    let s = _mm_add_ps(lo, hi);
-    let mut lanes = [0.0f32; 4];
-    _mm_storeu_ps(lanes.as_mut_ptr(), s);
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    // SAFETY: caller contract guarantees `avx2`; every intrinsic here
+    // is register-only except the store into the 4-lane local, which
+    // exactly fills `lanes`.
+    unsafe {
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        let s = _mm_add_ps(lo, hi);
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), s);
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
 }
 
 // --- 8-wide row loaders -------------------------------------------------
 // Each widens 8 stored elements starting at `base` into an f32x8.
 // Callers guarantee `base + 8 <= row length`.
 
+/// # Safety
+/// Requires `avx2` and `base + 8 <= r.len()`.
 #[inline(always)]
 unsafe fn load8_f32(r: &[f32], base: usize) -> __m256 {
     debug_assert!(base + 8 <= r.len());
-    _mm256_loadu_ps(r.as_ptr().add(base))
+    // SAFETY: caller contract — `avx2` available and `base + 8 <=
+    // r.len()`, so the unaligned 8-lane load stays inside `r`.
+    unsafe { _mm256_loadu_ps(r.as_ptr().add(base)) }
 }
 
+/// # Safety
+/// Requires `avx2` + `f16c` and `base + 8 <= r.len()`.
 #[inline(always)]
 unsafe fn load8_f16(r: &[F16], base: usize) -> __m256 {
     debug_assert!(base + 8 <= r.len());
-    // Eight binary16 values = 128 bits; vcvtph2ps widens them exactly.
-    let raw = _mm_loadu_si128(r.as_ptr().add(base) as *const __m128i);
-    _mm256_cvtph_ps(raw)
+    // SAFETY: caller contract — `avx2`+`f16c` available and `base + 8
+    // <= r.len()`; eight binary16 values = 128 bits read in bounds,
+    // and vcvtph2ps widens them exactly.
+    unsafe {
+        let raw = _mm_loadu_si128(r.as_ptr().add(base) as *const __m128i);
+        _mm256_cvtph_ps(raw)
+    }
 }
 
+/// # Safety
+/// Requires `avx2` and `base + 8` in bounds of both `codes` and
+/// `scales`.
 #[inline(always)]
 unsafe fn load8_i8(codes: &[i8], scales: &[f32], base: usize) -> __m256 {
     debug_assert!(base + 8 <= codes.len() && base + 8 <= scales.len());
-    // Eight codes = 64 bits; sign-extend to i32, convert (exact), then
-    // one multiply by the per-dimension scales (one rounding, same as
-    // the scalar `code as f32 * scale`).
-    let raw = _mm_loadl_epi64(codes.as_ptr().add(base) as *const __m128i);
-    let wide = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
-    _mm256_mul_ps(wide, _mm256_loadu_ps(scales.as_ptr().add(base)))
+    // SAFETY: caller contract — `avx2` available and `base + 8` within
+    // both `codes` (64-bit load) and `scales` (256-bit load).
+    // Sign-extend to i32, convert (exact), then one multiply by the
+    // per-dimension scales (one rounding, same as the scalar
+    // `code as f32 * scale`).
+    unsafe {
+        let raw = _mm_loadl_epi64(codes.as_ptr().add(base) as *const __m128i);
+        let wide = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+        _mm256_mul_ps(wide, _mm256_loadu_ps(scales.as_ptr().add(base)))
+    }
 }
 
 // --- generic kernel bodies ----------------------------------------------
@@ -70,41 +92,58 @@ unsafe fn load8_i8(codes: &[i8], scales: &[f32], base: usize) -> __m256 {
 // enabled. Closures do not inherit the caller's unsafe context, hence
 // the explicit `unsafe` blocks at each call site.
 
+/// # Safety
+/// Requires `avx2`; `load8(base)`/`at(j)` must be in bounds for every
+/// `base + 8 <= q.len()` and `j < q.len()` (row length >= `q.len()`).
 #[inline(always)]
 unsafe fn l2_body(q: &[f32], load8: impl Fn(usize) -> __m256, at: impl Fn(usize) -> f32) -> f32 {
     let n = q.len();
     let chunks = n / 8;
-    let mut acc = _mm256_setzero_ps();
-    for c in 0..chunks {
-        let base = c * 8;
-        let d = _mm256_sub_ps(_mm256_loadu_ps(q.as_ptr().add(base)), load8(base));
-        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+    // SAFETY: caller contract — `avx2` available and the row behind
+    // `load8`/`at` is at least `q.len()` long, so every `base = c*8`
+    // with `base + 8 <= n` keeps the query load in bounds and the
+    // loaders' own preconditions hold.
+    unsafe {
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 8;
+            let d = _mm256_sub_ps(_mm256_loadu_ps(q.as_ptr().add(base)), load8(base));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        let mut sum = hsum8(acc);
+        for (j, &qj) in q.iter().enumerate().skip(chunks * 8) {
+            let d = qj - at(j);
+            sum += d * d;
+        }
+        sum
     }
-    let mut sum = hsum8(acc);
-    for (j, &qj) in q.iter().enumerate().skip(chunks * 8) {
-        let d = qj - at(j);
-        sum += d * d;
-    }
-    sum
 }
 
+/// # Safety
+/// As for [`l2_body`].
 #[inline(always)]
 unsafe fn dot_body(q: &[f32], load8: impl Fn(usize) -> __m256, at: impl Fn(usize) -> f32) -> f32 {
     let n = q.len();
     let chunks = n / 8;
-    let mut acc = _mm256_setzero_ps();
-    for c in 0..chunks {
-        let base = c * 8;
-        let qv = _mm256_loadu_ps(q.as_ptr().add(base));
-        acc = _mm256_add_ps(acc, _mm256_mul_ps(qv, load8(base)));
+    // SAFETY: as in `l2_body` — caller guarantees `avx2` and row
+    // length >= `q.len()`.
+    unsafe {
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 8;
+            let qv = _mm256_loadu_ps(q.as_ptr().add(base));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(qv, load8(base)));
+        }
+        let mut sum = hsum8(acc);
+        for (j, &qj) in q.iter().enumerate().skip(chunks * 8) {
+            sum += qj * at(j);
+        }
+        sum
     }
-    let mut sum = hsum8(acc);
-    for (j, &qj) in q.iter().enumerate().skip(chunks * 8) {
-        sum += qj * at(j);
-    }
-    sum
 }
 
+/// # Safety
+/// As for [`l2_body`].
 #[inline(always)]
 unsafe fn dot_norm_body(
     q: &[f32],
@@ -113,23 +152,27 @@ unsafe fn dot_norm_body(
 ) -> (f32, f32) {
     let n = q.len();
     let chunks = n / 8;
-    let mut ab = _mm256_setzero_ps();
-    let mut bb = _mm256_setzero_ps();
-    for c in 0..chunks {
-        let base = c * 8;
-        let qv = _mm256_loadu_ps(q.as_ptr().add(base));
-        let w = load8(base);
-        ab = _mm256_add_ps(ab, _mm256_mul_ps(qv, w));
-        bb = _mm256_add_ps(bb, _mm256_mul_ps(w, w));
+    // SAFETY: as in `l2_body` — caller guarantees `avx2` and row
+    // length >= `q.len()`.
+    unsafe {
+        let mut ab = _mm256_setzero_ps();
+        let mut bb = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 8;
+            let qv = _mm256_loadu_ps(q.as_ptr().add(base));
+            let w = load8(base);
+            ab = _mm256_add_ps(ab, _mm256_mul_ps(qv, w));
+            bb = _mm256_add_ps(bb, _mm256_mul_ps(w, w));
+        }
+        let mut sab = hsum8(ab);
+        let mut sbb = hsum8(bb);
+        for (j, &qj) in q.iter().enumerate().skip(chunks * 8) {
+            let w = at(j);
+            sab += qj * w;
+            sbb += w * w;
+        }
+        (sab, sbb)
     }
-    let mut sab = hsum8(ab);
-    let mut sbb = hsum8(bb);
-    for (j, &qj) in q.iter().enumerate().skip(chunks * 8) {
-        let w = at(j);
-        sab += qj * w;
-        sbb += w * w;
-    }
-    (sab, sbb)
 }
 
 // --- public kernels -----------------------------------------------------
@@ -140,65 +183,106 @@ unsafe fn dot_norm_body(
 /// Requires `avx2`; `q.len() == r.len()`.
 #[target_feature(enable = "avx2")]
 pub unsafe fn l2_f32(q: &[f32], r: &[f32]) -> f32 {
-    l2_body(q, |base| unsafe { load8_f32(r, base) }, |j| r[j])
+    // SAFETY: `load8_f32` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_f32(r, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { l2_body(q, load8, |j| r[j]) }
 }
 
 /// # Safety
 /// Requires `avx2`; `q.len() == r.len()`.
 #[target_feature(enable = "avx2")]
 pub unsafe fn dot_f32(q: &[f32], r: &[f32]) -> f32 {
-    dot_body(q, |base| unsafe { load8_f32(r, base) }, |j| r[j])
+    // SAFETY: `load8_f32` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_f32(r, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { dot_body(q, load8, |j| r[j]) }
 }
 
 /// # Safety
 /// Requires `avx2`; `q.len() == r.len()`.
 #[target_feature(enable = "avx2")]
 pub unsafe fn dot_norm_f32(q: &[f32], r: &[f32]) -> (f32, f32) {
-    dot_norm_body(q, |base| unsafe { load8_f32(r, base) }, |j| r[j])
+    // SAFETY: `load8_f32` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_f32(r, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { dot_norm_body(q, load8, |j| r[j]) }
 }
 
 /// # Safety
 /// Requires `avx2` and `f16c`; `q.len() == r.len()`.
 #[target_feature(enable = "avx2,f16c")]
 pub unsafe fn l2_f16(q: &[f32], r: &[F16]) -> f32 {
-    l2_body(q, |base| unsafe { load8_f16(r, base) }, |j| r[j].to_f32())
+    // SAFETY: `load8_f16` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_f16(r, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { l2_body(q, load8, |j| r[j].to_f32()) }
 }
 
 /// # Safety
 /// Requires `avx2` and `f16c`; `q.len() == r.len()`.
 #[target_feature(enable = "avx2,f16c")]
 pub unsafe fn dot_f16(q: &[f32], r: &[F16]) -> f32 {
-    dot_body(q, |base| unsafe { load8_f16(r, base) }, |j| r[j].to_f32())
+    // SAFETY: `load8_f16` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_f16(r, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { dot_body(q, load8, |j| r[j].to_f32()) }
 }
 
 /// # Safety
 /// Requires `avx2` and `f16c`; `q.len() == r.len()`.
 #[target_feature(enable = "avx2,f16c")]
 pub unsafe fn dot_norm_f16(q: &[f32], r: &[F16]) -> (f32, f32) {
-    dot_norm_body(q, |base| unsafe { load8_f16(r, base) }, |j| r[j].to_f32())
+    // SAFETY: `load8_f16` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_f16(r, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { dot_norm_body(q, load8, |j| r[j].to_f32()) }
 }
 
 /// # Safety
 /// Requires `avx2`; `q`, `codes`, `scales` all of equal length.
 #[target_feature(enable = "avx2")]
 pub unsafe fn l2_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> f32 {
-    l2_body(q, |base| unsafe { load8_i8(codes, scales, base) }, |j| codes[j] as f32 * scales[j])
+    // SAFETY: `load8_i8` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_i8(codes, scales, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { l2_body(q, load8, |j| codes[j] as f32 * scales[j]) }
 }
 
 /// # Safety
 /// Requires `avx2`; `q`, `codes`, `scales` all of equal length.
 #[target_feature(enable = "avx2")]
 pub unsafe fn dot_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> f32 {
-    dot_body(q, |base| unsafe { load8_i8(codes, scales, base) }, |j| codes[j] as f32 * scales[j])
+    // SAFETY: `load8_i8` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_i8(codes, scales, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { dot_body(q, load8, |j| codes[j] as f32 * scales[j]) }
 }
 
 /// # Safety
 /// Requires `avx2`; `q`, `codes`, `scales` all of equal length.
 #[target_feature(enable = "avx2")]
 pub unsafe fn dot_norm_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> (f32, f32) {
-    dot_norm_body(
-        q,
-        |base| unsafe { load8_i8(codes, scales, base) },
-        |j| codes[j] as f32 * scales[j],
-    )
+    // SAFETY: `load8_i8` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees codes and
+    // scales are `q.len()` long. Features are this fn's own contract.
+    let load8 = |base| unsafe { load8_i8(codes, scales, base) };
+    // SAFETY: forwarded caller contract (target features + lengths).
+    unsafe { dot_norm_body(q, load8, |j| codes[j] as f32 * scales[j]) }
 }

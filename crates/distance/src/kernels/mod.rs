@@ -97,31 +97,55 @@ mod x86 {
     macro_rules! shim {
         ($name:ident, f32pair, $imp:path) => {
             pub fn $name(q: &[f32], r: &[f32]) -> f32 {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, r) }
             }
         };
         ($name:ident, f32pair2, $imp:path) => {
             pub fn $name(q: &[f32], r: &[f32]) -> (f32, f32) {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, r) }
             }
         };
         ($name:ident, f16pair, $imp:path) => {
             pub fn $name(q: &[f32], r: &[F16]) -> f32 {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, r) }
             }
         };
         ($name:ident, f16pair2, $imp:path) => {
             pub fn $name(q: &[f32], r: &[F16]) -> (f32, f32) {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, r) }
             }
         };
         ($name:ident, i8triple, $imp:path) => {
             pub fn $name(q: &[f32], c: &[i8], s: &[f32]) -> f32 {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, c, s) }
             }
         };
         ($name:ident, i8triple2, $imp:path) => {
             pub fn $name(q: &[f32], c: &[i8], s: &[f32]) -> (f32, f32) {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, c, s) }
             }
         };
@@ -143,21 +167,37 @@ mod arm {
     macro_rules! shim {
         ($name:ident, f32pair, $imp:path) => {
             pub fn $name(q: &[f32], r: &[f32]) -> f32 {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, r) }
             }
         };
         ($name:ident, f32pair2, $imp:path) => {
             pub fn $name(q: &[f32], r: &[f32]) -> (f32, f32) {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, r) }
             }
         };
         ($name:ident, i8triple, $imp:path) => {
             pub fn $name(q: &[f32], c: &[i8], s: &[f32]) -> f32 {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, c, s) }
             }
         };
         ($name:ident, i8triple2, $imp:path) => {
             pub fn $name(q: &[f32], c: &[i8], s: &[f32]) -> (f32, f32) {
+                // SAFETY: `detect()` installs this shim in the dispatch
+                // table only after the runtime feature probe succeeded,
+                // and equal slice lengths are the table's documented
+                // caller contract (upheld by `DistanceOracle`).
                 unsafe { $imp(q, c, s) }
             }
         };

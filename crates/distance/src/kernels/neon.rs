@@ -23,31 +23,51 @@ use core::arch::aarch64::*;
 /// build, but the dispatch table still runtime-checks it).
 #[inline(always)]
 unsafe fn hsum8(lo: float32x4_t, hi: float32x4_t) -> f32 {
-    let s = vaddq_f32(lo, hi);
-    let mut lanes = [0.0f32; 4];
-    vst1q_f32(lanes.as_mut_ptr(), s);
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    // SAFETY: caller contract guarantees NEON; register-only ops plus
+    // a store that exactly fills the 4-lane local.
+    unsafe {
+        let s = vaddq_f32(lo, hi);
+        let mut lanes = [0.0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), s);
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
 }
 
+/// # Safety
+/// Requires NEON and `base + 8 <= r.len()`.
 #[inline(always)]
 unsafe fn load_f32(r: &[f32], base: usize) -> (float32x4_t, float32x4_t) {
     debug_assert!(base + 8 <= r.len());
-    let p = r.as_ptr().add(base);
-    (vld1q_f32(p), vld1q_f32(p.add(4)))
+    // SAFETY: caller contract — NEON available and `base + 8 <=
+    // r.len()`, so both quad loads stay inside `r`.
+    unsafe {
+        let p = r.as_ptr().add(base);
+        (vld1q_f32(p), vld1q_f32(p.add(4)))
+    }
 }
 
+/// # Safety
+/// Requires NEON and `base + 8` in bounds of both `codes` and
+/// `scales`.
 #[inline(always)]
 unsafe fn load_i8(codes: &[i8], scales: &[f32], base: usize) -> (float32x4_t, float32x4_t) {
     debug_assert!(base + 8 <= codes.len() && base + 8 <= scales.len());
-    let raw = vld1_s8(codes.as_ptr().add(base)); // 8 x i8
-    let w16 = vmovl_s8(raw); // 8 x i16
-    let lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w16))); // exact
-    let hi = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w16)));
-    let sp = scales.as_ptr().add(base);
-    // One rounding per element, same as scalar `code as f32 * scale`.
-    (vmulq_f32(lo, vld1q_f32(sp)), vmulq_f32(hi, vld1q_f32(sp.add(4))))
+    // SAFETY: caller contract — NEON available and `base + 8` within
+    // both `codes` (64-bit load) and `scales` (two quad loads).
+    unsafe {
+        let raw = vld1_s8(codes.as_ptr().add(base)); // 8 x i8
+        let w16 = vmovl_s8(raw); // 8 x i16
+        let lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w16))); // exact
+        let hi = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w16)));
+        let sp = scales.as_ptr().add(base);
+        // One rounding per element, same as scalar `code as f32 * scale`.
+        (vmulq_f32(lo, vld1q_f32(sp)), vmulq_f32(hi, vld1q_f32(sp.add(4))))
+    }
 }
 
+/// # Safety
+/// Requires NEON; `load(base)`/`at(j)` must be in bounds for every
+/// `base + 8 <= q.len()` and `j < q.len()` (row length >= `q.len()`).
 #[inline(always)]
 unsafe fn l2_body(
     q: &[f32],
@@ -56,25 +76,33 @@ unsafe fn l2_body(
 ) -> f32 {
     let n = q.len();
     let chunks = n / 8;
-    let mut acc_lo = vdupq_n_f32(0.0);
-    let mut acc_hi = vdupq_n_f32(0.0);
-    for c in 0..chunks {
-        let base = c * 8;
-        let qp = q.as_ptr().add(base);
-        let (w_lo, w_hi) = load(base);
-        let d_lo = vsubq_f32(vld1q_f32(qp), w_lo);
-        let d_hi = vsubq_f32(vld1q_f32(qp.add(4)), w_hi);
-        acc_lo = vaddq_f32(acc_lo, vmulq_f32(d_lo, d_lo));
-        acc_hi = vaddq_f32(acc_hi, vmulq_f32(d_hi, d_hi));
+    // SAFETY: caller contract — NEON available and the row behind
+    // `load`/`at` is at least `q.len()` long, so every `base = c*8`
+    // with `base + 8 <= n` keeps the query loads in bounds and the
+    // loaders' own preconditions hold.
+    unsafe {
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let base = c * 8;
+            let qp = q.as_ptr().add(base);
+            let (w_lo, w_hi) = load(base);
+            let d_lo = vsubq_f32(vld1q_f32(qp), w_lo);
+            let d_hi = vsubq_f32(vld1q_f32(qp.add(4)), w_hi);
+            acc_lo = vaddq_f32(acc_lo, vmulq_f32(d_lo, d_lo));
+            acc_hi = vaddq_f32(acc_hi, vmulq_f32(d_hi, d_hi));
+        }
+        let mut sum = hsum8(acc_lo, acc_hi);
+        for j in chunks * 8..n {
+            let d = q[j] - at(j);
+            sum += d * d;
+        }
+        sum
     }
-    let mut sum = hsum8(acc_lo, acc_hi);
-    for j in chunks * 8..n {
-        let d = q[j] - at(j);
-        sum += d * d;
-    }
-    sum
 }
 
+/// # Safety
+/// As for [`l2_body`].
 #[inline(always)]
 unsafe fn dot_body(
     q: &[f32],
@@ -83,22 +111,28 @@ unsafe fn dot_body(
 ) -> f32 {
     let n = q.len();
     let chunks = n / 8;
-    let mut acc_lo = vdupq_n_f32(0.0);
-    let mut acc_hi = vdupq_n_f32(0.0);
-    for c in 0..chunks {
-        let base = c * 8;
-        let qp = q.as_ptr().add(base);
-        let (w_lo, w_hi) = load(base);
-        acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(qp), w_lo));
-        acc_hi = vaddq_f32(acc_hi, vmulq_f32(vld1q_f32(qp.add(4)), w_hi));
+    // SAFETY: as in `l2_body` — caller guarantees NEON and row
+    // length >= `q.len()`.
+    unsafe {
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let base = c * 8;
+            let qp = q.as_ptr().add(base);
+            let (w_lo, w_hi) = load(base);
+            acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(qp), w_lo));
+            acc_hi = vaddq_f32(acc_hi, vmulq_f32(vld1q_f32(qp.add(4)), w_hi));
+        }
+        let mut sum = hsum8(acc_lo, acc_hi);
+        for j in chunks * 8..n {
+            sum += q[j] * at(j);
+        }
+        sum
     }
-    let mut sum = hsum8(acc_lo, acc_hi);
-    for j in chunks * 8..n {
-        sum += q[j] * at(j);
-    }
-    sum
 }
 
+/// # Safety
+/// As for [`l2_body`].
 #[inline(always)]
 unsafe fn dot_norm_body(
     q: &[f32],
@@ -107,65 +141,95 @@ unsafe fn dot_norm_body(
 ) -> (f32, f32) {
     let n = q.len();
     let chunks = n / 8;
-    let mut ab_lo = vdupq_n_f32(0.0);
-    let mut ab_hi = vdupq_n_f32(0.0);
-    let mut bb_lo = vdupq_n_f32(0.0);
-    let mut bb_hi = vdupq_n_f32(0.0);
-    for c in 0..chunks {
-        let base = c * 8;
-        let qp = q.as_ptr().add(base);
-        let (w_lo, w_hi) = load(base);
-        ab_lo = vaddq_f32(ab_lo, vmulq_f32(vld1q_f32(qp), w_lo));
-        ab_hi = vaddq_f32(ab_hi, vmulq_f32(vld1q_f32(qp.add(4)), w_hi));
-        bb_lo = vaddq_f32(bb_lo, vmulq_f32(w_lo, w_lo));
-        bb_hi = vaddq_f32(bb_hi, vmulq_f32(w_hi, w_hi));
+    // SAFETY: as in `l2_body` — caller guarantees NEON and row
+    // length >= `q.len()`.
+    unsafe {
+        let mut ab_lo = vdupq_n_f32(0.0);
+        let mut ab_hi = vdupq_n_f32(0.0);
+        let mut bb_lo = vdupq_n_f32(0.0);
+        let mut bb_hi = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let base = c * 8;
+            let qp = q.as_ptr().add(base);
+            let (w_lo, w_hi) = load(base);
+            ab_lo = vaddq_f32(ab_lo, vmulq_f32(vld1q_f32(qp), w_lo));
+            ab_hi = vaddq_f32(ab_hi, vmulq_f32(vld1q_f32(qp.add(4)), w_hi));
+            bb_lo = vaddq_f32(bb_lo, vmulq_f32(w_lo, w_lo));
+            bb_hi = vaddq_f32(bb_hi, vmulq_f32(w_hi, w_hi));
+        }
+        let mut sab = hsum8(ab_lo, ab_hi);
+        let mut sbb = hsum8(bb_lo, bb_hi);
+        for j in chunks * 8..n {
+            let w = at(j);
+            sab += q[j] * w;
+            sbb += w * w;
+        }
+        (sab, sbb)
     }
-    let mut sab = hsum8(ab_lo, ab_hi);
-    let mut sbb = hsum8(bb_lo, bb_hi);
-    for j in chunks * 8..n {
-        let w = at(j);
-        sab += q[j] * w;
-        sbb += w * w;
-    }
-    (sab, sbb)
 }
 
 /// # Safety
 /// Requires NEON; `q.len() == r.len()`.
 pub unsafe fn l2_f32(q: &[f32], r: &[f32]) -> f32 {
-    l2_body(q, |base| unsafe { load_f32(r, base) }, |j| r[j])
+    // SAFETY: `load_f32` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. NEON is this fn's own contract.
+    let load = |base| unsafe { load_f32(r, base) };
+    // SAFETY: forwarded caller contract (NEON + equal lengths).
+    unsafe { l2_body(q, load, |j| r[j]) }
 }
 
 /// # Safety
 /// Requires NEON; `q.len() == r.len()`.
 pub unsafe fn dot_f32(q: &[f32], r: &[f32]) -> f32 {
-    dot_body(q, |base| unsafe { load_f32(r, base) }, |j| r[j])
+    // SAFETY: `load_f32` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. NEON is this fn's own contract.
+    let load = |base| unsafe { load_f32(r, base) };
+    // SAFETY: forwarded caller contract (NEON + equal lengths).
+    unsafe { dot_body(q, load, |j| r[j]) }
 }
 
 /// # Safety
 /// Requires NEON; `q.len() == r.len()`.
 pub unsafe fn dot_norm_f32(q: &[f32], r: &[f32]) -> (f32, f32) {
-    dot_norm_body(q, |base| unsafe { load_f32(r, base) }, |j| r[j])
+    // SAFETY: `load_f32` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. NEON is this fn's own contract.
+    let load = |base| unsafe { load_f32(r, base) };
+    // SAFETY: forwarded caller contract (NEON + equal lengths).
+    unsafe { dot_norm_body(q, load, |j| r[j]) }
 }
 
 /// # Safety
 /// Requires NEON; `q`, `codes`, `scales` all of equal length.
 pub unsafe fn l2_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> f32 {
-    l2_body(q, |base| unsafe { load_i8(codes, scales, base) }, |j| codes[j] as f32 * scales[j])
+    // SAFETY: `load_i8` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. NEON is this fn's own contract.
+    let load = |base| unsafe { load_i8(codes, scales, base) };
+    // SAFETY: forwarded caller contract (NEON + equal lengths).
+    unsafe { l2_body(q, load, |j| codes[j] as f32 * scales[j]) }
 }
 
 /// # Safety
 /// Requires NEON; `q`, `codes`, `scales` all of equal length.
 pub unsafe fn dot_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> f32 {
-    dot_body(q, |base| unsafe { load_i8(codes, scales, base) }, |j| codes[j] as f32 * scales[j])
+    // SAFETY: `load_i8` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees the row
+    // is `q.len()` long. NEON is this fn's own contract.
+    let load = |base| unsafe { load_i8(codes, scales, base) };
+    // SAFETY: forwarded caller contract (NEON + equal lengths).
+    unsafe { dot_body(q, load, |j| codes[j] as f32 * scales[j]) }
 }
 
 /// # Safety
 /// Requires NEON; `q`, `codes`, `scales` all of equal length.
 pub unsafe fn dot_norm_i8(q: &[f32], codes: &[i8], scales: &[f32]) -> (f32, f32) {
-    dot_norm_body(
-        q,
-        |base| unsafe { load_i8(codes, scales, base) },
-        |j| codes[j] as f32 * scales[j],
-    )
+    // SAFETY: `load_i8` needs `base + 8 <= row len`; the body only
+    // passes `base + 8 <= q.len()` and the caller guarantees codes and
+    // scales are `q.len()` long. NEON is this fn's own contract.
+    let load = |base| unsafe { load_i8(codes, scales, base) };
+    // SAFETY: forwarded caller contract (NEON + equal lengths).
+    unsafe { dot_norm_body(q, load, |j| codes[j] as f32 * scales[j]) }
 }

@@ -19,6 +19,10 @@
 //! the search hot loops use to score a parent's whole adjacency list
 //! in one call.
 
+// See the workspace soundness policy (DESIGN.md "Soundness & analysis"):
+// unsafe ops inside `unsafe fn` need their own `unsafe {}` + SAFETY.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use dataset::VectorStore;
 use serde::{Deserialize, Serialize};
 

@@ -354,9 +354,43 @@ pub fn counting_scatter<T, I, F>(
     out.data.clear();
     out.data.resize(total as usize, T::default());
 
+    // Checked shadow (debug_invariants): snapshot each (chunk, target)
+    // cursor's exclusive end — the next chunk's start cursor, or the
+    // target row's end for the last chunk — and verify the starts tile
+    // every target row exactly. Combined with the post-placement check
+    // below (each cursor must land exactly on its end) this proves the
+    // raw writes of pass 2 cover each target row's half-open ranges
+    // disjointly, once and only once: a permutation of the emitted
+    // items. Compiled out entirely without the feature.
+    #[cfg(feature = "debug_invariants")]
+    let cursor_ends: Vec<u32> = {
+        let mut ends = vec![0u32; nchunks * n_targets];
+        for u in 0..n_targets {
+            assert_eq!(
+                scratch.hist[u], out.offsets[u],
+                "scatter invariant: chunk 0's cursor for target {u} must start at the row offset"
+            );
+            for c in 0..nchunks {
+                let start = scratch.hist[c * n_targets + u];
+                let end = if c + 1 < nchunks {
+                    scratch.hist[(c + 1) * n_targets + u]
+                } else {
+                    out.offsets[u + 1]
+                };
+                assert!(
+                    start <= end,
+                    "scatter invariant: target {u} cursor ranges are not ascending half-open \
+                     ranges (chunk {c}: {start} > {end})"
+                );
+                ends[c * n_targets + u] = end;
+            }
+        }
+        ends
+    };
+
     // Pass 2: placement through per-chunk cursors.
     {
-        let data = SendPtr(out.data.as_mut_ptr());
+        let data = SendPtr::new(&mut out.data);
         let mut hists: Vec<&mut [u32]> = scratch.hist.chunks_mut(n_targets.max(1)).collect();
         if nchunks == 1 {
             let cursor = &mut hists[0];
@@ -382,13 +416,37 @@ pub fn counting_scatter<T, I, F>(
                                 // SAFETY: each (chunk, target) pair owns the
                                 // cursor range [its start, next chunk's
                                 // start); ranges are disjoint across chunks
-                                // and in-bounds by the prefix-sum pass.
-                                unsafe { *base.0.add(slot) = x };
+                                // and in-bounds by the prefix-sum pass, so
+                                // no two threads ever write the same slot.
+                                // `debug_invariants` machine-checks both
+                                // claims (bounds in `write`, disjointness
+                                // via the cursor tiling + landing checks
+                                // around this pass).
+                                unsafe { base.write(slot, x) };
                             }
                         }
                     });
                 }
             });
+        }
+    }
+
+    // Post-placement shadow check: every cursor must have advanced
+    // exactly to its range end. Since cursors start at the range
+    // starts (verified above) and bump by one per write, this proves
+    // each chunk performed exactly `end - start` writes at slots
+    // `start..end` — no slot missed, no slot written twice, and `each`
+    // emitted the same targets in both passes.
+    #[cfg(feature = "debug_invariants")]
+    for (c, (cursors, ends)) in
+        scratch.hist.chunks(n_targets).zip(cursor_ends.chunks(n_targets)).enumerate()
+    {
+        for (u, (&cur, &end)) in cursors.iter().zip(ends).enumerate() {
+            assert_eq!(
+                cur, end,
+                "scatter invariant: chunk {c} left target {u}'s cursor at {cur}, expected {end} \
+                 — `each` emitted different (target, payload) streams across the two passes"
+            );
         }
     }
 }

@@ -4,8 +4,16 @@
 //! and the small thread-parallel helpers shared by the builders in
 //! this workspace.
 
+// Every unsafe operation inside an `unsafe fn` must sit in an explicit
+// `unsafe {}` block with its own SAFETY comment; the function-level
+// `unsafe` only describes the caller contract. Enforced workspace-wide
+// by `cargo run -p analyze -- audit`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod brute;
 pub mod flat;
+#[cfg(all(loom, test))]
+mod loom_models;
 pub mod nn_descent;
 pub mod parallel;
 pub mod reference;

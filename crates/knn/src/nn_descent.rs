@@ -99,7 +99,10 @@ pub(crate) struct LockedLists {
 }
 
 // SAFETY: a row's slab cells are only touched through `RowGuard`,
-// which holds that row's mutex; distinct rows never alias.
+// which holds that row's mutex for its whole lifetime; distinct rows
+// occupy disjoint `cap`-sized slab ranges (see the in-slab assertion
+// in `lock`), so concurrent guards never alias. The `UnsafeCell`
+// wrapper is what licenses writes through the `&self`-derived pointer.
 unsafe impl Sync for LockedLists {}
 
 impl LockedLists {
@@ -116,7 +119,30 @@ impl LockedLists {
     #[inline]
     pub(crate) fn lock(&self, v: usize) -> RowGuard<'_> {
         let len = self.rows[v].lock();
-        RowGuard { len, row: self.slab[v * self.cap].get(), cap: self.cap }
+        #[cfg(feature = "debug_invariants")]
+        {
+            assert!(
+                *len as usize <= self.cap,
+                "slab invariant: row {v} length {} exceeds cap {}",
+                *len,
+                self.cap
+            );
+            assert!(
+                (v + 1) * self.cap <= self.slab.len(),
+                "slab invariant: row {v} lies outside the slab"
+            );
+        }
+        // The row pointer is derived from the *whole-slab* pointer, not
+        // from one cell's `UnsafeCell::get`: `raw_get` never
+        // materializes a reference, so the pointer keeps provenance
+        // over all `cap` cells of the row and the guard's
+        // `from_raw_parts` slice reconstructions stay inside the
+        // aliasing model (Miri-clean, no `&` → raw → `&mut` round
+        // trips).
+        // SAFETY: `v` indexes `rows`, so `v * cap` is in bounds of the
+        // `n * cap` slab; `raw_get` only converts the pointer type.
+        let row = unsafe { UnsafeCell::raw_get(self.slab.as_ptr().add(v * self.cap)) };
+        RowGuard { len, row, cap: self.cap }
     }
 }
 
@@ -135,8 +161,11 @@ impl RowGuard<'_> {
 
     #[inline]
     pub(crate) fn entries(&self) -> &[Entry] {
-        // SAFETY: the mutex guard makes this row exclusively ours and
-        // `len <= cap` is an invariant maintained by every writer.
+        // SAFETY: the mutex guard makes this row exclusively ours,
+        // `len <= cap` is an invariant maintained by every writer (and
+        // asserted in `lock` under `debug_invariants`), and `row` has
+        // whole-slab provenance (see `lock`), so the `len`-cell slice
+        // is in bounds and unaliased.
         unsafe { std::slice::from_raw_parts(self.row, *self.len as usize) }
     }
 

@@ -136,29 +136,81 @@ where
 {
     let mut out = vec![T::default(); n];
     {
-        let slots = SendPtr(out.as_mut_ptr());
+        let slots = SendPtr::new(&mut out);
         parallel_chunks(n, threads, |start, end| {
-            // SAFETY: each chunk writes a disjoint index range of `out`,
-            // and `out` outlives the scoped threads.
             let base = slots;
             let mut state = init();
             for i in start..end {
-                unsafe { *base.0.add(i) = f(&mut state, i) };
+                let x = f(&mut state, i);
+                // SAFETY: `parallel_chunks` hands each worker a
+                // disjoint `start..end` range of `0..n == out.len()`,
+                // so `i` is in bounds and no other thread touches
+                // index `i`; `out` outlives the scoped threads.
+                unsafe { base.write(i, x) };
             }
         });
     }
     out
 }
 
-pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+/// Raw mutable base pointer that workers move across `thread::scope`
+/// boundaries for *disjoint-range writes only*: every user partitions
+/// `0..len` into per-worker index sets before spawning, and each index
+/// is written by exactly one worker while the owning buffer outlives
+/// the scope. Under `debug_invariants` the allocation length rides
+/// along and every write is bounds-asserted.
+pub(crate) struct SendPtr<T> {
+    ptr: *mut T,
+    #[cfg(feature = "debug_invariants")]
+    len: usize,
+}
+
+impl<T> SendPtr<T> {
+    /// Capture `buf`'s base pointer (and, under `debug_invariants`,
+    /// its length) for scoped-thread writes.
+    pub(crate) fn new(buf: &mut [T]) -> Self {
+        SendPtr {
+            ptr: buf.as_mut_ptr(),
+            #[cfg(feature = "debug_invariants")]
+            len: buf.len(),
+        }
+    }
+
+    /// Write `x` to slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the captured buffer, the buffer must
+    /// still be live, and no other thread may concurrently read or
+    /// write slot `i` (callers guarantee this by partitioning indices
+    /// across workers before spawning).
+    #[inline]
+    pub(crate) unsafe fn write(self, i: usize, x: T) {
+        #[cfg(feature = "debug_invariants")]
+        assert!(i < self.len, "SendPtr write out of bounds: {i} >= {}", self.len);
+        // SAFETY: forwarded caller contract — `i` in bounds of a live
+        // buffer and this thread is the only one touching slot `i`.
+        unsafe { *self.ptr.add(i) = x };
+    }
+}
+
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self
     }
 }
 impl<T> Copy for SendPtr<T> {}
-// SAFETY: used only for disjoint-range writes inside parallel_chunks.
+// SAFETY: sending the pointer to another thread only ever results in
+// values of `T` being *moved into* the buffer from that thread (see
+// `write`'s contract: disjoint slots, no reads), which is exactly what
+// `T: Send` licenses. No `&T`/`&mut T` to the same slot ever exists on
+// two threads, so `T: Sync` is not required.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr` only exposes `Copy` + the by-value `write` above,
+// so sharing the wrapper across threads grants nothing beyond what
+// `Send` already granted: disjoint-slot moves of `T`. `T: Send`
+// therefore suffices here too (`T: Sync` would be needed only if two
+// threads could hold references into the same slot, which the write
+// contract rules out).
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]

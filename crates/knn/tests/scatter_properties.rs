@@ -1,0 +1,108 @@
+//! Property tests for [`knn::counting_scatter`]: over arbitrary
+//! emission patterns and thread counts, the output must be a
+//! **permutation** of the emitted items (every item placed exactly
+//! once, in the row its target names) and each row must preserve
+//! **ascending-source order** — the serial order in which sources
+//! emitted into it — regardless of how the sources were chunked
+//! across threads.
+//!
+//! Payloads are `(source, seq)` pairs so both halves of the claim are
+//! directly checkable: per-row multiset equality gives the
+//! permutation, per-row lexicographic `(source, seq)` sortedness
+//! gives the order. Run with `--features debug_invariants` to layer
+//! the in-crate cursor-permutation shadow checks on top (the CI
+//! invariants lane does).
+
+use knn::{counting_scatter, CsrRows, ScatterScratch};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Run a scatter of `raw_targets[v] % n_targets` and check the
+/// permutation + ordering contract against a serial reference.
+fn check_scatter(
+    raw_targets: &[Vec<u32>],
+    n_targets: usize,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let n_sources = raw_targets.len();
+    let target = |v: usize, j: usize| raw_targets[v][j] % n_targets as u32;
+
+    let mut scratch = ScatterScratch::new();
+    let mut out: CsrRows<(u32, u32)> = CsrRows::new();
+    counting_scatter(n_targets, n_sources, threads, &mut scratch, &mut out, |v| {
+        (0..raw_targets[v].len()).map(move |j| (target(v, j), (v as u32, j as u32)))
+    });
+
+    // Serial reference: append each emission to its target row in
+    // source order.
+    let mut want: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_targets];
+    for (v, row) in raw_targets.iter().enumerate() {
+        for j in 0..row.len() {
+            want[target(v, j) as usize].push((v as u32, j as u32));
+        }
+    }
+
+    prop_assert_eq!(out.len(), n_targets);
+    for (u, want_row) in want.iter().enumerate() {
+        // Row contents equal the reference exactly — which implies the
+        // whole output is a permutation of the emitted multiset (each
+        // item exactly once, in the right row) AND that the row is in
+        // ascending-(source, seq) order, since the reference is built
+        // that way and (source, seq) keys are unique.
+        prop_assert_eq!(
+            out.row(u),
+            want_row.as_slice(),
+            "row {} differs with {} threads",
+            u,
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn scatter_is_an_order_preserving_permutation(
+        raw_targets in proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, 0..6), 0..48),
+        n_targets in 1usize..24,
+        threads in 1usize..9,
+    ) {
+        // Inner vecs of length 0 give sources that emit nothing;
+        // `% n_targets` leaves some rows unhit (empty-row case).
+        check_scatter(&raw_targets, n_targets, threads)?;
+    }
+
+    #[test]
+    fn scatter_all_to_one_row_keeps_global_source_order(
+        counts in proptest::collection::vec(0usize..5, 1..40),
+        threads in 1usize..9,
+    ) {
+        // Degenerate fan-in: every emission targets row 0, so the
+        // single row must reproduce the full serial emission order
+        // even though every chunk contends for the same cursor row.
+        let raw_targets: Vec<Vec<u32>> = counts.iter().map(|&c| vec![0; c]).collect();
+        check_scatter(&raw_targets, 1, threads)?;
+        // And with extra never-hit rows around it.
+        check_scatter(&raw_targets, 7, threads)?;
+    }
+
+    #[test]
+    fn scatter_more_threads_than_sources(
+        raw_targets in proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, 0..4), 0..3),
+        n_targets in 1usize..5,
+    ) {
+        // threads > n_sources exercises empty chunks.
+        check_scatter(&raw_targets, n_targets, 16)?;
+    }
+}
+
+#[test]
+fn scatter_zero_targets_yields_empty_csr() {
+    let mut scratch = ScatterScratch::new();
+    let mut out: CsrRows<(u32, u32)> = CsrRows::new();
+    counting_scatter(0, 0, 4, &mut scratch, &mut out, |_| std::iter::empty());
+    assert_eq!(out.len(), 0);
+    assert!(out.is_empty());
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for `loom`.
+//!
+//! Real `loom` runs a model closure under a controlled scheduler and
+//! *exhaustively explores* every interleaving of the `loom::sync` /
+//! `loom::thread` operations inside it. This shim provides the same
+//! API surface — [`model`], [`thread::spawn`], the [`sync`] mirror of
+//! `std::sync` — but explores by **bounded stress iteration** instead:
+//! the closure runs [`iterations`] times on real OS threads, relying
+//! on scheduling noise to vary interleavings. That is strictly weaker
+//! than loom's exhaustive search (it can miss rare orderings) but
+//! keeps the `cfg(loom)` model tests compilable and runnable in this
+//! workspace's offline environments; when the real crate is available
+//! the same tests run unmodified under the genuine checker because
+//! only the `loom` package identity changes, not the API.
+//!
+//! API subset provided: `loom::model`, `loom::thread::{spawn,
+//! yield_now, JoinHandle}`, `loom::sync::{Arc, Mutex, MutexGuard}`,
+//! and `loom::sync::atomic::*`. As in real loom, models must keep
+//! thread counts tiny (loom's own limit is 4 including main) and
+//! bound their loops.
+
+/// Number of stress iterations per [`model`] call: `LOOM_ITERS` env
+/// var, default 64. (Real loom instead enumerates interleavings until
+/// the state space is exhausted.)
+pub fn iterations() -> usize {
+    std::env::var("LOOM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Run `f` repeatedly, as the model entry point. Panics inside the
+/// closure (assertion failures on any iteration, from any spawned
+/// thread that the closure joins) fail the model.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, Mutex, MutexGuard};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_spawned_threads_to_completion() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&total);
+        super::model(move || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+            t.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), super::iterations());
+    }
+}
