@@ -132,6 +132,10 @@ pub fn build_graph<S: VectorStore + ?Sized>(
     let (g, opt_stats) = optimize_with_stats(&knn, store, metric, &opts);
     let opt_time = t1.elapsed();
 
+    let m = obs::metrics();
+    m.build_graphs.inc();
+    m.build_opt_distances.add(opt_stats.distance_computations);
+
     (
         g,
         BuildReport {

@@ -39,6 +39,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod build;
+pub mod error;
 pub mod index_io;
 pub mod optimize;
 pub mod params;
@@ -46,6 +47,7 @@ pub mod search;
 pub mod shard;
 
 pub use build::{build_graph, BuildReport, BuildStats, GraphConfig};
+pub use error::SearchError;
 pub use params::{HashPolicy, ReorderStrategy, SearchParams};
 pub use search::index::CagraIndex;
 pub use search::scratch::SearchScratch;

@@ -119,6 +119,7 @@ pub fn optimize_with_stats<S: VectorStore + ?Sized>(
     let mut stats = OptimizeStats::default();
 
     let t = Instant::now();
+    let reorder_span = obs::metrics().build_reorder.start();
     let pruned: Vec<u32> = if opts.reorder {
         reorder_and_prune(knn, store, metric, d, opts.strategy, threads, &mut stats)
     } else {
@@ -139,6 +140,7 @@ pub fn optimize_with_stats<S: VectorStore + ?Sized>(
         rows
     };
     stats.reorder_time = t.elapsed();
+    drop(reorder_span);
 
     if !opts.reverse {
         // Pruned rows carry ids straight out of the validated k-NN
@@ -147,14 +149,18 @@ pub fn optimize_with_stats<S: VectorStore + ?Sized>(
     }
 
     let t = Instant::now();
+    let reverse_span = obs::metrics().build_reverse.start();
     let mut scatter = ScatterScratch::new();
     let mut rev: CsrRows<(u32, u32)> = CsrRows::new();
     reverse_flat(&pruned, n, d, threads, &mut scatter, &mut rev);
     stats.reverse_time = t.elapsed();
+    drop(reverse_span);
 
     let t = Instant::now();
+    let merge_span = obs::metrics().build_merge.start();
     let graph = merge_flat(&pruned, &rev, n, d, threads);
     stats.merge_time = t.elapsed();
+    drop(merge_span);
     (graph, stats)
 }
 

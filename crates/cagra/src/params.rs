@@ -1,5 +1,6 @@
 //! Parameter types shared by construction and search.
 
+use crate::error::SearchError;
 use serde::{Deserialize, Serialize};
 
 /// Which detourable-route criterion the edge reordering uses (Sec.
@@ -100,27 +101,74 @@ impl SearchParams {
         self.seed.wrapping_add((qi as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
-    /// Validate parameter consistency for a graph of degree `d` and a
-    /// result size `k`.
-    pub fn validate(&self, k: usize) -> Result<(), String> {
+    /// Largest accepted `itopk` (bounds per-query scratch memory).
+    pub const MAX_ITOPK: usize = 1 << 16;
+    /// Largest accepted `search_width`.
+    pub const MAX_SEARCH_WIDTH: usize = 1 << 10;
+    /// Largest accepted `num_cta`.
+    pub const MAX_NUM_CTA: usize = 1 << 12;
+    /// Largest accepted explicit iteration bound.
+    pub const MAX_ITERATION_BOUND: usize = 1 << 24;
+
+    /// Validate parameter consistency for a result size `k`: rejects
+    /// `k == 0`, `k > itopk`, zero/absurd knob values, non-warp team
+    /// sizes, and degenerate forgettable-hash configs. Dataset-shape
+    /// checks (`k > n`, query dimension) live in the index `try_*`
+    /// entry points, which know the dataset.
+    pub fn validate(&self, k: usize) -> Result<(), SearchError> {
+        if k == 0 {
+            return Err(SearchError::ZeroK);
+        }
         if self.itopk < k {
-            return Err(format!("itopk ({}) must be >= k ({k})", self.itopk));
+            return Err(SearchError::KExceedsItopk { k, itopk: self.itopk });
+        }
+        if self.itopk > Self::MAX_ITOPK {
+            return Err(SearchError::ParamOutOfRange {
+                what: "itopk",
+                value: self.itopk,
+                max: Self::MAX_ITOPK,
+            });
         }
         if self.search_width == 0 {
-            return Err("search_width must be positive".into());
+            return Err(SearchError::ZeroSearchWidth);
+        }
+        if self.search_width > Self::MAX_SEARCH_WIDTH {
+            return Err(SearchError::ParamOutOfRange {
+                what: "search_width",
+                value: self.search_width,
+                max: Self::MAX_SEARCH_WIDTH,
+            });
         }
         if !matches!(self.team_size, 2 | 4 | 8 | 16 | 32) {
-            return Err(format!("team_size {} must divide a 32-thread warp", self.team_size));
+            return Err(SearchError::InvalidTeamSize { team_size: self.team_size });
         }
         if self.num_cta == 0 {
-            return Err("num_cta must be positive".into());
+            return Err(SearchError::ZeroNumCta);
+        }
+        if self.num_cta > Self::MAX_NUM_CTA {
+            return Err(SearchError::ParamOutOfRange {
+                what: "num_cta",
+                value: self.num_cta,
+                max: Self::MAX_NUM_CTA,
+            });
+        }
+        for (what, value) in
+            [("max_iterations", self.max_iterations), ("min_iterations", self.min_iterations)]
+        {
+            if value > Self::MAX_ITERATION_BOUND {
+                return Err(SearchError::ParamOutOfRange {
+                    what,
+                    value,
+                    max: Self::MAX_ITERATION_BOUND,
+                });
+            }
         }
         if let HashPolicy::Forgettable { bits, reset_interval } = self.hash {
             if !(4..=24).contains(&bits) {
-                return Err(format!("forgettable hash bits {bits} out of range 4..=24"));
+                return Err(SearchError::InvalidHashBits { bits });
             }
             if reset_interval == 0 {
-                return Err("reset_interval must be positive".into());
+                return Err(SearchError::ZeroResetInterval);
             }
         }
         Ok(())
@@ -159,6 +207,46 @@ mod tests {
         assert!(p.validate(1).is_err());
         p.hash = HashPolicy::Forgettable { bits: 11, reset_interval: 0 };
         assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn zero_k_and_zero_knobs_rejected() {
+        let p = SearchParams::for_k(10);
+        assert_eq!(p.validate(0), Err(SearchError::ZeroK));
+        let mut p = SearchParams::for_k(1);
+        p.search_width = 0;
+        assert_eq!(p.validate(1), Err(SearchError::ZeroSearchWidth));
+        let mut p = SearchParams::for_k(1);
+        p.num_cta = 0;
+        assert_eq!(p.validate(1), Err(SearchError::ZeroNumCta));
+    }
+
+    #[test]
+    fn absurd_knob_values_capped() {
+        let mut p = SearchParams::for_k(1);
+        p.itopk = SearchParams::MAX_ITOPK + 1;
+        assert!(matches!(p.validate(1), Err(SearchError::ParamOutOfRange { what: "itopk", .. })));
+        let mut p = SearchParams::for_k(1);
+        p.search_width = SearchParams::MAX_SEARCH_WIDTH + 1;
+        assert!(matches!(
+            p.validate(1),
+            Err(SearchError::ParamOutOfRange { what: "search_width", .. })
+        ));
+        let mut p = SearchParams::for_k(1);
+        p.num_cta = SearchParams::MAX_NUM_CTA + 1;
+        assert!(matches!(p.validate(1), Err(SearchError::ParamOutOfRange { what: "num_cta", .. })));
+        let mut p = SearchParams::for_k(1);
+        p.max_iterations = SearchParams::MAX_ITERATION_BOUND + 1;
+        assert!(matches!(
+            p.validate(1),
+            Err(SearchError::ParamOutOfRange { what: "max_iterations", .. })
+        ));
+        let mut p = SearchParams::for_k(1);
+        p.min_iterations = SearchParams::MAX_ITERATION_BOUND + 1;
+        assert!(matches!(
+            p.validate(1),
+            Err(SearchError::ParamOutOfRange { what: "min_iterations", .. })
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use super::scratch::SearchScratch;
 use super::single_cta::search_single_cta_with;
 use super::trace::SearchTrace;
 use crate::build::{build_graph, BuildReport, GraphConfig};
+use crate::error::{validate_request, SearchError};
 use crate::params::SearchParams;
 use dataset::VectorStore;
 use distance::Metric;
@@ -35,13 +36,22 @@ impl<S: VectorStore> CagraIndex<S> {
     }
 
     /// Wrap an already-built graph (e.g. deserialized with
+    /// `graph::io::read_fixed`), rejecting mismatched sizes.
+    pub fn try_new(store: S, graph: FixedDegreeGraph, metric: Metric) -> Result<Self, SearchError> {
+        if store.len() != graph.len() {
+            return Err(SearchError::SizeMismatch { store: store.len(), graph: graph.len() });
+        }
+        Ok(CagraIndex { store, graph, metric, thresholds: Thresholds::default() })
+    }
+
+    /// Wrap an already-built graph (e.g. deserialized with
     /// `graph::io::read_fixed`).
     ///
     /// # Panics
-    /// Panics if graph and store sizes disagree.
+    /// Panics if graph and store sizes disagree; [`CagraIndex::try_new`]
+    /// is the non-panicking form.
     pub fn from_parts(store: S, graph: FixedDegreeGraph, metric: Metric) -> Self {
-        assert_eq!(store.len(), graph.len(), "graph/store size mismatch");
-        CagraIndex { store, graph, metric, thresholds: Thresholds::default() }
+        Self::try_new(store, graph, metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The proximity graph.
@@ -61,11 +71,32 @@ impl<S: VectorStore> CagraIndex<S> {
 
     /// Single-query search with automatic mapping choice (a lone query
     /// always dispatches to multi-CTA, as in the paper).
+    ///
+    /// # Panics
+    /// Panics on invalid input; [`CagraIndex::try_search`] is the
+    /// non-panicking form.
     pub fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Vec<Neighbor> {
-        self.search_mode(query, k, params, choose(1, params.itopk, self.thresholds)).0
+        self.try_search(query, k, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CagraIndex::search`]: every invalid input
+    /// (dimension mismatch, `k == 0`, `k > itopk`, `k > n`, bad knob
+    /// values) comes back as a typed [`SearchError`].
+    pub fn try_search(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>, SearchError> {
+        let mode = choose(1, params.itopk, self.thresholds);
+        Ok(self.try_search_mode(query, k, params, mode)?.0)
     }
 
     /// Search with an explicit kernel mapping; returns the trace too.
+    ///
+    /// # Panics
+    /// Panics on invalid input; [`CagraIndex::try_search_mode`] is the
+    /// non-panicking form.
     pub fn search_mode(
         &self,
         query: &[f32],
@@ -73,9 +104,21 @@ impl<S: VectorStore> CagraIndex<S> {
         params: &SearchParams,
         mode: Mode,
     ) -> (Vec<Neighbor>, SearchTrace) {
+        self.try_search_mode(query, k, params, mode).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CagraIndex::search_mode`].
+    pub fn try_search_mode(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> Result<(Vec<Neighbor>, SearchTrace), SearchError> {
+        validate_request(params, k, self.store.len(), self.store.dim(), query.len())?;
         let mut scratch = SearchScratch::new();
         self.search_mode_with(query, k, params, mode, &mut scratch);
-        scratch.into_output()
+        Ok(scratch.into_output())
     }
 
     /// [`CagraIndex::search_mode`] running on caller-provided scratch:
@@ -92,6 +135,7 @@ impl<S: VectorStore> CagraIndex<S> {
         mode: Mode,
         scratch: &mut SearchScratch,
     ) {
+        let clock = obs::Stopwatch::start();
         match mode {
             Mode::SingleCta => search_single_cta_with(
                 &self.graph,
@@ -112,19 +156,36 @@ impl<S: VectorStore> CagraIndex<S> {
                 scratch,
             ),
         }
+        let m = obs::metrics();
+        m.search_queries.inc();
+        m.search_latency_ns.record(clock.elapsed_ns());
     }
 
     /// Batch search, parallel over queries, mapping chosen per Fig. 7
     /// from the batch size. Each query derives its own seed so batches
     /// are deterministic regardless of thread count.
+    ///
+    /// # Panics
+    /// Panics on invalid input; [`CagraIndex::try_search_batch`] is the
+    /// non-panicking form.
     pub fn search_batch<Q: VectorStore>(
         &self,
         queries: &Q,
         k: usize,
         params: &SearchParams,
     ) -> Vec<Vec<Neighbor>> {
+        self.try_search_batch(queries, k, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CagraIndex::search_batch`].
+    pub fn try_search_batch<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>, SearchError> {
         let mode = choose(queries.len(), params.itopk, self.thresholds);
-        self.search_batch_mode(queries, k, params, mode)
+        self.try_search_batch_mode(queries, k, params, mode)
     }
 
     /// Batch search with an explicit mapping.
@@ -136,6 +197,10 @@ impl<S: VectorStore> CagraIndex<S> {
     /// [`CagraIndex::search_mode`] per query with
     /// [`SearchParams::seed_for_query`] seeds, regardless of thread
     /// count.
+    ///
+    /// # Panics
+    /// Panics on invalid input; [`CagraIndex::try_search_batch_mode`]
+    /// is the non-panicking form.
     pub fn search_batch_mode<Q: VectorStore>(
         &self,
         queries: &Q,
@@ -143,9 +208,20 @@ impl<S: VectorStore> CagraIndex<S> {
         params: &SearchParams,
         mode: Mode,
     ) -> Vec<Vec<Neighbor>> {
-        let dim = queries.dim();
-        assert_eq!(dim, self.store.dim(), "query dimension mismatch");
-        parallel_map_with(
+        self.try_search_batch_mode(queries, k, params, mode).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CagraIndex::search_batch_mode`].
+    pub fn try_search_batch_mode<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> Result<Vec<Vec<Neighbor>>, SearchError> {
+        validate_request(params, k, self.store.len(), self.store.dim(), queries.dim())?;
+        obs::metrics().search_batches.inc();
+        Ok(parallel_map_with(
             queries.len(),
             default_threads(),
             || {
@@ -159,10 +235,14 @@ impl<S: VectorStore> CagraIndex<S> {
                 self.batch_query_into(queries, qi, k, params, mode, scratch);
                 scratch.results().to_vec()
             },
-        )
+        ))
     }
 
     /// Batch search that also returns traces (experiment harness use).
+    ///
+    /// # Panics
+    /// Panics on invalid input; [`CagraIndex::try_search_batch_traced`]
+    /// is the non-panicking form.
     pub fn search_batch_traced<Q: VectorStore>(
         &self,
         queries: &Q,
@@ -170,12 +250,28 @@ impl<S: VectorStore> CagraIndex<S> {
         params: &SearchParams,
         mode: Mode,
     ) -> Vec<(Vec<Neighbor>, SearchTrace)> {
-        let dim = queries.dim();
-        assert_eq!(dim, self.store.dim(), "query dimension mismatch");
-        parallel_map_with(queries.len(), default_threads(), SearchScratch::new, |scratch, qi| {
-            self.batch_query_into(queries, qi, k, params, mode, scratch);
-            (scratch.results().to_vec(), scratch.trace().clone())
-        })
+        self.try_search_batch_traced(queries, k, params, mode).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CagraIndex::search_batch_traced`].
+    pub fn try_search_batch_traced<Q: VectorStore>(
+        &self,
+        queries: &Q,
+        k: usize,
+        params: &SearchParams,
+        mode: Mode,
+    ) -> Result<Vec<(Vec<Neighbor>, SearchTrace)>, SearchError> {
+        validate_request(params, k, self.store.len(), self.store.dim(), queries.dim())?;
+        obs::metrics().search_batches.inc();
+        Ok(parallel_map_with(
+            queries.len(),
+            default_threads(),
+            SearchScratch::new,
+            |scratch, qi| {
+                self.batch_query_into(queries, qi, k, params, mode, scratch);
+                (scratch.results().to_vec(), scratch.trace().clone())
+            },
+        ))
     }
 
     /// Run batch query `qi` on `scratch`: stage the query vector into

@@ -65,7 +65,7 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
     params: &SearchParams,
     scratch: &mut SearchScratch,
 ) {
-    params.validate(k).expect("invalid search parameters");
+    params.validate(k).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
@@ -121,10 +121,12 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
         }
     }
 
+    let mut rounds = 0u64;
+    let mut total_computed = trace.init_distances;
     for _round in 0..max_iters {
         let probes_before = hash.probes();
-        let mut round_candidates = 0usize;
-        let mut round_computed = 0usize;
+        let mut round_candidates = 0u64;
+        let mut round_computed = 0u64;
         let mut any_active = false;
         for (w, buf) in buffers.iter_mut().enumerate() {
             if !active[w] {
@@ -164,20 +166,36 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
             for (&pos, &dist) in gang_pos.iter().zip(gang_dists.iter()) {
                 cands[pos as usize].dist = dist;
             }
-            round_computed += gang_ids.len();
-            round_candidates += buf.candidates().len();
+            round_computed += gang_ids.len() as u64;
+            round_candidates += buf.candidates().len() as u64;
         }
         if !any_active {
             break;
         }
+        let iter_probes = hash.probes() - probes_before;
+        let om = obs::metrics();
+        om.search_probe_len.record(iter_probes);
+        om.search_sort_len.record(d as u64);
+        rounds += 1;
+        total_computed += round_computed;
         if *record_trace {
             trace.iterations.push(IterationTrace {
                 candidates: round_candidates,
                 distances_computed: round_computed,
-                hash_probes: hash.probes() - probes_before,
-                sort_len: d, // each worker sorts its own d-slot segment
+                hash_probes: iter_probes,
+                sort_len: d as u64, // each worker sorts its own d-slot segment
                 hash_reset: false,
             });
+        }
+    }
+
+    {
+        let om = obs::metrics();
+        om.search_iterations.record(rounds);
+        om.search_distances.record(total_computed);
+        if hash.capacity() > 0 {
+            om.search_hash_occupancy_permille
+                .record((hash.len() as u64 * 1000) / hash.capacity() as u64);
         }
     }
 

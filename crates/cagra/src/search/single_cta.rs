@@ -62,7 +62,7 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     params: &SearchParams,
     scratch: &mut SearchScratch,
 ) {
-    params.validate(k).expect("invalid search parameters");
+    params.validate(k).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
@@ -120,6 +120,7 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     }
 
     let mut it = 0usize;
+    let mut total_computed = trace.init_distances;
     loop {
         // Step 1: top-M update.
         buffer.update_topm();
@@ -153,7 +154,7 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
         // dist = MAX); the first-visit rows of each parent are then
         // scored by one batched to_rows gang call and patched in.
         let probes_before = hash.probes();
-        let mut computed = 0usize;
+        let mut computed = 0u64;
         buffer.clear_candidates();
         for &p in parents.iter() {
             gang_ids.clear();
@@ -172,20 +173,33 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
             for (&pos, &dist) in gang_pos.iter().zip(gang_dists.iter()) {
                 cands[pos as usize].dist = dist;
             }
-            computed += gang_ids.len();
+            computed += gang_ids.len() as u64;
         }
+        let iter_probes = hash.probes() - probes_before;
+        let m = obs::metrics();
+        m.search_probe_len.record(iter_probes);
+        m.search_sort_len.record(buffer.candidates().len() as u64);
+        total_computed += computed;
         if *record_trace {
             trace.iterations.push(IterationTrace {
-                candidates: buffer.candidates().len(),
+                candidates: buffer.candidates().len() as u64,
                 distances_computed: computed,
-                hash_probes: hash.probes() - probes_before,
-                sort_len: buffer.candidates().len(),
+                hash_probes: iter_probes,
+                sort_len: buffer.candidates().len() as u64,
                 hash_reset: did_reset,
             });
         }
         it += 1;
         // The loop head merges these candidates and re-checks the
         // termination conditions (no unparented entries / I_max).
+    }
+
+    let m = obs::metrics();
+    m.search_iterations.record(it as u64);
+    m.search_distances.record(total_computed);
+    if hash.capacity() > 0 {
+        m.search_hash_occupancy_permille
+            .record((hash.len() as u64 * 1000) / hash.capacity() as u64);
     }
 
     results.extend(
@@ -259,7 +273,7 @@ mod tests {
         );
         assert!(trace.iteration_count() > 0);
         assert!(trace.total_distances() > 0);
-        assert!(trace.init_distances <= g.degree());
+        assert!(trace.init_distances <= g.degree() as u64);
         for it in &trace.iterations {
             assert!(it.distances_computed <= it.candidates);
             assert_eq!(it.sort_len, it.candidates);
@@ -320,10 +334,10 @@ mod tests {
             let (_, trace) =
                 search_single_cta(&g, &base, Metric::SquaredL2, base.row(7), 5, &params);
             for (i, it) in trace.iterations.iter().enumerate() {
-                assert!(it.candidates <= p * d, "iter {i}: {} > {}", it.candidates, p * d);
+                assert!(it.candidates <= (p * d) as u64, "iter {i}: {} > {}", it.candidates, p * d);
             }
             // The first iteration always has p full parents available.
-            assert_eq!(trace.iterations[0].candidates, p * d, "p = {p}");
+            assert_eq!(trace.iterations[0].candidates, (p * d) as u64, "p = {p}");
         }
     }
 

@@ -9,25 +9,32 @@
 use serde::{Deserialize, Serialize};
 
 /// Counts for one search iteration (steps 1–3 of Fig. 6).
+///
+/// All counts are `u64` regardless of platform, so serialized traces
+/// are portable and summation cannot overflow on 32-bit targets.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct IterationTrace {
     /// Candidate slots filled by the traversal step (`<= p * d`).
-    pub candidates: usize,
+    pub candidates: u64,
     /// Distances actually computed (candidates passing the hash).
-    pub distances_computed: usize,
+    pub distances_computed: u64,
     /// Hash probe steps performed this iteration.
     pub hash_probes: u64,
     /// Length of the candidate segment sorted in step 1.
-    pub sort_len: usize,
+    pub sort_len: u64,
     /// Whether the forgettable table was reset before this iteration.
     pub hash_reset: bool,
 }
 
 /// Counts for one whole query search.
+///
+/// Event counts are `u64` (see [`IterationTrace`]); configuration
+/// echoes (`itopk`, `degree`, ...) remain `usize` since they describe
+/// in-memory shapes, not accumulated counts.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct SearchTrace {
     /// Distances computed for the random initialization step.
-    pub init_distances: usize,
+    pub init_distances: u64,
     /// Per-iteration counts, in order.
     pub iterations: Vec<IterationTrace>,
     /// Internal top-M length used.
@@ -61,8 +68,8 @@ pub struct SearchTrace {
 
 impl SearchTrace {
     /// Total distance computations including initialization.
-    pub fn total_distances(&self) -> usize {
-        self.init_distances + self.iterations.iter().map(|i| i.distances_computed).sum::<usize>()
+    pub fn total_distances(&self) -> u64 {
+        self.init_distances + self.iterations.iter().map(|i| i.distances_computed).sum::<u64>()
     }
 
     /// Number of iterations executed.

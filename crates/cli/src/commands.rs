@@ -31,6 +31,24 @@ fn read_dataset(path: &str) -> Result<Dataset, String> {
     dataset::io::read_fvecs(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))
 }
 
+/// Honour `--metrics-out FILE`: dump the global metrics registry as
+/// JSON and append the human-readable table to the command report.
+/// A no-op when the flag is absent.
+fn dump_metrics(args: &Args, report: &mut String) -> Result<(), String> {
+    let Some(path) = args.opt("metrics-out") else { return Ok(()) };
+    let snap = obs::metrics().snapshot();
+    std::fs::write(path, snap.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    let _ = writeln!(report, "\n{}", snap.render());
+    let _ = writeln!(report, "[metrics written to {path}]");
+    if !snap.enabled {
+        let _ = writeln!(
+            report,
+            "note: built without the `obs` feature; metrics are empty (rebuild with `--features obs`)"
+        );
+    }
+    Ok(())
+}
+
 fn create(path: &str) -> Result<BufWriter<File>, String> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
@@ -88,7 +106,7 @@ pub fn build(args: &Args) -> Result<String, String> {
     let (index, report) = CagraIndex::build(base, metric, &config);
     graph::io::write_fixed(create(out)?, index.graph()).map_err(|e| e.to_string())?;
     let s = report.stats;
-    Ok(format!(
+    let mut text = format!(
         "built degree-{degree} graph over {} vectors in {:.2?} (kNN {:.2?} + optimize {:.2?}); wrote {out}\n\
          stages: nn-init {:.2?} | nn-iters {:.2?} ({} iters) | reorder {:.2?} | reverse {:.2?} | merge {:.2?}; \
          distances: nn {} + opt {}",
@@ -104,7 +122,9 @@ pub fn build(args: &Args) -> Result<String, String> {
         s.merge,
         report.nn_distance_computations,
         s.opt_distance_computations,
-    ))
+    );
+    dump_metrics(args, &mut text)?;
+    Ok(text)
 }
 
 /// `bundle`: build and persist a single-file index (vectors + graph +
@@ -184,6 +204,7 @@ pub fn search(args: &Args) -> Result<String, String> {
             let _ = writeln!(report, "query {qi}: {ids:?}");
         }
     }
+    dump_metrics(args, &mut report)?;
     Ok(report)
 }
 
@@ -290,13 +311,19 @@ mod tests {
             bundle(&Args::from_pairs(&[("base", &base), ("degree", "8"), ("out", &bundle_path)]))
                 .unwrap();
         assert!(out.contains("bundled 400 vectors"));
+        let metrics_path = format!("{dir}/metrics.json");
         let out = search(&Args::from_pairs(&[
             ("index", &bundle_path),
             ("queries", &queries),
             ("k", "5"),
+            ("metrics-out", &metrics_path),
         ]))
         .unwrap();
         assert!(out.contains("searched 10 queries"));
+        assert!(out.contains("[metrics written to"));
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(json.contains("cagra-metrics-v1"));
+        assert!(json.contains("search.iterations"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

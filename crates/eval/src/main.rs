@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run -p eval --release -- fig13 --n 8000
 //! cargo run -p eval --release -- all
+//! cargo run -p eval --features obs -- fig10 --metrics-out metrics.json
 //! ```
 
 use eval::context::ExpContext;
@@ -15,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = ExpContext::default();
     let mut ids: Vec<String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -23,6 +25,12 @@ fn main() {
             "--batch" => ctx.batch_target = parse(it.next(), "--batch"),
             "--k" => ctx.k = parse(it.next(), "--k"),
             "--seed" => ctx.seed = parse(it.next(), "--seed") as u64,
+            "--metrics-out" => {
+                metrics_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
             "list" => {
                 for id in experiments::ALL {
                     println!("{id}");
@@ -34,7 +42,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: eval <experiment-id>... | all | list [--n N] [--queries Q] [--batch B] [--k K] [--seed S]");
+        eprintln!("usage: eval <experiment-id>... | all | list [--n N] [--queries Q] [--batch B] [--k K] [--seed S] [--metrics-out FILE]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }
@@ -49,6 +57,18 @@ fn main() {
             std::process::exit(2);
         }
         println!("[{id} done in {:.1} s]", t0.elapsed().as_secs_f64());
+    }
+    if let Some(path) = metrics_out {
+        let snap = obs::metrics().snapshot();
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\n{}", snap.render());
+        println!("[metrics written to {path}]");
+        if !snap.enabled {
+            eprintln!("note: built without the `obs` feature; metrics are empty (rebuild with `--features obs`)");
+        }
     }
 }
 

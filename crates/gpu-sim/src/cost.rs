@@ -150,7 +150,7 @@ pub fn cta_occupancy(device: &DeviceSpec, cfg: &KernelConfig) -> Occupancy {
 }
 
 /// Cycles one CTA spends on the distance phase for `n_dist` vectors.
-fn distance_cycles(cfg: &KernelConfig, occ: &Occupancy, n_dist: usize) -> f64 {
+fn distance_cycles(cfg: &KernelConfig, occ: &Occupancy, n_dist: u64) -> f64 {
     if n_dist == 0 {
         return 0.0;
     }
@@ -177,7 +177,7 @@ fn latency_exposure(cfg: &KernelConfig) -> f64 {
 }
 
 /// Cycles for the candidate-queue update.
-fn topm_cycles(cfg: &KernelConfig, sort_len: usize) -> f64 {
+fn topm_cycles(cfg: &KernelConfig, sort_len: u64) -> f64 {
     if sort_len == 0 {
         return 0.0;
     }
@@ -229,24 +229,90 @@ fn hash_cycles(device: &DeviceSpec, cfg: &KernelConfig, it: &IterationTrace) -> 
     probe_cost + reset_cost
 }
 
-/// Cycles one CTA spends on one search iteration.
+/// Per-phase cycle attribution for a slice of kernel work, mirroring
+/// the five phases of the search loop (Fig. 6): top-M sort, parent
+/// selection/control, neighbor-list expansion, distance computation,
+/// and visited-hash maintenance. Makes the cost model's attribution
+/// inspectable instead of a single opaque total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct CycleBreakdown {
+    /// Top-M candidate sort/merge cycles.
+    pub sort: f64,
+    /// Parent selection + fixed per-iteration control cycles.
+    pub parent_select: f64,
+    /// Neighbor-list (graph adjacency) fetch cycles.
+    pub expand: f64,
+    /// Distance-computation cycles.
+    pub distance: f64,
+    /// Visited-hash probe/reset cycles.
+    pub hash: f64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.sort + self.parent_select + self.expand + self.distance + self.hash
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn accumulate(&mut self, other: &CycleBreakdown) {
+        self.sort += other.sort;
+        self.parent_select += other.parent_select;
+        self.expand += other.expand;
+        self.distance += other.distance;
+        self.hash += other.hash;
+    }
+
+    /// Scale every phase (e.g. by a CTA count).
+    pub fn scaled(&self, factor: f64) -> CycleBreakdown {
+        CycleBreakdown {
+            sort: self.sort * factor,
+            parent_select: self.parent_select * factor,
+            expand: self.expand * factor,
+            distance: self.distance * factor,
+            hash: self.hash * factor,
+        }
+    }
+}
+
+/// Phase-attributed cycles one CTA spends on one search iteration.
+pub fn iteration_breakdown(
+    device: &DeviceSpec,
+    cfg: &KernelConfig,
+    occ: &Occupancy,
+    it: &IterationTrace,
+) -> CycleBreakdown {
+    CycleBreakdown {
+        sort: topm_cycles(cfg, it.sort_len),
+        parent_select: 120.0, // fixed per-iteration control overhead
+        expand: (cfg.degree as f64 * 4.0 / 128.0).ceil() * 40.0, // neighbor-list loads
+        distance: distance_cycles(cfg, occ, it.distances_computed),
+        hash: hash_cycles(device, cfg, it),
+    }
+}
+
+/// Cycles one CTA spends on one search iteration (all phases).
 pub fn iteration_cycles(
     device: &DeviceSpec,
     cfg: &KernelConfig,
     occ: &Occupancy,
     it: &IterationTrace,
 ) -> f64 {
-    let graph_fetch = (cfg.degree as f64 * 4.0 / 128.0).ceil() * 40.0; // neighbor-list loads
-    distance_cycles(cfg, occ, it.distances_computed)
-        + topm_cycles(cfg, it.sort_len)
-        + hash_cycles(device, cfg, it)
-        + graph_fetch
-        + 120.0 // fixed per-iteration control overhead
+    iteration_breakdown(device, cfg, occ, it).total()
+}
+
+/// Phase-attributed cycles for the random-initialization phase.
+pub fn init_breakdown(cfg: &KernelConfig, occ: &Occupancy, init_distances: u64) -> CycleBreakdown {
+    CycleBreakdown {
+        distance: distance_cycles(cfg, occ, init_distances),
+        sort: topm_cycles(cfg, init_distances),
+        ..CycleBreakdown::default()
+    }
 }
 
 /// Cycles for the random-initialization phase.
-pub fn init_cycles(cfg: &KernelConfig, occ: &Occupancy, init_distances: usize) -> f64 {
-    distance_cycles(cfg, occ, init_distances) + topm_cycles(cfg, init_distances)
+pub fn init_cycles(cfg: &KernelConfig, occ: &Occupancy, init_distances: u64) -> f64 {
+    init_breakdown(cfg, occ, init_distances).total()
 }
 
 /// Device-memory bytes one query moves (dataset vectors + neighbor

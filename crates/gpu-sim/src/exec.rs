@@ -9,7 +9,8 @@
 //! reasons about (Secs. IV-C1/C2, Q-C3).
 
 use crate::cost::{
-    cta_occupancy, init_cycles, iteration_cycles, query_bytes, KernelConfig, Occupancy,
+    cta_occupancy, init_breakdown, iteration_breakdown, query_bytes, CycleBreakdown, KernelConfig,
+    Occupancy,
 };
 use crate::device::DeviceSpec;
 use cagra::search::trace::{IterationTrace, SearchTrace};
@@ -43,15 +44,18 @@ pub struct BatchTiming {
     pub concurrent_ctas: usize,
     /// Total CTAs launched.
     pub total_ctas: usize,
+    /// Whole-batch simulated cycles attributed to kernel phases
+    /// (summed over every CTA of every query).
+    pub cycles: CycleBreakdown,
 }
 
 /// Scale a round-aggregated multi-CTA iteration down to one worker.
 fn per_worker(it: &IterationTrace, workers: usize) -> IterationTrace {
-    let w = workers.max(1);
+    let w = workers.max(1) as u64;
     IterationTrace {
         candidates: it.candidates.div_ceil(w),
         distances_computed: it.distances_computed.div_ceil(w),
-        hash_probes: it.hash_probes.div_ceil(w as u64),
+        hash_probes: it.hash_probes.div_ceil(w),
         sort_len: it.sort_len,
         hash_reset: it.hash_reset,
     }
@@ -80,6 +84,7 @@ pub fn simulate_batch(
     let mut critical_cycles = 0.0f64;
     let mut total_bytes = 0.0f64;
     let mut total_ctas = 0usize;
+    let mut batch_cycles = CycleBreakdown::default();
 
     for trace in traces {
         let workers = match mapping {
@@ -90,14 +95,24 @@ pub fn simulate_batch(
         total_bytes += query_bytes(&cfg, trace);
 
         // Per-CTA critical path: init + every round this CTA runs.
-        let mut cta_cycles = init_cycles(&cfg, &occ, trace.init_distances.div_ceil(workers));
+        let mut cta_cycles =
+            init_breakdown(&cfg, &occ, trace.init_distances.div_ceil(workers as u64));
         for it in &trace.iterations {
             let it_one = if workers > 1 { per_worker(it, workers) } else { *it };
-            cta_cycles += iteration_cycles(device, &cfg, &occ, &it_one);
+            cta_cycles.accumulate(&iteration_breakdown(device, &cfg, &occ, &it_one));
         }
-        critical_cycles = critical_cycles.max(cta_cycles);
-        total_cta_cycles += cta_cycles * workers as f64;
+        critical_cycles = critical_cycles.max(cta_cycles.total());
+        total_cta_cycles += cta_cycles.total() * workers as f64;
+        batch_cycles.accumulate(&cta_cycles.scaled(workers as f64));
     }
+
+    let m = obs::metrics();
+    m.sim_batches.inc();
+    m.sim_cycles_sort.add(batch_cycles.sort as u64);
+    m.sim_cycles_parent_select.add(batch_cycles.parent_select as u64);
+    m.sim_cycles_expand.add(batch_cycles.expand as u64);
+    m.sim_cycles_distance.add(batch_cycles.distance as u64);
+    m.sim_cycles_hash.add(batch_cycles.hash as u64);
 
     let concurrent_ctas = (device.sm_count * occ.ctas_per_sm).max(1);
     let throughput_cycles = total_cta_cycles / concurrent_ctas.min(total_ctas).max(1) as f64;
@@ -123,6 +138,7 @@ pub fn simulate_batch(
         occupancy: occ,
         concurrent_ctas,
         total_ctas,
+        cycles: batch_cycles,
     }
 }
 
@@ -139,15 +155,15 @@ mod tests {
         itopk: usize,
         shared: bool,
     ) -> SearchTrace {
-        let per_round = workers * degree;
+        let per_round = (workers * degree) as u64;
         SearchTrace {
             init_distances: per_round,
             iterations: (0..iters)
                 .map(|_| IterationTrace {
                     candidates: per_round,
                     distances_computed: (per_round * 7) / 10,
-                    hash_probes: (per_round * 3 / 2) as u64,
-                    sort_len: degree,
+                    hash_probes: per_round * 3 / 2,
+                    sort_len: degree as u64,
                     hash_reset: false,
                 })
                 .collect(),

@@ -105,12 +105,12 @@ pub fn traced_beam_search<S: VectorStore + ?Sized>(
             }
         }
         trace.iterations.push(IterationTrace {
-            candidates: neighbors.len(),
+            candidates: neighbors.len() as u64,
             // Open-addressing probe estimate: one probe per lookup plus
             // collisions for the repeats.
             hash_probes: (neighbors.len() as u64 * 3) / 2,
-            distances_computed: computed,
-            sort_len: neighbors.len(),
+            distances_computed: computed as u64,
+            sort_len: neighbors.len() as u64,
             hash_reset: false,
         });
     }

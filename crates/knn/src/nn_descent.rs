@@ -258,6 +258,8 @@ impl NnDescent {
                 init_time: start.elapsed(),
                 ..NnDescentStats::default()
             };
+            obs::metrics().build_nn_init.record_duration(stats.init_time);
+            obs::metrics().build_nn_distances.add(stats.distance_computations);
             return (KnnLists::from_rows(&lists), stats);
         }
         self.descent(store, metric, k)
@@ -310,6 +312,7 @@ impl NnDescent {
             dist_count.fetch_add(oracle.computed(), Ordering::Relaxed);
         });
         let init_time = t_init.elapsed();
+        obs::metrics().build_nn_init.record_duration(init_time);
 
         let max_samples = ((self.params.rho * k as f64).ceil() as usize).max(1);
         let stop_at = (self.params.delta * n as f64 * k as f64).max(1.0) as u64;
@@ -343,11 +346,14 @@ impl NnDescent {
         for iter in 0..self.params.max_iters {
             iterations = iter as u32 + 1;
 
+            obs::metrics().build_nn_iterations.inc();
+
             // Phase 1: sample forward candidates, marking sampled new
             // entries old (they will have been joined after this
             // round). Parallel over nodes: each worker owns a disjoint
             // row range of both arenas, and the sampling RNG is seeded
             // per (iteration, node).
+            let sample_span = obs::metrics().build_nn_sample.start();
             fwd_new.clear();
             fwd_old.clear();
             {
@@ -388,10 +394,13 @@ impl NnDescent {
                 });
             }
 
+            drop(sample_span);
+
             // Phase 2: reverse candidates via the deterministic
             // counting scatter (every row receives its sources in
             // ascending-id order regardless of thread count), then
             // per-node shuffles that pick which prefix survives.
+            let scatter_span = obs::metrics().build_nn_scatter.start();
             counting_scatter(n, n, threads, &mut scatter, &mut rev_new, |v| {
                 fwd_new.row(v).iter().map(move |&u| (u, v as u32))
             });
@@ -411,11 +420,14 @@ impl NnDescent {
                 }
             });
 
+            drop(scatter_span);
+
             // Phase 3: local joins, parallel over nodes. Joins mutate
             // shared rows under per-row locks; the result is a set
             // (bounded sorted insert with dedup = keep-k-smallest over
             // the round's offer multiset), so it does not depend on
             // the interleaving.
+            let join_span = obs::metrics().build_nn_join.start();
             parallel_chunks(n, threads, |start, end| {
                 let oracle = DistanceOracle::new(store, metric);
                 let mut news: Vec<u32> = Vec::new();
@@ -444,6 +456,7 @@ impl NnDescent {
                 }
                 dist_count.fetch_add(oracle.computed(), Ordering::Relaxed);
             });
+            drop(join_span);
 
             // Termination: count list positions whose id changed this
             // iteration (and refresh the snapshot in the same pass).
@@ -504,6 +517,7 @@ impl NnDescent {
             iter_time,
             iterations,
         };
+        obs::metrics().build_nn_distances.add(stats.distance_computations);
         (KnnLists::from_flat(data, n, k), stats)
     }
 }

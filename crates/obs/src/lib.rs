@@ -1,0 +1,172 @@
+//! Lightweight observability: counters, histograms, spans, snapshots.
+//!
+//! The paper's headline claims are throughput/latency *distributions*
+//! (QPS at fixed recall, per-stage build cost, per-iteration traversal
+//! statistics), so the repro needs always-on aggregation — not just
+//! per-query traces. This crate provides the primitives and a global,
+//! statically-allocated [`Metrics`] registry the other crates record
+//! into:
+//!
+//! * [`Counter`] — a relaxed atomic u64.
+//! * [`Histogram`] — log-bucketed (4 sub-buckets per power of two,
+//!   ~12.5% value resolution) with p50/p90/p99/max readout.
+//! * [`Span`] — cumulative wall-clock timing of a named stage, with a
+//!   scoped-guard API ([`Span::start`]) and a closure API
+//!   ([`Span::time`]).
+//! * [`MetricsSnapshot`] — a point-in-time copy of every metric,
+//!   renderable as an aligned text table or machine-readable JSON
+//!   (hand-rolled writer; the workspace has no serde runtime).
+//!
+//! # Feature gating
+//!
+//! Everything compiles to a **true no-op unless the `enabled` feature
+//! is on**: the structs carry no fields, the record methods are empty
+//! inline functions, and no `Instant::now` is ever called — zero
+//! overhead, zero size. Downstream crates re-export the switch as
+//! their own `obs` feature (e.g. `cagra/obs`), so a production build
+//! pays nothing unless observability is asked for. With the feature
+//! on, a runtime kill-switch ([`set_recording`]) allows bit-identical
+//! A/B runs inside one binary; recording never feeds back into any
+//! algorithm, so results are identical either way.
+
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use hist::Histogram;
+pub use registry::{metrics, reset, Metrics};
+pub use snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+pub use span::{Span, SpanGuard, Stopwatch};
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// True when the crate was compiled with the `enabled` feature.
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "enabled")
+}
+
+#[cfg(feature = "enabled")]
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Runtime kill-switch: when off, every record call returns without
+/// touching state. Always `false` in a build without the `enabled`
+/// feature.
+#[inline]
+pub fn recording() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        RECORDING.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Enable or disable recording at runtime (no-op when the `enabled`
+/// feature is off). Used by the parity tests to prove instrumentation
+/// never perturbs search results.
+pub fn set_recording(on: bool) {
+    #[cfg(feature = "enabled")]
+    RECORDING.store(on, Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = on;
+}
+
+/// A monotonically increasing event count.
+///
+/// Zero-sized and inert without the `enabled` feature.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (const — usable in statics).
+    pub const fn new() -> Self {
+        Counter {
+            #[cfg(feature = "enabled")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        if recording() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 in a disabled build).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Serializes tests that record or toggle the global recording flag
+/// (the flag is process-wide, and `cargo test` runs in parallel).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_kill_switch_stops_recording() {
+        let _g = test_lock();
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), if compiled_in() { 4 } else { 0 });
+        c.reset();
+        set_recording(false);
+        c.add(10);
+        assert_eq!(c.get(), 0, "recording off must drop the add");
+        set_recording(true);
+        c.add(10);
+        assert_eq!(c.get(), if compiled_in() { 10 } else { 0 });
+    }
+
+    #[test]
+    fn disabled_build_is_zero_sized() {
+        if !compiled_in() {
+            assert_eq!(std::mem::size_of::<Counter>(), 0);
+            assert_eq!(std::mem::size_of::<Histogram>(), 0);
+            assert_eq!(std::mem::size_of::<Span>(), 0);
+        }
+    }
+}

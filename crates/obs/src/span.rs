@@ -1,0 +1,239 @@
+//! Scoped wall-clock timing of named stages.
+//!
+//! A [`Span`] accumulates total/max duration and an invocation count
+//! for one stage (e.g. `build.reorder`). Timing starts with
+//! [`Span::start`], whose guard records on drop, or the closure form
+//! [`Span::time`]. In a disabled build no `Instant::now` is ever
+//! called and the guard is zero-sized.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Cumulative timing for one named stage.
+///
+/// Zero-sized and inert without the `enabled` feature.
+#[derive(Debug, Default)]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    total_ns: AtomicU64,
+    #[cfg(feature = "enabled")]
+    max_ns: AtomicU64,
+}
+
+impl Span {
+    /// An empty span (const — usable in statics).
+    pub const fn new() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            Span {
+                count: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Span {}
+        }
+    }
+
+    /// Begin timing; the returned guard records on drop.
+    #[inline]
+    pub fn start(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            #[cfg(feature = "enabled")]
+            span: self,
+            #[cfg(feature = "enabled")]
+            begin: if crate::recording() { Some(Instant::now()) } else { None },
+            #[cfg(not(feature = "enabled"))]
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Time a closure, returning its value.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.start();
+        f()
+    }
+
+    /// Record an externally measured duration in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        #[cfg(feature = "enabled")]
+        if crate::recording() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.total_ns.fetch_add(ns, Ordering::Relaxed);
+            self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = ns;
+    }
+
+    /// Record an externally measured [`std::time::Duration`].
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        #[cfg(feature = "enabled")]
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        #[cfg(not(feature = "enabled"))]
+        let _ = d;
+    }
+
+    /// Number of recorded invocations (0 in a disabled build).
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Total recorded nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.total_ns.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Longest single invocation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.max_ns.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Mean nanoseconds per invocation (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Forget all recordings.
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.store(0, Ordering::Relaxed);
+            self.total_ns.store(0, Ordering::Relaxed);
+            self.max_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Records the elapsed time into its [`Span`] when dropped.
+#[must_use = "the span records when this guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    #[cfg(feature = "enabled")]
+    span: &'a Span,
+    #[cfg(feature = "enabled")]
+    begin: Option<Instant>,
+    #[cfg(not(feature = "enabled"))]
+    _marker: std::marker::PhantomData<&'a Span>,
+}
+
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(begin) = self.begin {
+            let ns = u64::try_from(begin.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.span.count.fetch_add(1, Ordering::Relaxed);
+            self.span.total_ns.fetch_add(ns, Ordering::Relaxed);
+            self.span.max_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A standalone timer for feeding histograms (e.g. per-query latency):
+/// starts at construction, reads out once. Never calls `Instant::now`
+/// in a disabled build or while recording is off.
+#[derive(Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "enabled")]
+    begin: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Start timing now (a no-op unless recording).
+    #[inline]
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Stopwatch {
+            #[cfg(feature = "enabled")]
+            begin: if crate::recording() { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`]; 0 when not recording.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.begin.map_or(0, |b| u64::try_from(b.elapsed().as_nanos()).unwrap_or(u64::MAX))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accumulates_guard_and_manual_records() {
+        let _g = crate::test_lock();
+        let s = Span::new();
+        {
+            let _t = s.start();
+            std::hint::black_box(0u64);
+        }
+        s.record_ns(500);
+        s.record_duration(std::time::Duration::from_nanos(700));
+        if crate::compiled_in() {
+            assert_eq!(s.count(), 3);
+            assert!(s.total_ns() >= 1200);
+            assert!(s.max_ns() >= 700);
+            assert!(s.mean_ns() > 0);
+        } else {
+            assert_eq!(s.count(), 0);
+            assert_eq!(s.total_ns(), 0);
+        }
+        s.reset();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let s = Span::new();
+        let v = s.time(|| 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn stopwatch_is_silent_when_off() {
+        let _g = crate::test_lock();
+        crate::set_recording(false);
+        let w = Stopwatch::start();
+        assert_eq!(w.elapsed_ns(), 0);
+        crate::set_recording(true);
+    }
+}

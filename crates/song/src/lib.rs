@@ -199,10 +199,10 @@ pub fn song_search<S: VectorStore + ?Sized>(
             }
         }
         trace.iterations.push(IterationTrace {
-            candidates: neighbors.len(),
-            distances_computed: computed,
+            candidates: neighbors.len() as u64,
+            distances_computed: computed as u64,
             hash_probes: hash.probes() - probes_before,
-            sort_len: neighbors.len(),
+            sort_len: neighbors.len() as u64,
             hash_reset: false,
         });
     }
