@@ -59,8 +59,22 @@ pub fn tally(sites: &[Site]) -> BTreeMap<String, Counts> {
     out
 }
 
+/// Buckets whose budget is an explicit commitment to ZERO unsafe:
+/// the canonical render always emits their section (with the
+/// rationale) even though they tally no sites, so the first `unsafe`
+/// introduced there shows up in review as a budget diff rather than
+/// as a brand-new, easy-to-wave-through section.
+pub const PINNED_ZERO: &[(&str, &str)] = &[(
+    "crates/serve",
+    "# The serving layer must stay free of unsafe: it is the long-lived,\n\
+     # network-facing surface, and every concurrency primitive it needs\n\
+     # (Mutex/Condvar handshake, mpsc responses, scoped worker fan-out)\n\
+     # exists in safe std.\n",
+)];
+
 /// Render the canonical budget file for the given tallies (what
-/// `analyze budget-write` commits).
+/// `analyze budget-write` commits). Zero-count buckets are omitted
+/// unless pinned in [`PINNED_ZERO`].
 pub fn render(tallies: &BTreeMap<String, Counts>) -> String {
     let mut s = String::from(
         "# Per-crate unsafe budget, enforced by `cargo run -p analyze -- audit`.\n\
@@ -69,13 +83,22 @@ pub fn render(tallies: &BTreeMap<String, Counts>) -> String {
          # budget down so removed unsafe cannot silently return. Regenerate with\n\
          # `cargo run -p analyze -- budget-write` and commit the diff.\n",
     );
-    for (bucket, c) in tallies {
-        if c.total() == 0 {
-            continue;
+    let mut buckets: BTreeMap<&str, Counts> = tallies
+        .iter()
+        .filter(|(_, c)| c.total() > 0)
+        .map(|(name, c)| (name.as_str(), *c))
+        .collect();
+    for (name, _) in PINNED_ZERO {
+        buckets.entry(name).or_default();
+    }
+    for (bucket, c) in buckets {
+        s.push('\n');
+        if let Some((_, rationale)) = PINNED_ZERO.iter().find(|(name, _)| *name == bucket) {
+            s.push_str(rationale);
         }
         let _ = write!(
             s,
-            "\n[\"{bucket}\"]\nblocks = {}\nfns = {}\nimpls = {}\ntraits = {}\n",
+            "[\"{bucket}\"]\nblocks = {}\nfns = {}\nimpls = {}\ntraits = {}\n",
             c.blocks, c.fns, c.impls, c.traits
         );
     }
@@ -123,7 +146,21 @@ mod tests {
         t.insert("crates/empty".to_string(), Counts::default()); // omitted from render
         let parsed = parse(&render(&t)).unwrap();
         t.remove("crates/empty");
+        // Pinned-zero buckets are always rendered (and parse back as
+        // explicit zeros), unlike ordinary zero-count buckets.
+        for (name, _) in PINNED_ZERO {
+            t.insert(name.to_string(), Counts::default());
+        }
         assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn pinned_zero_bucket_with_real_sites_renders_its_tally() {
+        let mut t = BTreeMap::new();
+        t.insert("crates/serve".to_string(), Counts { blocks: 2, ..Counts::default() });
+        let rendered = render(&t);
+        assert!(rendered.contains("[\"crates/serve\"]\nblocks = 2"));
+        assert!(rendered.contains("must stay free of unsafe"), "rationale comment kept");
     }
 
     #[test]

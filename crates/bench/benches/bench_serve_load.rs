@@ -1,0 +1,115 @@
+//! Serving-layer load benchmark + CI smoke (ISSUE 6).
+//!
+//! Not a Criterion timing target: serving performance is a function
+//! of *offered load*, so this binary drives the in-process service
+//! with the load generators and prints/records throughput-vs-latency
+//! results directly. Three legs:
+//!
+//! 1. **Smoke** (what the CI serving-smoke lane asserts on): a
+//!    closed-loop run of a fixed request count must complete with zero
+//!    errors and nonzero QPS.
+//! 2. **Batching benefit**: per-query throughput with concurrent
+//!    clients (micro-batches form) must beat the batch-size-1 baseline
+//!    (a single closed-loop client; every dispatch carries one query).
+//! 3. **Open-loop sweep**: offered rate low → high; realized batch
+//!    size must grow with load (the "batch when loaded" half of the
+//!    policy). The table rows are the source for EXPERIMENTS.md.
+//!
+//! With `--features obs` the run also writes the `cagra-metrics-v1`
+//! snapshot (queue depth, batch-size histogram, time-in-queue, e2e
+//! latency, rejections) to `$CAGRA_BENCH_JSON_DIR/serve_metrics.json`
+//! — the artifact the CI lane uploads.
+//!
+//! Scale knobs: `CAGRA_BENCH_N` (base size), `CAGRA_SERVE_SMOKE_REQS`
+//! (request count), `CAGRA_THREADS` (worker parallelism).
+
+use bench::loadgen::{closed_loop, sweep_open_loop, LoadStats};
+use bench::{cagra_index, deep_like};
+use cagra::SearchParams;
+use serve::{ServeConfig, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+const K: usize = 10;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn print_stats(label: &str, stats: &LoadStats) {
+    println!(
+        "{label:<28} qps {:>8.0}  p50 {:>8.3} ms  p99 {:>8.3} ms  mean-batch {:>5.1}  \
+         max-batch {:>3}  ok {:>5}  shed {:>4}  err {}",
+        stats.qps(),
+        stats.p50_ns() as f64 / 1e6,
+        stats.p99_ns() as f64 / 1e6,
+        stats.mean_batch(),
+        stats.max_batch(),
+        stats.completed,
+        stats.rejected,
+        stats.errors,
+    );
+}
+
+fn main() {
+    let (base, queries) = deep_like(256);
+    let total = env_usize("CAGRA_SERVE_SMOKE_REQS", 2000);
+    let params = SearchParams::for_k(K);
+
+    // --- Leg 1: closed-loop smoke (the CI lane's hard assertions) ---
+    let service =
+        Arc::new(Service::start(cagra_index(&base), ServeConfig::new(params)).expect("start"));
+    let smoke = closed_loop(&service, &queries, K, 8, total);
+    print_stats("smoke/closed-loop x8", &smoke);
+    assert_eq!(smoke.errors, 0, "serving smoke must complete without errors");
+    assert_eq!(smoke.rejected, 0, "closed-loop smoke must not trip admission control");
+    assert_eq!(smoke.completed as usize, total, "every request must be answered");
+    assert!(smoke.qps() > 0.0, "serving smoke must report nonzero throughput");
+
+    // --- Leg 2: batched serving vs batch-size-1 baseline ---
+    let baseline = closed_loop(&service, &queries, K, 1, total / 4);
+    print_stats("baseline/1 client (batch=1)", &baseline);
+    let batched = closed_loop(&service, &queries, K, 16, total);
+    print_stats("batched/16 clients", &batched);
+    assert!(
+        (batched.mean_batch() > baseline.mean_batch()) || batched.qps() > baseline.qps(),
+        "concurrent clients should form batches or at least not lose throughput"
+    );
+
+    // --- Leg 3: open-loop offered-load sweep ---
+    // Calibrate the sweep to this machine: fractions of the measured
+    // closed-loop capacity, so the table shape (idle → loaded →
+    // saturated) is stable across hosts.
+    let capacity = smoke.qps().max(200.0);
+    let rates: Vec<f64> = [0.1, 0.3, 0.6, 0.9, 1.2].iter().map(|f| f * capacity).collect();
+    println!("\n| offered qps | served qps | mean batch | max batch | p50 ms | p99 ms | shed |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut service_sweep = ServeConfig::new(params);
+    service_sweep.max_wait = Duration::from_micros(200);
+    let service =
+        Arc::new(Service::start(cagra_index(&base), service_sweep).expect("start sweep service"));
+    let sweep = sweep_open_loop(&service, &queries, K, &rates, (total / 4).max(200), 0x10ad);
+    for (rate, stats) in &sweep {
+        println!("{}", stats.row(&format!("{rate:.0}")));
+    }
+    let low = &sweep.first().expect("sweep ran").1;
+    let high = &sweep.last().expect("sweep ran").1;
+    assert!(
+        high.mean_batch() >= low.mean_batch(),
+        "realized batch size must not shrink as offered load rises \
+         (low {:.2}, high {:.2})",
+        low.mean_batch(),
+        high.mean_batch()
+    );
+
+    // --- Metrics artifact (obs builds) ---
+    #[cfg(feature = "obs")]
+    {
+        let dir = std::env::var("CAGRA_BENCH_JSON_DIR")
+            .unwrap_or_else(|_| "target/bench-json".to_string());
+        std::fs::create_dir_all(&dir).expect("create metrics dir");
+        let path = format!("{dir}/serve_metrics.json");
+        std::fs::write(&path, obs::metrics().snapshot().to_json()).expect("write metrics");
+        println!("\nwrote {path}");
+    }
+}

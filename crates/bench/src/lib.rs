@@ -5,6 +5,8 @@
 //! tool for larger, figure-shaped sweeps. Scale can be raised with
 //! `CAGRA_BENCH_N`.
 
+pub mod loadgen;
+
 use cagra::build::GraphConfig;
 use cagra::CagraIndex;
 use dataset::synth::{Family, SynthSpec};

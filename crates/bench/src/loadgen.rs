@@ -1,0 +1,268 @@
+//! Load generators for the serving layer (ISSUE 6).
+//!
+//! Two canonical shapes from the serving-benchmark literature:
+//!
+//! * **Closed loop** ([`closed_loop`]) — N clients, each issuing its
+//!   next request the moment the previous one completes. Offered load
+//!   self-regulates to service capacity; good for "is the service
+//!   healthy and how fast can it go with N concurrent callers"
+//!   (this is what the CI serving-smoke lane runs).
+//! * **Open loop** ([`open_loop`]) — requests arrive on a Poisson
+//!   process at a configured rate, independent of completions, which
+//!   is how tail latency actually behaves in production: arrivals do
+//!   not pause because the server is slow. Sweeping the offered rate
+//!   ([`sweep_open_loop`]) traces the latency/throughput curve and
+//!   shows micro-batches forming as load grows.
+//!
+//! Both are deterministic for a fixed seed (the open-loop arrival
+//! schedule comes from the workspace `rand` shim) and report exact
+//! percentiles computed from every collected sample — no histogram
+//! bucketing error in the numbers the experiments table quotes.
+
+use dataset::{Dataset, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Response, ServeError, Service};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Outcome of one load-generation run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadStats {
+    /// Successfully served requests.
+    pub completed: u64,
+    /// Requests shed by admission control (`Overloaded`).
+    pub rejected: u64,
+    /// Any other failure (validation, disconnect) — should be zero in
+    /// a healthy run.
+    pub errors: u64,
+    /// End-to-end latency samples (admission to response), nanoseconds,
+    /// sorted ascending.
+    pub e2e_ns: Vec<u64>,
+    /// Realized batch size of each served request's dispatch.
+    pub batch_sizes: Vec<u32>,
+    /// First submission to last response.
+    pub wall: Duration,
+}
+
+impl LoadStats {
+    fn finish(mut self, wall: Duration) -> Self {
+        self.e2e_ns.sort_unstable();
+        self.wall = wall;
+        self
+    }
+
+    fn absorb(&mut self, outcome: Result<Response, ServeError>) {
+        match outcome {
+            Ok(resp) => {
+                self.completed += 1;
+                self.e2e_ns.push(resp.meta.e2e_ns);
+                self.batch_sizes.push(resp.meta.batch_size);
+            }
+            Err(ServeError::Overloaded { .. }) => self.rejected += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn merge(&mut self, other: LoadStats) {
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+        self.e2e_ns.extend(other.e2e_ns);
+        self.batch_sizes.extend(other.batch_sizes);
+    }
+
+    /// Exact percentile (nearest-rank) over the collected latencies.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.e2e_ns.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.e2e_ns.len() as f64).ceil() as usize;
+        self.e2e_ns[rank.clamp(1, self.e2e_ns.len()) - 1]
+    }
+
+    /// Median end-to-end latency, nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 99th-percentile end-to-end latency, nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// Served throughput, queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Mean realized batch size over served requests.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batch_sizes.is_empty() {
+            return 0.0;
+        }
+        self.batch_sizes.iter().map(|&b| b as f64).sum::<f64>() / self.batch_sizes.len() as f64
+    }
+
+    /// Largest realized batch observed.
+    pub fn max_batch(&self) -> u32 {
+        self.batch_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// One table row: offered column is caller-provided context.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "| {label} | {:.0} | {:.1} | {} | {:.3} | {:.3} | {} |",
+            self.qps(),
+            self.mean_batch(),
+            self.max_batch(),
+            self.p50_ns() as f64 / 1e6,
+            self.p99_ns() as f64 / 1e6,
+            self.rejected,
+        )
+    }
+}
+
+/// Closed-loop drive: `clients` threads issue `total_requests` between
+/// them, each firing its next request as soon as the previous answer
+/// lands. Queries are taken round-robin from `queries`.
+pub fn closed_loop<S: VectorStore + Send + Sync + 'static>(
+    service: &Arc<Service<S>>,
+    queries: &Dataset,
+    k: usize,
+    clients: usize,
+    total_requests: usize,
+) -> LoadStats {
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let stats = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|_| {
+                let service = Arc::clone(service);
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = LoadStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total_requests {
+                            return local;
+                        }
+                        let qi = i % queries.len();
+                        local.absorb(service.search_blocking(queries.row(qi), k));
+                    }
+                })
+            })
+            .collect();
+        let mut merged = LoadStats::default();
+        for h in handles {
+            merged.merge(h.join().expect("closed-loop client"));
+        }
+        merged
+    });
+    stats.finish(t0.elapsed())
+}
+
+/// Open-loop drive: `total_requests` arrivals on a Poisson process at
+/// `rate_qps` (exponential inter-arrival gaps, deterministic for
+/// `seed`). Arrivals are fired without waiting for completions —
+/// admission may shed under overload, which is the point — and every
+/// admitted request is then awaited.
+pub fn open_loop<S: VectorStore + Send + Sync + 'static>(
+    service: &Arc<Service<S>>,
+    queries: &Dataset,
+    k: usize,
+    rate_qps: f64,
+    total_requests: usize,
+    seed: u64,
+) -> LoadStats {
+    assert!(rate_qps > 0.0, "open_loop needs a positive offered rate");
+    // Pre-draw the whole arrival schedule so generation cost does not
+    // perturb the arrival process.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = Duration::ZERO;
+    let schedule: Vec<Duration> = (0..total_requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            at += Duration::from_secs_f64(-u.ln() / rate_qps);
+            at
+        })
+        .collect();
+
+    let mut stats = LoadStats::default();
+    let mut pending = Vec::with_capacity(total_requests);
+    let t0 = Instant::now();
+    for (i, arrival) in schedule.iter().enumerate() {
+        if let Some(gap) = arrival.checked_sub(t0.elapsed()) {
+            thread::sleep(gap);
+        }
+        let qi = i % queries.len();
+        match service.submit(queries.row(qi), k) {
+            Ok(handle) => pending.push(handle),
+            Err(ServeError::Overloaded { .. }) => stats.rejected += 1,
+            Err(_) => stats.errors += 1,
+        }
+    }
+    for handle in pending {
+        stats.absorb(handle.wait());
+    }
+    stats.finish(t0.elapsed())
+}
+
+/// Sweep offered rates low→high against one service, returning
+/// `(rate, stats)` per step — the offered-load vs tail-latency curve.
+pub fn sweep_open_loop<S: VectorStore + Send + Sync + 'static>(
+    service: &Arc<Service<S>>,
+    queries: &Dataset,
+    k: usize,
+    rates: &[f64],
+    requests_per_rate: usize,
+    seed: u64,
+) -> Vec<(f64, LoadStats)> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            (rate, open_loop(service, queries, k, rate, requests_per_rate, seed ^ (i as u64)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut s = LoadStats { e2e_ns: (1..=100).rev().collect(), ..Default::default() };
+        s.e2e_ns.sort_unstable();
+        s.completed = 100;
+        assert_eq!(s.p50_ns(), 50);
+        assert_eq!(s.p99_ns(), 99);
+        assert_eq!(s.percentile_ns(100.0), 100);
+        assert_eq!(LoadStats::default().p99_ns(), 0);
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_for_a_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln() / 500.0
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+        // Exponential gaps at rate λ have mean 1/λ.
+        let gaps = draw(9);
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(mean > 0.0 && mean < 10.0 / 500.0, "implausible mean gap {mean}");
+    }
+}

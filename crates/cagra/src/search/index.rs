@@ -69,6 +69,21 @@ impl<S: VectorStore> CagraIndex<S> {
         self.metric
     }
 
+    /// Validate a request *shape* — `(k, query_dim, params)` against
+    /// this index — without running a search. The serving layer calls
+    /// this once per distinct shape at admission time and then uses
+    /// the validation-free [`CagraIndex::search_mode_with`] on the hot
+    /// dispatch path, so a malformed request is rejected before it can
+    /// enter a batch (and validation is not re-run per dispatch).
+    pub fn validate_shape(
+        &self,
+        query_dim: usize,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<(), SearchError> {
+        validate_request(params, k, self.store.len(), self.store.dim(), query_dim)
+    }
+
     /// Single-query search with automatic mapping choice (a lone query
     /// always dispatches to multi-CTA, as in the paper).
     ///
@@ -344,6 +359,22 @@ mod tests {
         let auto = index.search(queries.row(0), 5, &p);
         let (multi, _) = index.search_mode(queries.row(0), 5, &p, Mode::MultiCta);
         assert_eq!(auto, multi);
+    }
+
+    #[test]
+    fn validate_shape_matches_try_search_acceptance() {
+        let (index, queries) = build_index(300);
+        let p = SearchParams::for_k(5);
+        assert_eq!(index.validate_shape(queries.dim(), 5, &p), Ok(()));
+        assert_eq!(index.validate_shape(queries.dim(), 0, &p), Err(SearchError::ZeroK));
+        assert_eq!(
+            index.validate_shape(3, 5, &p),
+            Err(SearchError::DimMismatch { expected: 8, got: 3 })
+        );
+        assert_eq!(
+            index.validate_shape(queries.dim(), 301, &p),
+            Err(SearchError::KExceedsItopk { k: 301, itopk: p.itopk })
+        );
     }
 
     #[test]

@@ -143,6 +143,22 @@ pub fn bundle(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Load a persisted index: either `--index bundle.cgix` or the
+/// `--base fvecs --graph cagra [--metric m]` pair (shared by `search`
+/// and `serve`).
+fn load_index(args: &Args) -> Result<CagraIndex<Dataset>, String> {
+    if let Some(bundle_path) = args.opt("index") {
+        let f = File::open(bundle_path).map_err(|e| format!("open {bundle_path}: {e}"))?;
+        cagra::index_io::read_index(BufReader::new(f)).map_err(|e| e.to_string())
+    } else {
+        let base = read_dataset(args.req("base")?)?;
+        let graph_file = File::open(args.req("graph")?).map_err(|e| e.to_string())?;
+        let g = graph::io::read_fixed(BufReader::new(graph_file)).map_err(|e| e.to_string())?;
+        let metric = parse_metric(args)?;
+        Ok(CagraIndex::from_parts(base, g, metric))
+    }
+}
+
 /// `search`: query a persisted index; reports recall when ground truth
 /// is supplied. Accepts either `--index bundle.cgix` or the
 /// `--base fvecs --graph cagra` pair.
@@ -158,16 +174,7 @@ pub fn search(args: &Args) -> Result<String, String> {
         other => return Err(format!("unknown mode '{other}' (auto|single|multi)")),
     };
 
-    let index = if let Some(bundle_path) = args.opt("index") {
-        let f = File::open(bundle_path).map_err(|e| format!("open {bundle_path}: {e}"))?;
-        cagra::index_io::read_index(BufReader::new(f)).map_err(|e| e.to_string())?
-    } else {
-        let base = read_dataset(args.req("base")?)?;
-        let graph_file = File::open(args.req("graph")?).map_err(|e| e.to_string())?;
-        let g = graph::io::read_fixed(BufReader::new(graph_file)).map_err(|e| e.to_string())?;
-        let metric = parse_metric(args)?;
-        CagraIndex::from_parts(base, g, metric)
-    };
+    let index = load_index(args)?;
     let t0 = Instant::now();
     let results = match mode {
         None => index.search_batch(&queries, k, &params),
@@ -204,6 +211,104 @@ pub fn search(args: &Args) -> Result<String, String> {
             let _ = writeln!(report, "query {qi}: {ids:?}");
         }
     }
+    dump_metrics(args, &mut report)?;
+    Ok(report)
+}
+
+/// `serve`: run the online micro-batching query service over a
+/// persisted index (ISSUE 6).
+///
+/// Binds a TCP listener speaking the v1 length-prefixed protocol and
+/// serves until killed. With `--self-test N` it instead drives `N`
+/// requests through the freshly bound server from `--clients`
+/// concurrent TCP connections (queries sampled from the index's own
+/// base vectors), reports throughput/latency/batching, and exits —
+/// the smoke path the integration tests and quick-start use.
+pub fn serve(args: &Args) -> Result<String, String> {
+    let k = args.usize_or("k", 10)?;
+    let mut params = SearchParams::for_k(k);
+    params.itopk = args.usize_or("itopk", params.itopk)?.max(k);
+    let mut config = serve::ServeConfig::new(params);
+    config.max_batch = args.usize_or("max-batch", config.max_batch)?;
+    config.max_wait = std::time::Duration::from_micros(args.u64_or("max-wait-us", 0)?);
+    config.queue_capacity = args.usize_or("queue-cap", config.queue_capacity)?;
+    config.worker_threads = args.usize_or("threads", 0)?;
+    let addr = args.opt("addr").unwrap_or("127.0.0.1:0");
+    let self_test = match args.opt("self-test") {
+        Some(v) => Some(v.parse::<usize>().map_err(|_| "--self-test must be a number")?),
+        None => None,
+    };
+
+    let index = load_index(args)?;
+    // Sample self-test queries from the base before the service takes
+    // ownership of the index.
+    let sample: Vec<Vec<f32>> = index
+        .store()
+        .as_flat()
+        .chunks(index.store().dim())
+        .take(128)
+        .map(|row| row.to_vec())
+        .collect();
+    let n = index.store().len();
+    let service = std::sync::Arc::new(
+        serve::Service::start(index, config).map_err(|e| format!("start service: {e}"))?,
+    );
+    let mut server = serve::TcpServer::spawn(std::sync::Arc::clone(&service), addr)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr();
+
+    let Some(total) = self_test else {
+        println!(
+            "serving {n} vectors on {bound} (k<=itopk {}, max-batch {}, max-wait {:?}, \
+             queue-cap {}); press Ctrl-C to stop",
+            params.itopk, config.max_batch, config.max_wait, config.queue_capacity
+        );
+        loop {
+            std::thread::park();
+        }
+    };
+
+    let clients = args.usize_or("clients", 4)?.max(1);
+    let per_client = total.div_ceil(clients);
+    let t0 = Instant::now();
+    let outcomes: Vec<(u64, u64, u64, u32)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let sample = &sample;
+                s.spawn(move || {
+                    let mut client =
+                        serve::Client::connect(bound).expect("self-test client connect");
+                    let (mut ok, mut err, mut e2e_sum, mut max_batch) = (0u64, 0u64, 0u64, 0u32);
+                    for i in 0..per_client {
+                        let q = &sample[(c * per_client + i) % sample.len()];
+                        match client.search(q, k) {
+                            Ok(resp) => {
+                                ok += 1;
+                                e2e_sum += resp.meta.e2e_ns;
+                                max_batch = max_batch.max(resp.meta.batch_size);
+                            }
+                            Err(_) => err += 1,
+                        }
+                    }
+                    (ok, err, e2e_sum, max_batch)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("self-test client")).collect()
+    });
+    let wall = t0.elapsed();
+    server.shutdown();
+
+    let ok: u64 = outcomes.iter().map(|o| o.0).sum();
+    let err: u64 = outcomes.iter().map(|o| o.1).sum();
+    let e2e_sum: u64 = outcomes.iter().map(|o| o.2).sum();
+    let max_batch: u32 = outcomes.iter().map(|o| o.3).max().unwrap_or(0);
+    let mut report = format!(
+        "self-test on {bound}: {ok} served / {err} failed over {clients} connections in {wall:.2?} \
+         ({:.0} QPS); mean e2e {:.3} ms, largest batch {max_batch}",
+        ok as f64 / wall.as_secs_f64().max(1e-9),
+        e2e_sum as f64 / ok.max(1) as f64 / 1e6,
+    );
     dump_metrics(args, &mut report)?;
     Ok(report)
 }
@@ -324,6 +429,33 @@ mod tests {
         let json = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(json.contains("cagra-metrics-v1"));
         assert!(json.contains("search.iterations"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_self_test_round_trips_over_tcp() {
+        let dir = tmpdir("serve");
+        synth(&Args::from_pairs(&[
+            ("preset", "deep"),
+            ("n", "500"),
+            ("queries", "10"),
+            ("out-dir", &dir),
+        ]))
+        .unwrap();
+        let base = format!("{dir}/base.fvecs");
+        let bundle_path = format!("{dir}/index.cgix");
+        bundle(&Args::from_pairs(&[("base", &base), ("degree", "8"), ("out", &bundle_path)]))
+            .unwrap();
+        let out = serve(&Args::from_pairs(&[
+            ("index", &bundle_path),
+            ("self-test", "64"),
+            ("clients", "4"),
+            ("k", "5"),
+            ("max-wait-us", "100"),
+        ]))
+        .unwrap();
+        assert!(out.contains("64 served / 0 failed"), "unexpected report: {out}");
+        assert!(!out.contains(" 0 QPS"), "throughput must be nonzero: {out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

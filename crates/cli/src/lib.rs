@@ -10,7 +10,15 @@
 //! cagra-cli search --base work/base.fvecs --graph work/graph.cagra \
 //!                  --queries work/queries.fvecs --k 10 --gt work/gt.ivecs
 //! cagra-cli stats  --graph work/graph.cagra
+//! cagra-cli serve  --index work/index.cgix --addr 127.0.0.1:7878
 //! ```
+//!
+//! `serve` runs the online micro-batching query service (ISSUE 6):
+//! single-query TCP requests are coalesced into micro-batches under a
+//! `--max-batch`/`--max-wait-us` policy with bounded-queue admission
+//! control (`--queue-cap`). `--self-test N --clients C` drives N
+//! requests through the bound server and exits — a one-command
+//! serving smoke.
 
 pub mod args;
 pub mod commands;
@@ -27,6 +35,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "build" => commands::build(&args),
         "bundle" => commands::bundle(&args),
         "search" => commands::search(&args),
+        "serve" => commands::serve(&args),
         "stats" => commands::stats(&args),
         other => Err(format!("unknown command '{other}'. {}", args::USAGE)),
     }

@@ -57,6 +57,24 @@ pub struct Metrics {
     /// Top-M sort input length per iteration.
     pub search_sort_len: Histogram,
 
+    // --- serve: online query service (micro-batching front door) ---
+    /// Requests admitted to the serving queue.
+    pub serve_requests: Counter,
+    /// Requests shed by admission control (typed `Overloaded`).
+    pub serve_rejected: Counter,
+    /// Requests rejected at admission for a malformed shape.
+    pub serve_invalid: Counter,
+    /// Micro-batches dispatched.
+    pub serve_batches: Counter,
+    /// Realized batch size per dispatch.
+    pub serve_batch_size: Histogram,
+    /// Queue depth observed at each admission.
+    pub serve_queue_depth: Histogram,
+    /// Time-in-queue per request (ns), admission to dispatch.
+    pub serve_queue_wait_ns: Histogram,
+    /// End-to-end latency per request (ns), admission to response send.
+    pub serve_e2e_latency_ns: Histogram,
+
     // --- sim: cost-model cycle attribution (tentpole layer 3) ---
     /// Simulated batches costed.
     pub sim_batches: Counter,
@@ -88,6 +106,14 @@ impl Metrics {
             build_opt_distances: Counter::new(),
             search_queries: Counter::new(),
             search_batches: Counter::new(),
+            serve_requests: Counter::new(),
+            serve_rejected: Counter::new(),
+            serve_invalid: Counter::new(),
+            serve_batches: Counter::new(),
+            serve_batch_size: Histogram::new(),
+            serve_queue_depth: Histogram::new(),
+            serve_queue_wait_ns: Histogram::new(),
+            serve_e2e_latency_ns: Histogram::new(),
             search_latency_ns: Histogram::new(),
             search_iterations: Histogram::new(),
             search_distances: Histogram::new(),
@@ -104,7 +130,7 @@ impl Metrics {
     }
 
     /// Every counter with its snapshot name, in export order.
-    fn counters(&self) -> [(&'static str, &Counter); 11] {
+    fn counters(&self) -> [(&'static str, &Counter); 15] {
         [
             ("build.graphs", &self.build_graphs),
             ("build.nn_iterations", &self.build_nn_iterations),
@@ -112,6 +138,10 @@ impl Metrics {
             ("build.opt_distances", &self.build_opt_distances),
             ("search.queries", &self.search_queries),
             ("search.batches", &self.search_batches),
+            ("serve.requests", &self.serve_requests),
+            ("serve.rejected", &self.serve_rejected),
+            ("serve.invalid", &self.serve_invalid),
+            ("serve.batches", &self.serve_batches),
             ("sim.batches", &self.sim_batches),
             ("sim.cycles_sort", &self.sim_cycles_sort),
             ("sim.cycles_parent_select", &self.sim_cycles_parent_select),
@@ -136,7 +166,7 @@ impl Metrics {
     }
 
     /// Every histogram with its snapshot name, in export order.
-    fn histograms(&self) -> [(&'static str, &Histogram); 6] {
+    fn histograms(&self) -> [(&'static str, &Histogram); 10] {
         [
             ("search.latency_ns", &self.search_latency_ns),
             ("search.iterations", &self.search_iterations),
@@ -144,6 +174,10 @@ impl Metrics {
             ("search.probe_len", &self.search_probe_len),
             ("search.hash_occupancy_permille", &self.search_hash_occupancy_permille),
             ("search.sort_len", &self.search_sort_len),
+            ("serve.batch_size", &self.serve_batch_size),
+            ("serve.queue_depth", &self.serve_queue_depth),
+            ("serve.queue_wait_ns", &self.serve_queue_wait_ns),
+            ("serve.e2e_latency_ns", &self.serve_e2e_latency_ns),
         ]
     }
 
@@ -229,11 +263,12 @@ mod tests {
         m.search_latency_ns.record(1234);
         m.build_nn_join.record_ns(999);
         m.sim_cycles_hash.add(7);
+        m.serve_batch_size.record(4);
         let snap = m.snapshot();
         assert_eq!(snap.enabled, crate::compiled_in());
-        assert_eq!(snap.counters.len(), 12);
+        assert_eq!(snap.counters.len(), 16);
         assert_eq!(snap.spans.len(), 7);
-        assert_eq!(snap.histograms.len(), 6);
+        assert_eq!(snap.histograms.len(), 10);
         let get = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
         if crate::compiled_in() {
             assert_eq!(get("build.graphs"), 1);
@@ -243,6 +278,8 @@ mod tests {
             assert_eq!(lat.max, 1234);
             let join = snap.spans.iter().find(|s| s.name == "build.nn_join").unwrap();
             assert_eq!(join.total_ns, 999);
+            let bs = snap.histograms.iter().find(|h| h.name == "serve.batch_size").unwrap();
+            assert_eq!((bs.count, bs.max), (1, 4));
         } else {
             assert_eq!(get("build.graphs"), 0);
         }

@@ -1,0 +1,283 @@
+//! The admission queue + micro-batching core.
+//!
+//! [`Batcher`] is the handshake between many submitting clients and
+//! one dispatching engine:
+//!
+//! * **submit side** — bounded: a request that finds `queue_capacity`
+//!   entries already queued is shed with a typed
+//!   [`ServeError::Overloaded`] instead of being buffered, so queue
+//!   wait (and therefore tail latency) stays bounded under overload.
+//! * **dispatch side** — [`Batcher::pop_batch`] blocks until work
+//!   exists, then applies the micro-batching policy: drain whatever
+//!   accumulated (up to `max_batch`), optionally holding a
+//!   deadline-aware coalescing window (`max_wait`, anchored at the
+//!   oldest request's arrival) open for co-arrivals.
+//!
+//! The batcher is deliberately free of search logic — `crates/serve`'s
+//! [`crate::Service`] owns the index and the dispatcher thread — so
+//! the admission/batch policy is testable (and loom-modelable) in
+//! isolation.
+
+use crate::error::ServeError;
+use cagra::search::planner::Mode;
+use knn::topk::Neighbor;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// One admitted request, as the dispatcher sees it.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The query vector (validated to the index dimension at
+    /// admission).
+    pub query: Vec<f32>,
+    /// Results requested (validated against params/dataset at
+    /// admission).
+    pub k: usize,
+    /// Admission timestamp — the anchor for the coalescing deadline,
+    /// time-in-queue, and end-to-end latency.
+    pub enqueued: Instant,
+}
+
+/// How a request was actually served (for clients, tests, and load
+/// generators; the same numbers feed the obs histograms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Realized size of the batch this request rode in.
+    pub batch_size: u32,
+    /// Kernel mapping the batch ran with (chosen from the realized
+    /// batch size, Fig. 7).
+    pub mode: Mode,
+    /// Per-query CTA count the plan selected.
+    pub num_cta: u32,
+    /// Time spent queued before dispatch, in nanoseconds.
+    pub queue_ns: u64,
+    /// Admission-to-response latency, in nanoseconds.
+    pub e2e_ns: u64,
+}
+
+/// A served request: results plus how they were produced.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The `k` nearest neighbors, ascending by distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Batch/queue metadata.
+    pub meta: ResponseMeta,
+}
+
+/// Queue entry: the job plus its response channel.
+pub(crate) struct Pending {
+    pub(crate) job: Job,
+    pub(crate) tx: mpsc::Sender<Response>,
+}
+
+struct Inner {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue with batch-draining pops (see module docs).
+pub(crate) struct Batcher {
+    inner: Mutex<Inner>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl Batcher {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Batcher {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), closed: false }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Lock the queue, surviving a poisoned mutex (a panicking search
+    /// worker must not wedge admission; the queue state itself is
+    /// only ever mutated under short straight-line sections).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Admit `job` or shed it. On success returns the receiver the
+    /// dispatcher will answer on.
+    pub(crate) fn submit(&self, job: Job) -> Result<mpsc::Receiver<Response>, ServeError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = inner.queue.len();
+        if depth >= self.capacity {
+            drop(inner);
+            obs::metrics().serve_rejected.inc();
+            return Err(ServeError::Overloaded { depth, capacity: self.capacity });
+        }
+        let (tx, rx) = mpsc::channel();
+        inner.queue.push_back(Pending { job, tx });
+        drop(inner);
+        let m = obs::metrics();
+        m.serve_requests.inc();
+        m.serve_queue_depth.record(depth as u64 + 1);
+        self.nonempty.notify_one();
+        Ok(rx)
+    }
+
+    /// Current queue depth (admission-control observability).
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Stop admitting; wake the dispatcher so it can drain and exit.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Block until work exists, apply the batching policy, and move up
+    /// to `max_batch` requests into `jobs`/`txs` (index-aligned).
+    /// Returns `false` — without touching the output buffers — only
+    /// when the queue is closed *and* fully drained, i.e. the
+    /// dispatcher should exit.
+    pub(crate) fn pop_batch(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+        jobs: &mut Vec<Job>,
+        txs: &mut Vec<mpsc::Sender<Response>>,
+    ) -> bool {
+        let mut inner = self.lock();
+        // Phase 1: wait for the first request (or a drained close).
+        loop {
+            if !inner.queue.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return false;
+            }
+            inner = self.nonempty.wait(inner).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        // Phase 2: deadline-aware coalescing. The window is anchored
+        // at the *oldest* arrival: a backlog that built up while the
+        // engine was busy has already aged past its window and drains
+        // immediately ("batch when loaded"), while a fresh arrival
+        // into an idle engine waits at most `max_wait` ("dispatch
+        // immediately when idle" with the default zero window).
+        if !max_wait.is_zero() {
+            let deadline =
+                inner.queue.front().expect("nonempty after phase 1").job.enqueued + max_wait;
+            while inner.queue.len() < max_batch && !inner.closed {
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timeout) = self
+                    .nonempty
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                inner = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        // Phase 3: drain.
+        while jobs.len() < max_batch {
+            let Some(p) = inner.queue.pop_front() else { break };
+            jobs.push(p.job);
+            txs.push(p.tx);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn job(tag: f32) -> Job {
+        Job { query: vec![tag], k: 1, enqueued: Instant::now() }
+    }
+
+    #[test]
+    fn admission_sheds_at_capacity_and_recovers_after_drain() {
+        let b = Batcher::new(2);
+        let _rx0 = b.submit(job(0.0)).unwrap();
+        let _rx1 = b.submit(job(1.0)).unwrap();
+        assert_eq!(b.depth(), 2);
+        // Third arrival meets the shedding threshold.
+        match b.submit(job(2.0)) {
+            Err(ServeError::Overloaded { depth, capacity }) => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(b.depth(), 2, "a shed request must not occupy the queue");
+        // Drain, then admission recovers.
+        let (mut jobs, mut txs) = (Vec::new(), Vec::new());
+        assert!(b.pop_batch(8, Duration::ZERO, &mut jobs, &mut txs));
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(b.depth(), 0);
+        assert!(b.submit(job(3.0)).is_ok());
+        assert_eq!(b.depth(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let b = Batcher::new(0);
+        assert!(matches!(b.submit(job(0.0)), Err(ServeError::Overloaded { .. })));
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch_and_fifo_order() {
+        let b = Batcher::new(16);
+        let _rxs: Vec<_> = (0..5).map(|i| b.submit(job(i as f32)).unwrap()).collect();
+        let (mut jobs, mut txs) = (Vec::new(), Vec::new());
+        assert!(b.pop_batch(3, Duration::ZERO, &mut jobs, &mut txs));
+        let tags: Vec<f32> = jobs.iter().map(|j| j.query[0]).collect();
+        assert_eq!(tags, vec![0.0, 1.0, 2.0]);
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_leftovers_then_signals_exit() {
+        let b = Batcher::new(16);
+        let _rx = b.submit(job(0.0)).unwrap();
+        b.close();
+        assert!(matches!(b.submit(job(1.0)), Err(ServeError::ShuttingDown)));
+        let (mut jobs, mut txs) = (Vec::new(), Vec::new());
+        assert!(b.pop_batch(8, Duration::ZERO, &mut jobs, &mut txs), "leftover must drain");
+        assert_eq!(jobs.len(), 1);
+        jobs.clear();
+        txs.clear();
+        assert!(!b.pop_batch(8, Duration::ZERO, &mut jobs, &mut txs), "drained close exits");
+    }
+
+    #[test]
+    fn coalescing_window_holds_for_co_arrivals() {
+        let b = Arc::new(Batcher::new(16));
+        let _rx0 = b.submit(job(0.0)).unwrap();
+        let late = Arc::clone(&b);
+        let feeder = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            late.submit(job(1.0)).map(|_| ())
+        });
+        let (mut jobs, mut txs) = (Vec::new(), Vec::new());
+        // A generous window: the late submitter lands inside it.
+        assert!(b.pop_batch(8, Duration::from_millis(500), &mut jobs, &mut txs));
+        feeder.join().unwrap().unwrap();
+        assert!(
+            jobs.len() == 2 || b.depth() == 1,
+            "late arrival either joined the batch or is still queued"
+        );
+        // With max_batch already satisfied the window closes early.
+        let _rx2 = b.submit(job(2.0)).unwrap();
+        let t0 = Instant::now();
+        let (mut jobs, mut txs) = (Vec::new(), Vec::new());
+        assert!(b.pop_batch(1, Duration::from_secs(5), &mut jobs, &mut txs));
+        assert!(t0.elapsed() < Duration::from_secs(1), "full batch must not wait the window");
+    }
+}

@@ -1,0 +1,77 @@
+//! Serving policy knobs.
+
+use crate::error::ServeError;
+use cagra::SearchParams;
+use std::time::Duration;
+
+/// Batching + admission policy for a [`crate::Service`].
+///
+/// The batching rule is *dispatch immediately when idle, batch when
+/// loaded*: the dispatcher drains whatever accumulated while it was
+/// busy (load builds batches by itself), and a request that arrives
+/// into an idle service is dispatched without artificial delay unless
+/// [`ServeConfig::max_wait`] opens a coalescing window. The window is
+/// deadline-aware — it is anchored at the *oldest* queued request's
+/// arrival time, so time a request already spent waiting behind a
+/// busy engine counts against its window.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Largest batch one dispatch may carry (>= 1).
+    pub max_batch: usize,
+    /// Coalescing window measured from the oldest queued request's
+    /// arrival. `Duration::ZERO` (the default) dispatches the moment
+    /// the dispatcher sees work — minimum idle latency; a positive
+    /// window trades added latency for larger batches at moderate
+    /// load. Dispatch always happens early once `max_batch` is
+    /// reached.
+    pub max_wait: Duration,
+    /// Admission-control shedding threshold: a submit that finds this
+    /// many requests already queued is rejected with
+    /// [`ServeError::Overloaded`] instead of growing the queue, so
+    /// tail latency stays bounded under overload.
+    pub queue_capacity: usize,
+    /// Search parameters shared by every request this service answers
+    /// (`k` stays per-request). The seed is used as-is for every
+    /// request, so a request's result does not depend on its position
+    /// within whatever batch it happened to join.
+    pub params: SearchParams,
+    /// Worker threads for intra-batch parallelism (0 = the workspace
+    /// default, `CAGRA_THREADS` / available parallelism). A batch of
+    /// `b` requests uses `min(b, worker_threads)` workers.
+    pub worker_threads: usize,
+}
+
+impl ServeConfig {
+    /// Defaults around [`SearchParams`]: batches up to 64, immediate
+    /// dispatch when idle, a 1024-deep admission queue.
+    pub fn new(params: SearchParams) -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::ZERO,
+            queue_capacity: 1024,
+            params,
+            worker_threads: 0,
+        }
+    }
+
+    /// Reject configurations the dispatcher cannot run.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::BadConfig("max_batch must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_zero_batch_is_rejected() {
+        let c = ServeConfig::new(SearchParams::for_k(10));
+        assert!(c.validate().is_ok());
+        let c = ServeConfig { max_batch: 0, ..c };
+        assert_eq!(c.validate(), Err(ServeError::BadConfig("max_batch must be >= 1")));
+    }
+}

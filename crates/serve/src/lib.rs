@@ -1,0 +1,50 @@
+//! Online serving layer for CAGRA search (ISSUE 6).
+//!
+//! A long-lived query service that accepts **single-query** requests
+//! from many concurrent clients and coalesces them into micro-batches
+//! so the batch-friendly search configurations (paper Sec. V: the
+//! single-CTA / multi-CTA crossover depends on batch size) actually
+//! get exercised by online traffic, not just by offline `cli search`
+//! runs over a query file.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`batcher`] — bounded admission queue + deadline-aware
+//!   micro-batch draining. Pure queueing; no search logic.
+//! * [`service`] — [`Service`] owns a [`cagra::CagraIndex`] and a
+//!   dispatcher thread: pops a batch, plans mode/CTA count from the
+//!   *realized* batch size ([`cagra::search::planner::plan`]), fans
+//!   the batch out over worker threads, answers every request with
+//!   results plus [`ResponseMeta`] (how the request was served).
+//! * [`tcp`] — a std::net front end speaking the length-prefixed
+//!   binary frames of [`proto`], for out-of-process clients
+//!   (`cli serve`). In-process callers (tests, benches, load
+//!   generators) use [`Service`] directly and skip the socket.
+//!
+//! Admission control is load shedding, not buffering: a submit that
+//! finds [`ServeConfig::queue_capacity`] requests already queued is
+//! refused with [`ServeError::Overloaded`], which keeps time-in-queue
+//! — and therefore tail latency — bounded no matter the offered load.
+//!
+//! Determinism contract: a request's neighbors depend only on the
+//! query, `k`, the service's [`cagra::SearchParams`], and the
+//! mode/CTA plan recorded in its [`ResponseMeta`] — never on the
+//! *content* of the batch it rode in. The integration tests recompute
+//! every served result bit-identically via
+//! [`cagra::CagraIndex::try_search_mode`].
+
+pub mod batcher;
+pub mod config;
+pub mod error;
+pub mod proto;
+pub mod service;
+pub mod tcp;
+
+#[cfg(all(loom, test))]
+mod loom_model;
+
+pub use batcher::{Job, Response, ResponseMeta};
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use service::{ResponseHandle, Service};
+pub use tcp::{Client, ClientError, TcpServer};

@@ -1,0 +1,406 @@
+//! Length-prefixed binary wire protocol (version 1).
+//!
+//! Every frame is `[u32 LE payload length][payload]`, payload capped
+//! at [`MAX_PAYLOAD`] so a malicious length prefix cannot drive an
+//! allocation. All integers are little-endian.
+//!
+//! ```text
+//! request payload:
+//!   magic  u8 = 0xCA     version u8 = 1    op u8 = 1    reserved u8
+//!   k      u32           dim     u32       dim x f32 query
+//!
+//! response payload:
+//!   magic  u8 = 0xCA     version u8 = 1    status u8    mode u8
+//!   batch_size u32       num_cta u32
+//!   queue_ns   u64       e2e_ns  u64
+//!   n_results  u32       n x (id u32, dist f32)
+//!   msg_len    u32       msg bytes (utf-8; empty on Ok)
+//! ```
+//!
+//! The response layout is identical for every status; rejections
+//! (overload, invalid shape, malformed frame, shutdown) carry zero
+//! results, `mode = 0xFF`, and a human-readable message.
+
+use crate::batcher::{Response, ResponseMeta};
+use crate::error::ServeError;
+use cagra::search::planner::Mode;
+use knn::topk::Neighbor;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Frame magic byte.
+pub const MAGIC: u8 = 0xCA;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Request opcode: single-query search.
+pub const OP_QUERY: u8 = 1;
+/// Largest accepted payload (16 MiB — far above any valid request at
+/// the dimension caps, far below an allocation hazard).
+pub const MAX_PAYLOAD: usize = 1 << 24;
+/// `mode` byte when no batch ran (rejections).
+const MODE_NONE: u8 = 0xFF;
+
+/// Response status byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Served; results follow.
+    Ok,
+    /// Shed by admission control — back off and retry.
+    Overloaded,
+    /// Request shape failed validation.
+    Invalid,
+    /// The frame itself could not be parsed.
+    Malformed,
+    /// Service is shutting down.
+    ShuttingDown,
+}
+
+impl Status {
+    fn to_byte(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Overloaded => 1,
+            Status::Invalid => 2,
+            Status::Malformed => 3,
+            Status::ShuttingDown => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => Status::Ok,
+            1 => Status::Overloaded,
+            2 => Status::Invalid,
+            3 => Status::Malformed,
+            4 => Status::ShuttingDown,
+            other => return Err(ProtoError::Corrupt(format!("unknown status byte {other}"))),
+        })
+    }
+}
+
+/// What a server sent back for one request, decoded.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// Outcome class.
+    pub status: Status,
+    /// The response (present exactly when `status == Ok`).
+    pub response: Option<Response>,
+    /// Human-readable rejection reason (empty on Ok).
+    pub message: String,
+}
+
+/// Why a frame could not be produced or understood.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket/stream failure (includes clean EOF).
+    Io(std::io::Error),
+    /// Structurally invalid bytes; the message names the field.
+    Corrupt(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+            ProtoError::Corrupt(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Write one `[len][payload]` frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtoError> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload, enforcing [`MAX_PAYLOAD`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtoError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Corrupt(format!("payload length {len} exceeds {MAX_PAYLOAD}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Little-endian field cursor over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ProtoError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            ProtoError::Corrupt(format!("truncated at {what} (offset {})", self.at))
+        })?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, ProtoError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+    }
+
+    /// Bytes left unread — guards element counts before any
+    /// count-sized allocation, so a corrupt count cannot drive one.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.at != self.buf.len() {
+            return Err(ProtoError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_header(c: &mut Cursor<'_>) -> Result<(), ProtoError> {
+    let magic = c.u8("magic")?;
+    if magic != MAGIC {
+        return Err(ProtoError::Corrupt(format!("bad magic {magic:#04x}")));
+    }
+    let version = c.u8("version")?;
+    if version != VERSION {
+        return Err(ProtoError::Corrupt(format!("unsupported version {version}")));
+    }
+    Ok(())
+}
+
+/// Encode a query request payload.
+pub fn encode_request(query: &[f32], k: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + 4 * query.len());
+    out.extend_from_slice(&[MAGIC, VERSION, OP_QUERY, 0]);
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+    for v in query {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a query request payload into `(query, k)`.
+pub fn decode_request(payload: &[u8]) -> Result<(Vec<f32>, usize), ProtoError> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    check_header(&mut c)?;
+    let op = c.u8("op")?;
+    if op != OP_QUERY {
+        return Err(ProtoError::Corrupt(format!("unknown op {op}")));
+    }
+    c.u8("reserved")?;
+    let k = c.u32("k")? as usize;
+    let dim = c.u32("dim")? as usize;
+    if dim.checked_mul(4).is_none_or(|bytes| bytes > c.remaining()) {
+        return Err(ProtoError::Corrupt(format!("dim {dim} exceeds payload")));
+    }
+    let mut query = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        query.push(c.f32("query component")?);
+    }
+    c.done()?;
+    Ok((query, k))
+}
+
+fn mode_to_byte(mode: Mode) -> u8 {
+    match mode {
+        Mode::SingleCta => 0,
+        Mode::MultiCta => 1,
+    }
+}
+
+/// Encode a served response.
+pub fn encode_ok(resp: &Response) -> Vec<u8> {
+    encode_outcome(Status::Ok, Some(resp), "")
+}
+
+/// Encode a rejection, mapping the error to its wire status.
+pub fn encode_reject(err: &ServeError) -> Vec<u8> {
+    let status = match err {
+        ServeError::Overloaded { .. } => Status::Overloaded,
+        ServeError::Invalid(_) => Status::Invalid,
+        ServeError::ShuttingDown | ServeError::Disconnected => Status::ShuttingDown,
+        ServeError::BadConfig(_) => Status::ShuttingDown,
+    };
+    encode_outcome(status, None, &err.to_string())
+}
+
+/// Encode a malformed-frame report.
+pub fn encode_malformed(msg: &str) -> Vec<u8> {
+    encode_outcome(Status::Malformed, None, msg)
+}
+
+fn encode_outcome(status: Status, resp: Option<&Response>, message: &str) -> Vec<u8> {
+    let n = resp.map_or(0, |r| r.neighbors.len());
+    let mut out = Vec::with_capacity(40 + 8 * n + message.len());
+    out.extend_from_slice(&[MAGIC, VERSION, status.to_byte()]);
+    match resp {
+        Some(r) => {
+            out.push(mode_to_byte(r.meta.mode));
+            out.extend_from_slice(&r.meta.batch_size.to_le_bytes());
+            out.extend_from_slice(&r.meta.num_cta.to_le_bytes());
+            out.extend_from_slice(&r.meta.queue_ns.to_le_bytes());
+            out.extend_from_slice(&r.meta.e2e_ns.to_le_bytes());
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+            for h in &r.neighbors {
+                out.extend_from_slice(&h.id.to_le_bytes());
+                out.extend_from_slice(&h.dist.to_le_bytes());
+            }
+        }
+        None => {
+            out.push(MODE_NONE);
+            out.extend_from_slice(&[0u8; 24]); // batch_size, num_cta, queue_ns, e2e_ns
+            out.extend_from_slice(&0u32.to_le_bytes()); // n_results
+        }
+    }
+    out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Served, ProtoError> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    check_header(&mut c)?;
+    let status = Status::from_byte(c.u8("status")?)?;
+    let mode = c.u8("mode")?;
+    let batch_size = c.u32("batch_size")?;
+    let num_cta = c.u32("num_cta")?;
+    let queue_ns = c.u64("queue_ns")?;
+    let e2e_ns = c.u64("e2e_ns")?;
+    let n = c.u32("n_results")? as usize;
+    if n.checked_mul(8).is_none_or(|bytes| bytes > c.remaining()) {
+        return Err(ProtoError::Corrupt(format!("n_results {n} exceeds payload")));
+    }
+    let mut neighbors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = c.u32("result id")?;
+        let dist = c.f32("result dist")?;
+        neighbors.push(Neighbor::new(id, dist));
+    }
+    let msg_len = c.u32("msg_len")? as usize;
+    let message = String::from_utf8(c.take(msg_len, "message")?.to_vec())
+        .map_err(|_| ProtoError::Corrupt("message is not utf-8".into()))?;
+    c.done()?;
+    let response = if status == Status::Ok {
+        let mode = match mode {
+            0 => Mode::SingleCta,
+            1 => Mode::MultiCta,
+            other => return Err(ProtoError::Corrupt(format!("unknown mode byte {other}"))),
+        };
+        Some(Response {
+            neighbors,
+            meta: ResponseMeta { batch_size, mode, num_cta, queue_ns, e2e_ns },
+        })
+    } else {
+        None
+    };
+    Ok(Served { status, response, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let q = vec![1.0f32, -2.5, 3.25];
+        let payload = encode_request(&q, 7);
+        let (q2, k) = decode_request(&payload).unwrap();
+        assert_eq!(q2, q);
+        assert_eq!(k, 7);
+    }
+
+    #[test]
+    fn ok_response_round_trip() {
+        let resp = Response {
+            neighbors: vec![Neighbor::new(3, 0.5), Neighbor::new(9, 1.25)],
+            meta: ResponseMeta {
+                batch_size: 4,
+                mode: Mode::MultiCta,
+                num_cta: 16,
+                queue_ns: 1234,
+                e2e_ns: 5678,
+            },
+        };
+        let served = decode_response(&encode_ok(&resp)).unwrap();
+        assert_eq!(served.status, Status::Ok);
+        assert!(served.message.is_empty());
+        let got = served.response.unwrap();
+        assert_eq!(got.neighbors, resp.neighbors);
+        assert_eq!(got.meta, resp.meta);
+    }
+
+    #[test]
+    fn rejection_round_trip_keeps_status_and_message() {
+        let served =
+            decode_response(&encode_reject(&ServeError::Overloaded { depth: 8, capacity: 8 }))
+                .unwrap();
+        assert_eq!(served.status, Status::Overloaded);
+        assert!(served.response.is_none());
+        assert!(served.message.contains("overloaded"));
+        let served = decode_response(&encode_malformed("bad magic")).unwrap();
+        assert_eq!(served.status, Status::Malformed);
+        assert_eq!(served.message, "bad magic");
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_errors() {
+        assert!(decode_request(&[]).is_err());
+        let mut p = encode_request(&[1.0], 1);
+        p[0] = 0x00; // magic
+        assert!(matches!(decode_request(&p), Err(ProtoError::Corrupt(_))));
+        let mut p = encode_request(&[1.0], 1);
+        p[1] = 99; // version
+        assert!(decode_request(&p).is_err());
+        // Truncated query.
+        let p = encode_request(&[1.0, 2.0], 1);
+        assert!(decode_request(&p[..p.len() - 2]).is_err());
+        // Trailing garbage.
+        let mut p = encode_request(&[1.0], 1);
+        p.push(0);
+        assert!(decode_request(&p).is_err());
+    }
+
+    #[test]
+    fn frame_io_round_trip_and_length_guard() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        // Oversized length prefix is rejected before allocation.
+        let mut bad = ((MAX_PAYLOAD + 1) as u32).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0; 8]);
+        assert!(matches!(read_frame(&mut &bad[..]), Err(ProtoError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,212 @@
+//! The long-lived query service: admission → micro-batch → parallel
+//! search → per-request responses.
+
+use crate::batcher::{Batcher, Job, Response, ResponseMeta};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use cagra::search::planner;
+use cagra::{CagraIndex, SearchScratch};
+use dataset::VectorStore;
+use knn::parallel::{default_threads, parallel_map_with};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The pending answer to one admitted request.
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl ResponseHandle {
+    /// Block until the dispatcher answers.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+/// Cache of request shapes that already passed
+/// [`CagraIndex::validate_shape`]. With per-service [`cagra::SearchParams`]
+/// and a fixed index, a shape is fully determined by `k`, so repeat
+/// traffic skips parameter validation entirely — validation runs once
+/// per shape at admission, never per batch dispatch.
+struct ShapeCache {
+    ks: Mutex<Vec<usize>>,
+    misses: AtomicU64,
+}
+
+impl ShapeCache {
+    fn new() -> Self {
+        ShapeCache { ks: Mutex::new(Vec::new()), misses: AtomicU64::new(0) }
+    }
+
+    fn contains(&self, k: usize) -> bool {
+        self.ks.lock().unwrap_or_else(|p| p.into_inner()).contains(&k)
+    }
+
+    fn insert(&self, k: usize) {
+        let mut ks = self.ks.lock().unwrap_or_else(|p| p.into_inner());
+        if !ks.contains(&k) {
+            ks.push(k);
+        }
+    }
+}
+
+/// A running serving instance over one CAGRA index. Submissions are
+/// thread-safe; one background dispatcher thread owns batching and
+/// search execution. Dropping the service shuts it down (drains the
+/// queue, answers what was admitted, joins the dispatcher).
+pub struct Service<S: VectorStore + Send + 'static> {
+    index: Arc<CagraIndex<S>>,
+    batcher: Arc<Batcher>,
+    config: ServeConfig,
+    shapes: ShapeCache,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<S: VectorStore + Send + 'static> Service<S> {
+    /// Validate `config`, take ownership of `index`, and start the
+    /// dispatcher thread.
+    pub fn start(index: CagraIndex<S>, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let index = Arc::new(index);
+        let batcher = Arc::new(Batcher::new(config.queue_capacity));
+        let dispatcher = {
+            let index = Arc::clone(&index);
+            let batcher = Arc::clone(&batcher);
+            std::thread::Builder::new()
+                .name("cagra-serve-dispatch".into())
+                .spawn(move || dispatch_loop(&index, &batcher, &config))
+                .expect("spawn dispatcher thread")
+        };
+        Ok(Service {
+            index,
+            batcher,
+            config,
+            shapes: ShapeCache::new(),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The index being served.
+    pub fn index(&self) -> &CagraIndex<S> {
+        &self.index
+    }
+
+    /// The policy this service runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.depth()
+    }
+
+    /// How many times admission had to run full shape validation
+    /// (cache misses). Repeat traffic of one shape costs exactly one.
+    pub fn shape_cache_misses(&self) -> u64 {
+        self.shapes.misses.load(Ordering::Relaxed)
+    }
+
+    /// Validate-or-reuse the request shape, then admit. Returns the
+    /// handle the response arrives on, or a typed rejection
+    /// ([`ServeError::Invalid`] for malformed shapes,
+    /// [`ServeError::Overloaded`] when shed).
+    pub fn submit(&self, query: &[f32], k: usize) -> Result<ResponseHandle, ServeError> {
+        if !(self.shapes.contains(k) && query.len() == self.index.store().dim()) {
+            self.shapes.misses.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = self.index.validate_shape(query.len(), k, &self.config.params) {
+                obs::metrics().serve_invalid.inc();
+                return Err(ServeError::Invalid(e));
+            }
+            self.shapes.insert(k);
+        }
+        let job = Job { query: query.to_vec(), k, enqueued: Instant::now() };
+        self.batcher.submit(job).map(|rx| ResponseHandle { rx })
+    }
+
+    /// Submit and wait — the closed-loop client call.
+    pub fn search_blocking(&self, query: &[f32], k: usize) -> Result<Response, ServeError> {
+        self.submit(query, k)?.wait()
+    }
+
+    /// Stop admitting, drain the queue (every admitted request is
+    /// still answered), and join the dispatcher. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        self.batcher.close();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: VectorStore + Send + 'static> Drop for Service<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The dispatcher: pop a micro-batch, plan the search configuration
+/// from the realized batch size, fan the batch out over worker
+/// threads, answer every request. Runs until the batcher is closed
+/// and drained.
+fn dispatch_loop<S: VectorStore + Send>(
+    index: &CagraIndex<S>,
+    batcher: &Batcher,
+    config: &ServeConfig,
+) {
+    let worker_cap =
+        if config.worker_threads == 0 { default_threads() } else { config.worker_threads };
+    let mut jobs: Vec<Job> = Vec::with_capacity(config.max_batch);
+    let mut txs: Vec<mpsc::Sender<Response>> = Vec::with_capacity(config.max_batch);
+    while batcher.pop_batch(config.max_batch, config.max_wait, &mut jobs, &mut txs) {
+        let dispatched = Instant::now();
+        let plan =
+            planner::plan(jobs.len(), config.params.itopk, config.params.num_cta, index.thresholds);
+        let mut params = config.params;
+        params.num_cta = plan.num_cta;
+        let m = obs::metrics();
+        m.serve_batches.inc();
+        m.serve_batch_size.record(jobs.len() as u64);
+        for job in &jobs {
+            m.serve_queue_wait_ns.record(dispatched.duration_since(job.enqueued).as_nanos() as u64);
+        }
+        // No validation here: every job passed shape validation at
+        // admission, so the hot path goes straight to the kernels.
+        let jobs_ref = &jobs;
+        let results = parallel_map_with(
+            jobs_ref.len(),
+            worker_cap.min(jobs_ref.len()),
+            || {
+                let mut scratch = SearchScratch::new();
+                scratch.set_record_trace(false);
+                scratch
+            },
+            |scratch, i| {
+                let job = &jobs_ref[i];
+                index.search_mode_with(&job.query, job.k, &params, plan.mode, scratch);
+                scratch.results().to_vec()
+            },
+        );
+        let batch_size = jobs.len() as u32;
+        for ((job, tx), neighbors) in jobs.drain(..).zip(txs.drain(..)).zip(results) {
+            let queue_ns = dispatched.duration_since(job.enqueued).as_nanos() as u64;
+            let e2e_ns = job.enqueued.elapsed().as_nanos() as u64;
+            m.serve_e2e_latency_ns.record(e2e_ns);
+            // A gone client (dropped handle / closed socket) is not an
+            // error for the service.
+            let _ = tx.send(Response {
+                neighbors,
+                meta: ResponseMeta {
+                    batch_size,
+                    mode: plan.mode,
+                    num_cta: plan.num_cta as u32,
+                    queue_ns,
+                    e2e_ns,
+                },
+            });
+        }
+    }
+}

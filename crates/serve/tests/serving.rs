@@ -1,0 +1,272 @@
+//! End-to-end serving semantics (ISSUE 6):
+//!
+//! * **Parity** — results served through the micro-batching service
+//!   are bit-identical to direct `try_search_mode` calls with the plan
+//!   the response reports, no matter how requests were coalesced.
+//! * **Exactly-once** — N concurrent client threads each get exactly
+//!   one response per request.
+//! * **Batching** — co-arrivals inside a coalescing window ride one
+//!   batch, and the batch dispatches early once `max_batch` is
+//!   reached.
+//! * **Admission control** — typed `Overloaded` rejection, accurate
+//!   queue-depth reporting, recovery after drain (the queue-level legs
+//!   live in `batcher.rs`; here the service-level surface).
+//! * **Validation caching** — shape validation runs once per request
+//!   shape, not per batch dispatch, and a malformed request is
+//!   rejected with the underlying `SearchError` without poisoning the
+//!   batcher.
+//! * **TCP** — the same contract holds across the wire protocol.
+
+use cagra::{CagraIndex, GraphConfig, SearchError, SearchParams};
+use dataset::synth::{Family, SynthSpec};
+use dataset::{Dataset, VectorStore};
+use distance::Metric;
+use knn::topk::Neighbor;
+use serve::{Client, Response, ServeConfig, ServeError, Service, TcpServer};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const K: usize = 10;
+
+fn build_index() -> (CagraIndex<Dataset>, Dataset) {
+    let spec = SynthSpec { dim: 12, n: 900, queries: 64, family: Family::Gaussian, seed: 42 };
+    let (base, queries) = spec.generate();
+    let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(16));
+    (index, queries)
+}
+
+/// Recompute the reference result for one served response: same
+/// query, same params, and the mode/CTA plan the response says it ran
+/// with. The service guarantees results depend only on these — never
+/// on which other requests shared the batch.
+fn reference(
+    index: &CagraIndex<Dataset>,
+    params: &SearchParams,
+    query: &[f32],
+    resp: &Response,
+) -> Vec<Neighbor> {
+    let mut p = *params;
+    p.num_cta = resp.meta.num_cta as usize;
+    index.try_search_mode(query, K, &p, resp.meta.mode).expect("reference search").0
+}
+
+fn assert_bit_identical(served: &[Neighbor], fresh: &[Neighbor], label: &str) {
+    assert_eq!(served.len(), fresh.len(), "{label}: result count");
+    for (rank, (s, f)) in served.iter().zip(fresh).enumerate() {
+        assert_eq!(s.id, f.id, "{label}: rank {rank} id");
+        assert_eq!(s.dist.to_bits(), f.dist.to_bits(), "{label}: rank {rank} distance bits");
+    }
+}
+
+#[test]
+fn concurrent_clients_get_exactly_one_bit_identical_response_each() {
+    let (index, queries) = build_index();
+    let params = SearchParams::for_k(K);
+    let config = ServeConfig::new(params);
+    let service = Arc::new(Service::start(index, config).expect("start service"));
+
+    const CLIENTS: usize = 8;
+    let per_client = queries.len() / CLIENTS;
+    let responses: Vec<(usize, Response)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut got = Vec::with_capacity(per_client);
+                    for qi in (c * per_client)..((c + 1) * per_client) {
+                        let resp =
+                            service.search_blocking(queries.row(qi), K).expect("request served");
+                        got.push((qi, resp));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Exactly one response per request, covering every query index.
+    assert_eq!(responses.len(), CLIENTS * per_client);
+    let mut seen: Vec<usize> = responses.iter().map(|(qi, _)| *qi).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..CLIENTS * per_client).collect::<Vec<_>>());
+
+    // Bit-identical to a direct search with the plan each response
+    // reports, regardless of realized batch composition.
+    for (qi, resp) in &responses {
+        assert!(resp.meta.batch_size >= 1);
+        assert!(resp.meta.queue_ns <= resp.meta.e2e_ns, "queue time exceeds end-to-end");
+        let fresh = reference(service.index(), &params, queries.row(*qi), resp);
+        assert_bit_identical(&resp.neighbors, &fresh, &format!("query {qi}"));
+    }
+}
+
+#[test]
+fn co_arrivals_inside_the_window_ride_one_batch_and_dispatch_early_when_full() {
+    let (index, queries) = build_index();
+    let mut config = ServeConfig::new(SearchParams::for_k(K));
+    // A wide window, but max_batch = 4: the batch must dispatch the
+    // moment the 4th request lands, not after the window.
+    config.max_wait = Duration::from_secs(2);
+    config.max_batch = 4;
+    let service = Service::start(index, config).expect("start service");
+
+    let handles: Vec<_> =
+        (0..4).map(|qi| service.submit(queries.row(qi), K).expect("admitted")).collect();
+    let t0 = std::time::Instant::now();
+    let responses: Vec<Response> = handles.into_iter().map(|h| h.wait().expect("served")).collect();
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "a full batch must not sit out the coalescing window"
+    );
+    for resp in &responses {
+        assert_eq!(resp.meta.batch_size, 4, "co-arrivals must coalesce into one batch");
+    }
+    // All four report the same plan, chosen from the realized size.
+    assert!(responses
+        .windows(2)
+        .all(|w| w[0].meta.mode == w[1].meta.mode && w[0].meta.num_cta == w[1].meta.num_cta));
+}
+
+#[test]
+fn overload_is_typed_and_the_service_reports_queue_depth() {
+    let (index, queries) = build_index();
+    let mut config = ServeConfig::new(SearchParams::for_k(K));
+    config.queue_capacity = 0; // every admission attempt meets the threshold
+    let service = Service::start(index, config).expect("start service");
+    match service.submit(queries.row(0), K) {
+        Err(ServeError::Overloaded { depth, capacity }) => {
+            assert_eq!((depth, capacity), (0, 0));
+        }
+        other => panic!("expected Overloaded, got {:?}", other.err()),
+    }
+    assert_eq!(service.queue_depth(), 0, "a shed request must not occupy the queue");
+}
+
+#[test]
+fn malformed_requests_are_rejected_without_poisoning_the_batcher() {
+    let (index, queries) = build_index();
+    let params = SearchParams::for_k(K);
+    let service = Service::start(index, ServeConfig::new(params)).expect("start service");
+
+    // Wrong dimension, k = 0, k > itopk: all typed, none admitted.
+    match service.submit(&[1.0, 2.0], K) {
+        Err(ServeError::Invalid(SearchError::DimMismatch { expected, got })) => {
+            assert_eq!((expected, got), (12, 2));
+        }
+        other => panic!("expected DimMismatch, got {:?}", other.err()),
+    }
+    assert!(matches!(
+        service.submit(queries.row(0), 0),
+        Err(ServeError::Invalid(SearchError::ZeroK))
+    ));
+    assert!(matches!(
+        service.submit(queries.row(0), params.itopk + 1),
+        Err(ServeError::Invalid(SearchError::KExceedsItopk { .. }))
+    ));
+    assert_eq!(service.queue_depth(), 0, "rejected requests must never enter the queue");
+
+    // The batcher is not poisoned: valid traffic is still served
+    // correctly after the rejections.
+    let resp = service.search_blocking(queries.row(0), K).expect("service still healthy");
+    let fresh = reference(service.index(), &params, queries.row(0), &resp);
+    assert_bit_identical(&resp.neighbors, &fresh, "post-rejection request");
+}
+
+#[test]
+fn shape_validation_runs_once_per_shape_not_per_dispatch() {
+    let (index, queries) = build_index();
+    let service = Service::start(index, ServeConfig::new(SearchParams::for_k(K))).unwrap();
+    assert_eq!(service.shape_cache_misses(), 0);
+    // Many requests, two shapes: exactly two validation runs.
+    for qi in 0..20 {
+        service.search_blocking(queries.row(qi), K).expect("served");
+    }
+    assert_eq!(service.shape_cache_misses(), 1, "one shape must validate exactly once");
+    for qi in 0..10 {
+        service.search_blocking(queries.row(qi), K - 1).expect("served");
+    }
+    assert_eq!(service.shape_cache_misses(), 2, "second shape adds exactly one validation");
+    // Invalid shapes never enter the cache, so they are re-validated
+    // (and re-rejected) each time — correctness beats caching there.
+    let _ = service.submit(queries.row(0), 0);
+    let _ = service.submit(queries.row(0), 0);
+    assert_eq!(service.shape_cache_misses(), 4);
+}
+
+#[test]
+fn dropped_response_handles_do_not_wedge_the_dispatcher() {
+    let (index, queries) = build_index();
+    let service = Service::start(index, ServeConfig::new(SearchParams::for_k(K))).unwrap();
+    drop(service.submit(queries.row(0), K).expect("admitted"));
+    // The dispatcher must shrug off the gone client and keep serving.
+    let resp = service.search_blocking(queries.row(1), K).expect("served");
+    assert_eq!(resp.neighbors.len(), K);
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_results() {
+    let (index, queries) = build_index();
+    let params = SearchParams::for_k(K);
+    let service = Arc::new(Service::start(index, ServeConfig::new(params)).unwrap());
+    let server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Several connections in parallel, each a sequential client.
+    let responses: Vec<(usize, Response)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    (0..8)
+                        .map(|i| {
+                            let qi = c * 8 + i;
+                            (qi, client.search(queries.row(qi), K).expect("served over TCP"))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("tcp client thread")).collect()
+    });
+    assert_eq!(responses.len(), 32);
+    for (qi, resp) in &responses {
+        let fresh = reference(service.index(), &params, queries.row(*qi), resp);
+        assert_bit_identical(&resp.neighbors, &fresh, &format!("tcp query {qi}"));
+    }
+
+    // Typed rejections survive the wire: wrong dim and k = 0 come back
+    // as Invalid, and the connection stays usable afterwards.
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client.search(&[0.0; 3], K).expect_err("wrong dim must be rejected");
+    match &err {
+        serve::ClientError::Rejected { status, message } => {
+            assert_eq!(*status, serve::proto::Status::Invalid);
+            assert!(message.contains("dimension"), "unhelpful reject message: {message}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert!(!err.is_overloaded());
+    let err = client.search(queries.row(0), 0).expect_err("k = 0 must be rejected");
+    assert!(matches!(
+        err,
+        serve::ClientError::Rejected { status: serve::proto::Status::Invalid, .. }
+    ));
+    let resp = client.search(queries.row(0), K).expect("connection survives rejections");
+    assert_eq!(resp.neighbors.len(), K);
+}
+
+#[test]
+fn tcp_overload_maps_to_the_overloaded_status() {
+    let (index, _queries) = build_index();
+    let mut config = ServeConfig::new(SearchParams::for_k(K));
+    config.queue_capacity = 0;
+    let service = Arc::new(Service::start(index, config).unwrap());
+    let server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let err = client.search(&[0.0; 12], K).expect_err("zero capacity sheds everything");
+    assert!(err.is_overloaded(), "expected Overloaded over the wire, got {err:?}");
+}

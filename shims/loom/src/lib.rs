@@ -43,7 +43,7 @@ pub mod thread {
 }
 
 pub mod sync {
-    pub use std::sync::{Arc, Mutex, MutexGuard};
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
     pub mod atomic {
         pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
