@@ -64,13 +64,34 @@ pub fn tally(sites: &[Site]) -> BTreeMap<String, Counts> {
 /// rationale) even though they tally no sites, so the first `unsafe`
 /// introduced there shows up in review as a budget diff rather than
 /// as a brand-new, easy-to-wave-through section.
-pub const PINNED_ZERO: &[(&str, &str)] = &[(
-    "crates/serve",
-    "# The serving layer must stay free of unsafe: it is the long-lived,\n\
-     # network-facing surface, and every concurrency primitive it needs\n\
-     # (Mutex/Condvar handshake, mpsc responses, scoped worker fan-out)\n\
-     # exists in safe std.\n",
-)];
+pub const PINNED_ZERO: &[(&str, &str)] = &[
+    (
+        "crates/dataset",
+        "# Stores are the other half of the joint relabeling: `permuted` must\n\
+         # copy every f32/f16/int8 row to its new slot exactly once, in safe\n\
+         # indexed loops, so a bad permutation panics instead of aliasing rows.\n",
+    ),
+    (
+        "crates/gpu-sim",
+        "# The transaction model is arithmetic over recorded access logs; it\n\
+         # has no performance excuse for unsafe, and its counts feed CI\n\
+         # assertions (the locality lane), so it must stay trivially auditable.\n",
+    ),
+    (
+        "crates/graph",
+        "# Relabeling moves every adjacency row through index permutations; a\n\
+         # bug here silently corrupts results rather than crashing. Safe\n\
+         # indexing means an out-of-bounds composition panics at the fault\n\
+         # instead of reading a stale row.\n",
+    ),
+    (
+        "crates/serve",
+        "# The serving layer must stay free of unsafe: it is the long-lived,\n\
+         # network-facing surface, and every concurrency primitive it needs\n\
+         # (Mutex/Condvar handshake, mpsc responses, scoped worker fan-out)\n\
+         # exists in safe std.\n",
+    ),
+];
 
 /// Render the canonical budget file for the given tallies (what
 /// `analyze budget-write` commits). Zero-count buckets are omitted

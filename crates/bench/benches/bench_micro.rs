@@ -4,7 +4,7 @@
 //! knobs the Rust-side performance work tunes; the figure-level
 //! benches sit on top of them.
 
-use bench::{cagra_index, deep_like, knn_lists, DEGREE};
+use bench::{cagra_index, clone_ds, deep_like, glove_like, knn_lists, DEGREE};
 use cagra::optimize::{optimize, optimize_naive, OptimizeOptions};
 use cagra::search::buffer::{bitonic_sort, BufEntry};
 use cagra::search::hash::VisitedSet;
@@ -283,6 +283,45 @@ fn bench_build(c: &mut Criterion) {
     g.finish();
 }
 
+/// Memory-locality relabeling: permutation computation + joint apply
+/// per strategy, and the batch search on the relabeled index next to
+/// the identity layout. On the clustered GloVe-like fixture the
+/// relabeled layouts issue fewer 128-bit transactions in the GPU
+/// model; here the observable is CPU wall-clock (cache behavior).
+fn bench_relabel(c: &mut Criterion) {
+    use cagra::{CagraIndex, RelabelStrategy};
+    use dataset::Dataset;
+
+    let mut g = c.benchmark_group("micro/relabel");
+    g.sample_size(10);
+    let (base, queries) = glove_like(16);
+    let index = cagra_index(&base);
+    let params = SearchParams::for_k(10);
+
+    let fresh =
+        || CagraIndex::from_parts(clone_ds(index.store()), index.graph().clone(), index.metric());
+    for strategy in [RelabelStrategy::Degree, RelabelStrategy::Rcm, RelabelStrategy::Gorder] {
+        g.bench_function(format!("apply_{}", strategy.label()), |b| {
+            b.iter(|| {
+                let mut idx: CagraIndex<Dataset> = fresh();
+                idx.relabel(black_box(strategy));
+                idx.id_map().is_some()
+            })
+        });
+        let mut relabeled = fresh();
+        relabeled.relabel(strategy);
+        g.bench_function(format!("search16_{}", strategy.label()), |b| {
+            b.iter(|| {
+                relabeled.search_batch_mode(black_box(&queries), 10, &params, Mode::SingleCta)
+            })
+        });
+    }
+    g.bench_function("search16_identity", |b| {
+        b.iter(|| index.search_batch_mode(black_box(&queries), 10, &params, Mode::SingleCta))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_distance,
@@ -291,5 +330,6 @@ criterion_group!(
     bench_bitonic,
     bench_scratch_reuse,
     bench_build,
+    bench_relabel,
 );
 criterion_main!(benches);

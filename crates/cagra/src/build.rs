@@ -88,6 +88,9 @@ pub struct BuildStats {
     pub reverse: Duration,
     /// Interleaved merge into the final graph.
     pub merge: Duration,
+    /// Locality relabeling (permutation compute + joint graph/store
+    /// application); zero unless the build requested a relabel.
+    pub relabel: Duration,
     /// Distance computations performed by the optimizer (nonzero only
     /// for the distance-based reordering ablation).
     pub opt_distance_computations: u64,
@@ -149,6 +152,7 @@ pub fn build_graph<S: VectorStore + ?Sized>(
                 reorder: opt_stats.reorder_time,
                 reverse: opt_stats.reverse_time,
                 merge: opt_stats.merge_time,
+                relabel: Duration::ZERO,
                 opt_distance_computations: opt_stats.distance_computations,
             },
         },

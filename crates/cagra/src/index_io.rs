@@ -7,16 +7,23 @@
 //!
 //! ```text
 //! magic "CGIX" | version u32 | metric u8 | dim u64 | n u64
+//! | relabel u8 [ | n * u32 old_of_new ]          (version >= 2)
 //! | n * dim f32 vectors | CAGR graph blob
 //! ```
+//!
+//! Version 2 added the locality-relabel section: a strategy tag (0 =
+//! not relabeled) followed, when nonzero, by the `old_of_new`
+//! permutation that maps internal row positions back to original ids.
+//! Version-1 bundles load unchanged as identity-labeled indexes.
 
 use crate::search::index::CagraIndex;
 use dataset::{Dataset, VectorStore};
 use distance::Metric;
+use graph::relabel::{IdMap, Permutation, RelabelStrategy};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"CGIX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn metric_tag(m: Metric) -> u8 {
     match m {
@@ -43,6 +50,17 @@ pub fn write_index<W: Write>(mut w: W, index: &CagraIndex<Dataset>) -> io::Resul
     w.write_all(&[metric_tag(index.metric())])?;
     w.write_all(&(store.dim() as u64).to_le_bytes())?;
     w.write_all(&(store.len() as u64).to_le_bytes())?;
+    match index.id_map() {
+        None => w.write_all(&[0u8])?,
+        Some(m) => {
+            w.write_all(&[m.strategy.tag()])?;
+            let mut raw = Vec::with_capacity(m.len() * 4);
+            for &old in m.perm.old_of_new_slice() {
+                raw.extend_from_slice(&old.to_le_bytes());
+            }
+            w.write_all(&raw)?;
+        }
+    }
     let mut buf = Vec::with_capacity(64 * 1024);
     for chunk in store.as_flat().chunks(16 * 1024) {
         buf.clear();
@@ -62,7 +80,7 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
     }
     let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported index version {version}"),
@@ -74,6 +92,8 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
     if dim == 0 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dimension"));
     }
+    // Version 1 predates relabeling: the index is identity-labeled.
+    let id_map = if version >= 2 { read_id_map(&mut r, n)? } else { None };
     let total = n
         .checked_mul(dim)
         .and_then(|t| t.checked_mul(4))
@@ -90,7 +110,39 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
             format!("graph covers {} nodes but bundle has {n} vectors", g.len()),
         ));
     }
-    Ok(CagraIndex::from_parts(store, g, metric))
+    Ok(CagraIndex::from_parts_mapped(store, g, metric, id_map))
+}
+
+/// Read the version-2 relabel section: a strategy tag, then (when the
+/// tag is nonzero) the `old_of_new` permutation, validated as a
+/// bijection so a corrupt bundle fails here instead of panicking (or
+/// silently mis-mapping) at search time.
+fn read_id_map<R: Read>(r: &mut R, n: usize) -> io::Result<Option<IdMap>> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let strategy = match tag[0] {
+        0 => return Ok(None),
+        t => RelabelStrategy::from_tag(t).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad relabel tag {t}"))
+        })?,
+    };
+    let bytes = n
+        .checked_mul(4)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "permutation size overflow"))?;
+    let mut raw = vec![0u8; bytes];
+    r.read_exact(&mut raw)?;
+    let old_of_new: Vec<u32> =
+        raw.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+    let mut seen = vec![false; n];
+    for &old in &old_of_new {
+        if (old as usize) >= n || std::mem::replace(&mut seen[old as usize], true) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("relabel permutation is not a bijection over {n} nodes"),
+            ));
+        }
+    }
+    Ok(Some(IdMap { perm: Permutation::from_old_of_new(old_of_new), strategy }))
 }
 
 #[cfg(test)]
@@ -143,6 +195,56 @@ mod tests {
         write_index(&mut buf, &index).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_index(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn relabeled_bundle_round_trips_map_and_results() {
+        let mut index = build();
+        let q: Vec<f32> = index.store().row(5).to_vec();
+        let mut p = SearchParams::for_k(5);
+        p.hash = crate::params::HashPolicy::Standard;
+        let baseline = index.search(&q, 5, &p);
+        index.relabel(crate::RelabelStrategy::Rcm);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(&buf[..]).unwrap();
+        let m = back.id_map().expect("relabeled bundle must carry its map");
+        assert_eq!(m.strategy, crate::RelabelStrategy::Rcm);
+        assert_eq!(m.perm, index.id_map().unwrap().perm);
+        assert_eq!(back.search(&q, 5, &p), baseline);
+    }
+
+    #[test]
+    fn version_1_bundle_loads_as_identity() {
+        let index = build();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        // Surgically downgrade: version 2 → 1, drop the relabel tag
+        // byte that v1 never had (offset 25, right after the header).
+        assert_eq!(buf[25], 0, "unrelabeled bundle writes tag 0");
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        buf.remove(25);
+        let back = read_index(&buf[..]).unwrap();
+        assert!(back.id_map().is_none());
+        assert_eq!(back.graph(), index.graph());
+        let q: Vec<f32> = index.store().row(7).to_vec();
+        let p = SearchParams::for_k(5);
+        assert_eq!(back.search(&q, 5, &p), index.search(&q, 5, &p));
+    }
+
+    #[test]
+    fn corrupt_relabel_section_rejected() {
+        let mut index = build();
+        index.relabel(crate::RelabelStrategy::Degree);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let mut bad = buf.clone();
+        bad[25] = 9; // unknown strategy tag
+        assert!(read_index(&bad[..]).is_err());
+        let mut bad = buf;
+        let dup: [u8; 4] = bad[30..34].try_into().unwrap();
+        bad[26..30].copy_from_slice(&dup); // duplicate id
+        assert!(read_index(&bad[..]).is_err());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod shard;
 
 pub use build::{build_graph, BuildReport, BuildStats, GraphConfig};
 pub use error::SearchError;
+pub use graph::relabel::{IdMap, Permutation, RelabelStrategy};
 pub use params::{HashPolicy, ReorderStrategy, SearchParams};
 pub use search::index::CagraIndex;
 pub use search::scratch::SearchScratch;

@@ -5,16 +5,17 @@
 //! dispatched per Fig. 7), explicit-mode search, and thread-parallel
 //! batch search (the CPU analogue of launching one CTA per query).
 
-use super::multi_cta::search_multi_cta_with;
+use super::multi_cta::search_multi_cta_mapped;
 use super::planner::{choose, Mode, Thresholds};
 use super::scratch::SearchScratch;
-use super::single_cta::search_single_cta_with;
+use super::single_cta::search_single_cta_mapped;
 use super::trace::SearchTrace;
 use crate::build::{build_graph, BuildReport, GraphConfig};
 use crate::error::{validate_request, SearchError};
 use crate::params::SearchParams;
-use dataset::VectorStore;
+use dataset::{PermutableStore, VectorStore};
 use distance::Metric;
+use graph::relabel::{self, IdMap, RelabelStrategy};
 use graph::FixedDegreeGraph;
 use knn::parallel::{default_threads, parallel_map_with};
 use knn::topk::Neighbor;
@@ -24,6 +25,10 @@ pub struct CagraIndex<S> {
     store: S,
     graph: FixedDegreeGraph,
     metric: Metric,
+    /// Present when the index was relabeled for memory locality: the
+    /// graph and store rows live in a permuted internal numbering, and
+    /// this map translates ids at the search boundary.
+    id_map: Option<IdMap>,
     /// Dispatch thresholds used by [`CagraIndex::search_batch`].
     pub thresholds: Thresholds,
 }
@@ -32,7 +37,10 @@ impl<S: VectorStore> CagraIndex<S> {
     /// Build a new index (NN-Descent + CAGRA optimization).
     pub fn build(store: S, metric: Metric, config: &GraphConfig) -> (Self, BuildReport) {
         let (graph, report) = build_graph(&store, metric, config);
-        (CagraIndex { store, graph, metric, thresholds: Thresholds::default() }, report)
+        (
+            CagraIndex { store, graph, metric, id_map: None, thresholds: Thresholds::default() },
+            report,
+        )
     }
 
     /// Wrap an already-built graph (e.g. deserialized with
@@ -41,7 +49,7 @@ impl<S: VectorStore> CagraIndex<S> {
         if store.len() != graph.len() {
             return Err(SearchError::SizeMismatch { store: store.len(), graph: graph.len() });
         }
-        Ok(CagraIndex { store, graph, metric, thresholds: Thresholds::default() })
+        Ok(CagraIndex { store, graph, metric, id_map: None, thresholds: Thresholds::default() })
     }
 
     /// Wrap an already-built graph (e.g. deserialized with
@@ -54,6 +62,26 @@ impl<S: VectorStore> CagraIndex<S> {
         Self::try_new(store, graph, metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Wrap an already-relabeled graph/store pair together with the
+    /// [`IdMap`] that translates back to original ids (the bundle
+    /// loader's entry point).
+    ///
+    /// # Panics
+    /// Panics if graph, store, and map sizes disagree.
+    pub fn from_parts_mapped(
+        store: S,
+        graph: FixedDegreeGraph,
+        metric: Metric,
+        id_map: Option<IdMap>,
+    ) -> Self {
+        let mut index = Self::from_parts(store, graph, metric);
+        if let Some(m) = &id_map {
+            assert_eq!(m.len(), index.graph.len(), "id map and graph sizes differ");
+        }
+        index.id_map = id_map;
+        index
+    }
+
     /// The proximity graph.
     pub fn graph(&self) -> &FixedDegreeGraph {
         &self.graph
@@ -62,6 +90,11 @@ impl<S: VectorStore> CagraIndex<S> {
     /// The vector store.
     pub fn store(&self) -> &S {
         &self.store
+    }
+
+    /// The locality id map, if the index has been relabeled.
+    pub fn id_map(&self) -> Option<&IdMap> {
+        self.id_map.as_ref()
     }
 
     /// The metric the index was built with.
@@ -151,8 +184,9 @@ impl<S: VectorStore> CagraIndex<S> {
         scratch: &mut SearchScratch,
     ) {
         let clock = obs::Stopwatch::start();
+        let id_map = self.id_map.as_ref();
         match mode {
-            Mode::SingleCta => search_single_cta_with(
+            Mode::SingleCta => search_single_cta_mapped(
                 &self.graph,
                 &self.store,
                 self.metric,
@@ -160,8 +194,9 @@ impl<S: VectorStore> CagraIndex<S> {
                 k,
                 params,
                 scratch,
+                id_map,
             ),
-            Mode::MultiCta => search_multi_cta_with(
+            Mode::MultiCta => search_multi_cta_mapped(
                 &self.graph,
                 &self.store,
                 self.metric,
@@ -169,6 +204,7 @@ impl<S: VectorStore> CagraIndex<S> {
                 k,
                 params,
                 scratch,
+                id_map,
             ),
         }
         let m = obs::metrics();
@@ -313,6 +349,49 @@ impl<S: VectorStore> CagraIndex<S> {
     }
 }
 
+impl<S: VectorStore + PermutableStore> CagraIndex<S> {
+    /// Build and then relabel for memory locality in one step,
+    /// recording the relabel time in the report's stage breakdown.
+    pub fn build_with_relabel(
+        store: S,
+        metric: Metric,
+        config: &GraphConfig,
+        strategy: RelabelStrategy,
+    ) -> (Self, BuildReport) {
+        let (mut index, mut report) = Self::build(store, metric, config);
+        let t = std::time::Instant::now();
+        index.relabel(strategy);
+        report.stats.relabel = t.elapsed();
+        report.opt_time += report.stats.relabel;
+        (index, report)
+    }
+
+    /// Renumber the vertices with `strategy`, jointly permuting the
+    /// adjacency rows and the vector-store rows and installing (or
+    /// composing with) the [`IdMap`] so searches keep returning
+    /// original ids — bit-identical results, different memory layout.
+    ///
+    /// `Identity` on a never-relabeled index is a no-op and leaves the
+    /// index unmapped.
+    pub fn relabel(&mut self, strategy: RelabelStrategy) {
+        let perm = relabel::compute_fixed(&self.graph, strategy);
+        if perm.is_identity() {
+            // No layout change: keep any existing map (and its
+            // strategy tag) untouched, so a persisted map's strategy
+            // is never `Identity` — the bundle format relies on that.
+            return;
+        }
+        self.graph = relabel::apply_to_fixed(&self.graph, &perm);
+        self.store = self.store.permuted(perm.old_of_new_slice());
+        // Compose: an existing map already translates original →
+        // internal; the new permutation renumbers internal → internal.
+        self.id_map = Some(match self.id_map.take() {
+            Some(prev) => IdMap { perm: prev.perm.then(&perm), strategy },
+            None => IdMap { perm, strategy },
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +467,74 @@ mod tests {
         let index2 = CagraIndex::from_parts(store2, g2, Metric::SquaredL2);
         let p = SearchParams::for_k(5);
         assert_eq!(index.search(queries.row(1), 5, &p), index2.search(queries.row(1), 5, &p));
+    }
+
+    fn clone_of(index: &CagraIndex<dataset::Dataset>) -> CagraIndex<dataset::Dataset> {
+        let store =
+            dataset::Dataset::from_flat(index.store().as_flat().to_vec(), index.store().dim());
+        CagraIndex::from_parts(store, index.graph().clone(), index.metric())
+    }
+
+    #[test]
+    fn relabel_preserves_batch_results_bit_exactly() {
+        let (index, queries) = build_index(800);
+        let mut p = SearchParams::for_k(5);
+        // Standard hash: the forgettable reset's topm re-registration
+        // can be id-dependent at the boundary (see DESIGN.md).
+        p.hash = crate::params::HashPolicy::Standard;
+        let baseline = index.search_batch(&queries, 5, &p);
+        for strategy in [RelabelStrategy::Degree, RelabelStrategy::Rcm, RelabelStrategy::Gorder] {
+            let mut relabeled = clone_of(&index);
+            relabeled.relabel(strategy);
+            assert_eq!(relabeled.id_map().map(|m| m.strategy), Some(strategy));
+            assert_eq!(
+                relabeled.search_batch(&queries, 5, &p),
+                baseline,
+                "strategy {strategy:?} changed results"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_relabel_is_a_no_op() {
+        let (index, _) = build_index(300);
+        let mut idx = clone_of(&index);
+        idx.relabel(RelabelStrategy::Identity);
+        assert!(idx.id_map().is_none());
+    }
+
+    #[test]
+    fn repeated_relabel_composes() {
+        let (index, queries) = build_index(500);
+        let mut p = SearchParams::for_k(5);
+        p.hash = crate::params::HashPolicy::Standard;
+        let baseline = index.search_batch(&queries, 5, &p);
+        let mut idx = clone_of(&index);
+        idx.relabel(RelabelStrategy::Degree);
+        idx.relabel(RelabelStrategy::Rcm);
+        assert_eq!(idx.id_map().map(|m| m.strategy), Some(RelabelStrategy::Rcm));
+        assert_eq!(idx.search_batch(&queries, 5, &p), baseline);
+    }
+
+    #[test]
+    fn from_parts_mapped_round_trips_the_map() {
+        let (index, queries) = build_index(400);
+        let mut p = SearchParams::for_k(5);
+        p.hash = crate::params::HashPolicy::Standard;
+        let baseline = index.search_batch(&queries, 5, &p);
+        let mut relabeled = clone_of(&index);
+        relabeled.relabel(RelabelStrategy::Rcm);
+        let store2 = dataset::Dataset::from_flat(
+            relabeled.store().as_flat().to_vec(),
+            relabeled.store().dim(),
+        );
+        let rebuilt = CagraIndex::from_parts_mapped(
+            store2,
+            relabeled.graph().clone(),
+            relabeled.metric(),
+            relabeled.id_map().cloned(),
+        );
+        assert_eq!(rebuilt.search_batch(&queries, 5, &p), baseline);
     }
 
     #[test]

@@ -14,10 +14,11 @@ use super::buffer::BufEntry;
 use super::hash::VisitedSet;
 use super::parent::{is_parented, node_id, set_parented, INVALID};
 use super::scratch::SearchScratch;
-use super::trace::{IterationTrace, SearchTrace};
+use super::trace::{IterAccess, IterationTrace, SearchTrace};
 use crate::params::SearchParams;
 use dataset::VectorStore;
 use distance::{DistanceOracle, Metric};
+use graph::relabel::IdMap;
 use graph::FixedDegreeGraph;
 use knn::topk::{cmp_neighbor, Neighbor};
 use rand::rngs::StdRng;
@@ -65,7 +66,36 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
     params: &SearchParams,
     scratch: &mut SearchScratch,
 ) {
+    search_multi_cta_mapped(graph, store, metric, query, k, params, scratch, None)
+}
+
+/// [`search_multi_cta_with`] over a *relabeled* graph/store pair.
+///
+/// With an [`IdMap`], each worker's random start set is drawn in the
+/// original numbering (so the traversal visits the same vectors as the
+/// unpermuted index, bit for bit) and the merged results are
+/// translated back to original ids once at the end — the round loop
+/// runs entirely on internal ids with zero per-hop overhead. `None`
+/// is the identity.
+///
+/// # Panics
+/// Panics on invalid parameters, a query dimension mismatch, or an
+/// id map whose size differs from the graph.
+#[allow(clippy::too_many_arguments)]
+pub fn search_multi_cta_mapped<S: VectorStore + ?Sized>(
+    graph: &FixedDegreeGraph,
+    store: &S,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    params: &SearchParams,
+    scratch: &mut SearchScratch,
+    id_map: Option<&IdMap>,
+) {
     params.validate(k).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(m) = id_map {
+        assert_eq!(m.len(), graph.len(), "id map and graph sizes differ");
+    }
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
@@ -107,7 +137,14 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
         buf.clear_candidates();
         gang_ids.clear();
         for _ in 0..d {
-            let id = rng.gen_range(0..n) as u32;
+            // Draws happen in the original numbering and map through
+            // the id map (a bijection, so the dedup pattern matches
+            // the unpermuted index exactly).
+            let drawn = rng.gen_range(0..n) as u32;
+            let id = match id_map {
+                Some(m) => m.internal_of_original(drawn),
+                None => drawn,
+            };
             if hash.insert(id) {
                 gang_ids.push(id);
             }
@@ -119,6 +156,9 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
             buf.push_candidate(BufEntry::new(id, dist));
             trace.init_distances += 1;
         }
+        if let Some(log) = trace.accesses.as_mut() {
+            log.init_scored.extend_from_slice(gang_ids);
+        }
     }
 
     let mut rounds = 0u64;
@@ -128,15 +168,21 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
         let mut round_candidates = 0u64;
         let mut round_computed = 0u64;
         let mut any_active = false;
+        if let Some(log) = trace.accesses.as_mut() {
+            log.iterations.push(IterAccess::default());
+        }
         for (w, buf) in buffers.iter_mut().enumerate() {
             if !active[w] {
                 continue;
             }
             buf.update_topm();
-            // p = 1: expand the single best unparented entry.
+            // p = 1: expand the single best unparented entry. MAX-dist
+            // entries are hash-suppressed placeholders whose vector
+            // was never loaded; expanding one would make the traversal
+            // depend on id order rather than geometry.
             let mut parent = None;
             for entry in buf.topm_mut() {
-                if entry.packed != INVALID && !is_parented(entry.packed) {
+                if entry.packed != INVALID && !is_parented(entry.packed) && entry.dist < f32::MAX {
                     parent = Some(node_id(entry.packed));
                     entry.packed = set_parented(entry.packed);
                     break;
@@ -147,6 +193,9 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
                 continue;
             };
             any_active = true;
+            if let Some(log) = trace.accesses.as_mut() {
+                log.iterations.last_mut().expect("pushed at round start").parents.push(p);
+            }
             // All d neighbors enter in adjacency order; the first-visit
             // ones are scored by one batched gang call and patched in.
             buf.clear_candidates();
@@ -168,8 +217,15 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
             }
             round_computed += gang_ids.len() as u64;
             round_candidates += buf.candidates().len() as u64;
+            if let Some(log) = trace.accesses.as_mut() {
+                let iter = log.iterations.last_mut().expect("pushed at round start");
+                iter.scored.extend_from_slice(gang_ids);
+            }
         }
         if !any_active {
+            if let Some(log) = trace.accesses.as_mut() {
+                log.iterations.pop(); // empty round: no gathers happened
+            }
             break;
         }
         let iter_probes = hash.probes() - probes_before;
@@ -203,12 +259,16 @@ pub fn search_multi_cta_with<S: VectorStore + ?Sized>(
     // appears in at most one list.
     for buf in buffers.iter_mut() {
         buf.update_topm(); // fold in any trailing candidates
-        results.extend(
-            buf.topm()
-                .iter()
-                .filter(|e| e.packed != INVALID && e.dist < f32::MAX)
-                .map(|e| Neighbor::new(node_id(e.packed), e.dist)),
-        );
+        results.extend(buf.topm().iter().filter(|e| e.packed != INVALID && e.dist < f32::MAX).map(
+            |e| {
+                let id = node_id(e.packed);
+                let id = match id_map {
+                    Some(m) => m.original_of_internal(id),
+                    None => id,
+                };
+                Neighbor::new(id, e.dist)
+            },
+        ));
     }
     results.sort_unstable_by(cmp_neighbor);
     results.truncate(k);

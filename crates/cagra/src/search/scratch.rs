@@ -59,6 +59,10 @@ pub struct SearchScratch {
     /// and skips bookkeeping the caller will drop anyway). Aggregate
     /// counters (`init_distances`) are maintained either way.
     pub(crate) record_trace: bool,
+    /// When true, searches additionally record the memory-access log
+    /// ([`SearchTrace::accesses`]) consumed by `gpu-sim`'s transaction
+    /// replay. Off by default: the log allocates per query.
+    pub(crate) record_accesses: bool,
     /// Number of searches served (drives the `scratch_reused` flag).
     searches: u64,
 }
@@ -73,6 +77,13 @@ impl SearchScratch {
     /// Enable or disable per-iteration trace recording (default on).
     pub fn set_record_trace(&mut self, record: bool) {
         self.record_trace = record;
+    }
+
+    /// Enable or disable memory-access logging (default off). When on,
+    /// each search fills [`SearchTrace::accesses`] with the internal
+    /// node ids it gathered, for `gpu-sim` transaction replay.
+    pub fn set_record_accesses(&mut self, record: bool) {
+        self.record_accesses = record;
     }
 
     /// Results of the most recent search.
@@ -129,6 +140,18 @@ impl SearchScratch {
         self.trace.iterations.clear();
         self.trace.serial_queue = false;
         self.trace.scratch_reused = self.searches > 0;
+        if self.record_accesses {
+            // Reuse the log's allocations across queries.
+            match &mut self.trace.accesses {
+                Some(log) => {
+                    log.init_scored.clear();
+                    log.iterations.clear();
+                }
+                None => self.trace.accesses = Some(Default::default()),
+            }
+        } else {
+            self.trace.accesses = None;
+        }
         self.searches += 1;
     }
 }

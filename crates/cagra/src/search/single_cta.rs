@@ -10,10 +10,11 @@ use super::buffer::BufEntry;
 use super::hash::VisitedSet;
 use super::parent::{is_parented, node_id, set_parented};
 use super::scratch::SearchScratch;
-use super::trace::{IterationTrace, SearchTrace};
+use super::trace::{IterAccess, IterationTrace, SearchTrace};
 use crate::params::{HashPolicy, SearchParams};
 use dataset::VectorStore;
 use distance::{DistanceOracle, Metric};
+use graph::relabel::IdMap;
 use graph::FixedDegreeGraph;
 use knn::topk::Neighbor;
 use rand::rngs::StdRng;
@@ -62,7 +63,35 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     params: &SearchParams,
     scratch: &mut SearchScratch,
 ) {
+    search_single_cta_mapped(graph, store, metric, query, k, params, scratch, None)
+}
+
+/// [`search_single_cta_with`] over a *relabeled* graph/store pair.
+///
+/// With an [`IdMap`], the random initialization draws ids in the
+/// original numbering (so the traversal visits the same vectors as the
+/// unpermuted index, bit for bit) and results are translated back to
+/// original ids once at the end — the hot loop runs entirely on
+/// internal ids with zero per-hop overhead. `None` is the identity.
+///
+/// # Panics
+/// Panics on invalid parameters, a query dimension mismatch, or an
+/// id map whose size differs from the graph.
+#[allow(clippy::too_many_arguments)]
+pub fn search_single_cta_mapped<S: VectorStore + ?Sized>(
+    graph: &FixedDegreeGraph,
+    store: &S,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    params: &SearchParams,
+    scratch: &mut SearchScratch,
+    id_map: Option<&IdMap>,
+) {
     params.validate(k).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(m) = id_map {
+        assert_eq!(m.len(), graph.len(), "id map and graph sizes differ");
+    }
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
@@ -101,12 +130,19 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     let prepared = oracle.prepare(query);
 
     // Initialization: p*d uniformly random nodes (Fig. 6, step 0),
-    // deduplicated through the hash and scored in one gang call.
+    // deduplicated through the hash and scored in one gang call. Draws
+    // happen in the *original* numbering and map through the id map
+    // (a bijection, so the dedup pattern — and therefore the whole
+    // traversal — is identical to the unpermuted index).
     let mut rng = StdRng::seed_from_u64(params.seed);
     buffer.clear_candidates();
     gang_ids.clear();
     for _ in 0..width {
-        let id = rng.gen_range(0..n) as u32;
+        let drawn = rng.gen_range(0..n) as u32;
+        let id = match id_map {
+            Some(m) => m.internal_of_original(drawn),
+            None => drawn,
+        };
         if hash.insert(id) {
             gang_ids.push(id);
         }
@@ -117,6 +153,9 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
     for (&id, &dist) in gang_ids.iter().zip(gang_dists.iter()) {
         buffer.push_candidate(BufEntry::new(id, dist));
         trace.init_distances += 1;
+    }
+    if let Some(log) = trace.accesses.as_mut() {
+        log.init_scored.extend_from_slice(gang_ids);
     }
 
     let mut it = 0usize;
@@ -131,13 +170,22 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
             if parents.len() == params.search_width {
                 break;
             }
-            if entry.packed != super::parent::INVALID && !is_parented(entry.packed) {
+            // MAX-dist entries are hash-suppressed placeholders whose
+            // vector was never loaded; expanding one would make the
+            // traversal depend on id order rather than geometry.
+            if entry.packed != super::parent::INVALID
+                && !is_parented(entry.packed)
+                && entry.dist < f32::MAX
+            {
                 parents.push(node_id(entry.packed));
                 entry.packed = set_parented(entry.packed);
             }
         }
         if parents.is_empty() || it >= max_iters {
             break;
+        }
+        if let Some(log) = trace.accesses.as_mut() {
+            log.iterations.push(IterAccess { parents: parents.clone(), scored: Vec::new() });
         }
 
         // Forgettable management: periodic reset keeping only the
@@ -174,6 +222,10 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
                 cands[pos as usize].dist = dist;
             }
             computed += gang_ids.len() as u64;
+            if let Some(log) = trace.accesses.as_mut() {
+                let iter = log.iterations.last_mut().expect("pushed at iteration start");
+                iter.scored.extend_from_slice(gang_ids);
+            }
         }
         let iter_probes = hash.probes() - probes_before;
         let m = obs::metrics();
@@ -208,7 +260,14 @@ pub fn search_single_cta_with<S: VectorStore + ?Sized>(
             .iter()
             .filter(|e| e.packed != super::parent::INVALID && e.dist < f32::MAX)
             .take(k)
-            .map(|e| Neighbor::new(node_id(e.packed), e.dist)),
+            .map(|e| {
+                let id = node_id(e.packed);
+                let id = match id_map {
+                    Some(m) => m.original_of_internal(id),
+                    None => id,
+                };
+                Neighbor::new(id, e.dist)
+            }),
     );
 }
 

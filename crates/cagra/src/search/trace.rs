@@ -26,6 +26,31 @@ pub struct IterationTrace {
     pub hash_reset: bool,
 }
 
+/// Internal-layout node ids touched during one iteration (or round,
+/// for multi-CTA), recorded only when access logging is enabled.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IterAccess {
+    /// Parents expanded: each costs one adjacency-row gather.
+    pub parents: Vec<u32>,
+    /// Nodes whose distances were computed: each costs one vector-row
+    /// gather (hash-suppressed neighbors never load their vector).
+    pub scored: Vec<u32>,
+}
+
+/// Chronological memory-access log of one search, in *internal*
+/// (physical layout) node ids — the input to `gpu-sim`'s 128-bit
+/// transaction replay, which is how relabeling strategies are compared
+/// in simulated memory traffic. Off by default
+/// ([`crate::SearchScratch::set_record_accesses`]) because the log
+/// allocates per query.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AccessLog {
+    /// Nodes scored during random initialization (vector-row gathers).
+    pub init_scored: Vec<u32>,
+    /// Per-iteration adjacency/vector gathers, in traversal order.
+    pub iterations: Vec<IterAccess>,
+}
+
 /// Counts for one whole query search.
 ///
 /// Event counts are `u64` (see [`IterationTrace`]); configuration
@@ -64,6 +89,10 @@ pub struct SearchTrace {
     /// which execution path produced them.
     #[serde(default)]
     pub scratch_reused: bool,
+    /// Memory-access log (internal ids), present only when the search
+    /// ran with access recording on.
+    #[serde(default)]
+    pub accesses: Option<AccessLog>,
 }
 
 impl SearchTrace {

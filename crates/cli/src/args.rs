@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 
 /// Usage string shown on errors.
-pub const USAGE: &str =
-    "usage: cagra-cli <synth|gt|build|bundle|search|serve|stats> [--flag value]...";
+pub const USAGE: &str = "usage: cagra-cli <synth|gt|build|bundle|search|serve|stats> \
+     [--flag value]... (bundle accepts --relabel identity|degree|rcm|gorder)";
 
 /// Parsed flags for one subcommand.
 #[derive(Clone, Debug, Default)]

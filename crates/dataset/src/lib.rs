@@ -32,4 +32,4 @@ pub mod synth;
 pub use f16::F16;
 pub use presets::{DatasetPreset, PresetName};
 pub use quantize::DatasetI8;
-pub use storage::{Dataset, DatasetF16, VectorStore};
+pub use storage::{Dataset, DatasetF16, PermutableStore, VectorStore};

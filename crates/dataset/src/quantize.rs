@@ -80,6 +80,18 @@ impl VectorStore for DatasetI8 {
     }
 }
 
+impl crate::storage::PermutableStore for DatasetI8 {
+    fn permuted(&self, old_of_new: &[u32]) -> Self {
+        assert_eq!(old_of_new.len(), self.len(), "permutation/store size mismatch");
+        let mut codes = Vec::with_capacity(self.codes.len());
+        for &old in old_of_new {
+            codes.extend_from_slice(self.row_codes(old as usize));
+        }
+        // Scales are per-dimension, not per-row: they do not move.
+        DatasetI8 { codes, scales: self.scales.clone(), dim: self.dim }
+    }
+}
+
 impl Dataset {
     /// Quantize to int8 (see [`DatasetI8`]).
     pub fn to_i8(&self) -> DatasetI8 {

@@ -58,6 +58,22 @@ pub trait VectorStore: Sync {
     }
 }
 
+/// A store whose rows can be reordered by a vertex permutation.
+///
+/// Row `new` of the result is row `old_of_new[new]` of the original —
+/// the same convention `graph::relabel` uses, so a graph and its
+/// vector store relabel jointly with one permutation. Implementations
+/// must preserve values bit-exactly (a relabeled index has to return
+/// bit-identical, id-mapped search results).
+pub trait PermutableStore: Sized {
+    /// Reordered copy of the store.
+    ///
+    /// # Panics
+    /// Panics if `old_of_new.len()` differs from `self.len()` or any
+    /// entry is out of range.
+    fn permuted(&self, old_of_new: &[u32]) -> Self;
+}
+
 /// An owned row-major f32 matrix.
 #[derive(Clone, Debug)]
 pub struct Dataset {
@@ -139,6 +155,17 @@ impl VectorStore for Dataset {
     }
 }
 
+impl PermutableStore for Dataset {
+    fn permuted(&self, old_of_new: &[u32]) -> Self {
+        assert_eq!(old_of_new.len(), self.len(), "permutation/store size mismatch");
+        let mut data = Vec::with_capacity(self.data.len());
+        for &old in old_of_new {
+            data.extend_from_slice(self.row(old as usize));
+        }
+        Dataset { data, dim: self.dim }
+    }
+}
+
 /// An owned row-major binary16 matrix; rows widen to f32 on access.
 #[derive(Clone, Debug)]
 pub struct DatasetF16 {
@@ -178,6 +205,55 @@ impl VectorStore for DatasetF16 {
     }
     fn flat_f16(&self) -> Option<&[F16]> {
         Some(&self.data)
+    }
+}
+
+impl PermutableStore for DatasetF16 {
+    fn permuted(&self, old_of_new: &[u32]) -> Self {
+        assert_eq!(old_of_new.len(), self.len(), "permutation/store size mismatch");
+        let mut data = Vec::with_capacity(self.data.len());
+        for &old in old_of_new {
+            data.extend_from_slice(self.row_raw(old as usize));
+        }
+        DatasetF16 { data, dim: self.dim }
+    }
+}
+
+#[cfg(test)]
+mod permute_tests {
+    use super::*;
+
+    #[test]
+    fn permuted_rows_are_bit_identical_copies() {
+        let d = Dataset::from_flat((0..12).map(|x| x as f32).collect(), 3);
+        let p = d.permuted(&[3, 1, 0, 2]);
+        assert_eq!(p.row(0), d.row(3));
+        assert_eq!(p.row(1), d.row(1));
+        assert_eq!(p.row(2), d.row(0));
+        assert_eq!(p.row(3), d.row(2));
+    }
+
+    #[test]
+    fn f16_permutes_raw_rows() {
+        let d = Dataset::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2).to_f16();
+        let p = d.permuted(&[1, 0]);
+        assert_eq!(p.row_raw(0), d.row_raw(1));
+        assert_eq!(p.row_raw(1), d.row_raw(0));
+    }
+
+    #[test]
+    fn i8_permutes_codes_and_keeps_scales() {
+        let d = Dataset::from_flat(vec![1.0, -2.0, 3.0, -4.0], 2).to_i8();
+        let p = d.permuted(&[1, 0]);
+        assert_eq!(p.row_codes(0), d.row_codes(1));
+        assert_eq!(p.row_codes(1), d.row_codes(0));
+        assert_eq!(p.scales(), d.scales());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_length_rejected() {
+        Dataset::from_flat(vec![0.0; 4], 2).permuted(&[0]);
     }
 }
 

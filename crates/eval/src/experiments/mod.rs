@@ -1,5 +1,6 @@
 //! One runner per table/figure of the paper (ids match DESIGN.md).
 
+pub mod ext_relabel;
 pub mod ext_search_ablation;
 pub mod ext_sharding;
 pub mod fig10_cta_modes;
@@ -41,6 +42,7 @@ pub const ALL: &[&str] = &[
     "headline",
     "ext-shard",
     "ext-search",
+    "ext-relabel",
 ];
 
 /// Dispatch an experiment by id. Returns false for unknown ids.
@@ -62,6 +64,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> bool {
         "headline" => headline::run(ctx),
         "ext-shard" => ext_sharding::run(ctx),
         "ext-search" => ext_search_ablation::run(ctx),
+        "ext-relabel" => ext_relabel::run(ctx),
         _ => return false,
     }
     true
@@ -111,6 +114,6 @@ mod tests {
 
     #[test]
     fn registry_lists_every_runner() {
-        assert_eq!(ALL.len(), 16);
+        assert_eq!(ALL.len(), 17);
     }
 }

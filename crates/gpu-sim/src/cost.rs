@@ -491,6 +491,7 @@ mod tests {
             hash_in_shared: true,
             serial_queue: false,
             scratch_reused: false,
+            accesses: None,
         };
         let fp32 = query_bytes(&cfg(8, 96), &trace);
         let mut half = cfg(8, 96);

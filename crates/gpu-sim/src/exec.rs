@@ -175,6 +175,7 @@ mod tests {
             hash_in_shared: shared,
             serial_queue: false,
             scratch_reused: false,
+            accesses: None,
         }
     }
 

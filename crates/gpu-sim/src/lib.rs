@@ -36,6 +36,7 @@ pub mod cost;
 pub mod device;
 pub mod exec;
 pub mod kernels;
+pub mod mem;
 pub mod multi;
 
 pub use construction::{estimate_construction, ConstructionEstimate};
@@ -43,4 +44,5 @@ pub use cost::{cta_occupancy, iteration_cycles, KernelConfig, Occupancy};
 pub use device::DeviceSpec;
 pub use exec::{simulate_batch, BatchTiming, Mapping};
 pub use kernels::{traced_beam_search, BeamParams};
+pub use mem::{replay_batch, replay_trace, CacheModel, MemLayout, TxCounts};
 pub use multi::{simulate_sharded_batch, MultiGpuTiming};

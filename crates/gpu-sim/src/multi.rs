@@ -79,6 +79,7 @@ mod tests {
             hash_in_shared: true,
             serial_queue: false,
             scratch_reused: false,
+            accesses: None,
         }
     }
 

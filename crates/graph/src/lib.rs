@@ -11,9 +11,11 @@
 pub mod adj;
 pub mod fixed;
 pub mod io;
+pub mod relabel;
 pub mod scc;
 pub mod stats;
 pub mod two_hop;
 
 pub use adj::AdjacencyGraph;
 pub use fixed::FixedDegreeGraph;
+pub use relabel::{IdMap, Permutation, RelabelStrategy};

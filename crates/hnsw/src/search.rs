@@ -124,7 +124,17 @@ impl<S: VectorStore> Hnsw<S> {
             ep = greedy_descend(&self.nodes, &oracle, query, ep, l);
         }
         let found = search_layer(&self.nodes, &oracle, query, &[ep], 0, ef.max(k));
-        found.into_iter().take(k).map(|c| Neighbor::new(c.id, c.dist)).collect()
+        found
+            .into_iter()
+            .take(k)
+            .map(|c| {
+                let id = match &self.id_map {
+                    Some(m) => m.original_of_internal(c.id),
+                    None => c.id,
+                };
+                Neighbor::new(id, c.dist)
+            })
+            .collect()
     }
 
     /// Thread-parallel batch search (the paper's OpenMP-style HNSW
@@ -210,6 +220,18 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), got.len());
+    }
+
+    #[test]
+    fn relabel_preserves_results_in_original_ids() {
+        let (mut h, queries) = setup(1200);
+        let baseline = h.search_batch(&queries, 10, 128);
+        h.relabel(graph::relabel::RelabelStrategy::Degree);
+        assert!(h.id_map().is_some(), "degree order on a real graph is not identity");
+        // Entry point and links were renumbered together, so the
+        // deterministic traversal visits the same nodes: identical
+        // results, reported in original ids.
+        assert_eq!(h.search_batch(&queries, 10, 128), baseline);
     }
 
     #[test]

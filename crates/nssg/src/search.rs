@@ -79,7 +79,14 @@ impl<S: VectorStore> Nssg<S> {
     /// NSSG fills the initial pool with `l` random points (like
     /// CAGRA's random initialization), so `n_starts = l`.
     pub fn search(&self, query: &[f32], k: usize, l: usize, seed: u64) -> Vec<Neighbor> {
-        beam_search(self.adjacency(), self.store(), self.metric(), query, k, l, l, seed).0
+        let mut res =
+            beam_search(self.adjacency(), self.store(), self.metric(), query, k, l, l, seed).0;
+        if let Some(m) = self.id_map() {
+            for nb in &mut res {
+                nb.id = m.original_of_internal(nb.id);
+            }
+        }
+        res
     }
 
     /// Thread-parallel batch search (the paper uses HNSW's
@@ -131,6 +138,32 @@ mod tests {
         let (g, queries) = setup(2000);
         let r = recall(&g, &queries, 10, 128);
         assert!(r > 0.9, "NSSG recall@10 = {r}");
+    }
+
+    #[test]
+    fn relabel_preserves_recall_and_remaps_root() {
+        let (mut g, queries) = setup(1500);
+        // Ground truth in original ids, captured before the store is
+        // permuted (results stay in original ids throughout).
+        let gt = ground_truth(g.store(), Metric::SquaredL2, &queries, 10);
+        let score = |g: &Nssg<dataset::Dataset>| {
+            let got = g.search_batch(&queries, 10, 128);
+            let mut hits = 0usize;
+            for (a, b) in got.iter().zip(&gt) {
+                let bs: std::collections::HashSet<u32> = b.iter().copied().collect();
+                hits += a.iter().filter(|n| bs.contains(&n.id)).count();
+            }
+            hits as f64 / (gt.len() * 10) as f64
+        };
+        let before = score(&g);
+        g.relabel(graph::relabel::RelabelStrategy::Rcm);
+        let m = g.id_map().expect("rcm on a real graph is not identity");
+        assert_eq!(m.strategy, graph::relabel::RelabelStrategy::Rcm);
+        // Root must follow the renumbering: it indexes the adjacency.
+        assert!((g.root() as usize) < g.adjacency().len());
+        let after = score(&g);
+        // Starts are drawn in internal space, so allow a small drift.
+        assert!(after > before - 0.05, "relabeled {after} vs baseline {before}");
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct Metrics {
     pub sim_cycles_distance: Counter,
     /// Simulated cycles probing/updating the visited hash.
     pub sim_cycles_hash: Counter,
+    /// Simulated 128-bit transactions gathering init vector rows.
+    pub sim_tx_init: Counter,
+    /// Simulated 128-bit transactions gathering adjacency rows.
+    pub sim_tx_expand: Counter,
+    /// Simulated 128-bit transactions gathering scored vector rows.
+    pub sim_tx_distance: Counter,
 }
 
 impl Metrics {
@@ -126,11 +132,14 @@ impl Metrics {
             sim_cycles_expand: Counter::new(),
             sim_cycles_distance: Counter::new(),
             sim_cycles_hash: Counter::new(),
+            sim_tx_init: Counter::new(),
+            sim_tx_expand: Counter::new(),
+            sim_tx_distance: Counter::new(),
         }
     }
 
     /// Every counter with its snapshot name, in export order.
-    fn counters(&self) -> [(&'static str, &Counter); 15] {
+    fn counters(&self) -> [(&'static str, &Counter); 18] {
         [
             ("build.graphs", &self.build_graphs),
             ("build.nn_iterations", &self.build_nn_iterations),
@@ -147,6 +156,9 @@ impl Metrics {
             ("sim.cycles_parent_select", &self.sim_cycles_parent_select),
             ("sim.cycles_expand", &self.sim_cycles_expand),
             ("sim.cycles_distance", &self.sim_cycles_distance),
+            ("sim.tx_init", &self.sim_tx_init),
+            ("sim.tx_expand", &self.sim_tx_expand),
+            ("sim.tx_distance", &self.sim_tx_distance),
         ]
         // `sim.cycles_hash` appended below: arrays are fixed-size, and
         // keeping the list in one place beats a second table.
@@ -263,16 +275,18 @@ mod tests {
         m.search_latency_ns.record(1234);
         m.build_nn_join.record_ns(999);
         m.sim_cycles_hash.add(7);
+        m.sim_tx_expand.add(3);
         m.serve_batch_size.record(4);
         let snap = m.snapshot();
         assert_eq!(snap.enabled, crate::compiled_in());
-        assert_eq!(snap.counters.len(), 16);
+        assert_eq!(snap.counters.len(), 19);
         assert_eq!(snap.spans.len(), 7);
         assert_eq!(snap.histograms.len(), 10);
         let get = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
         if crate::compiled_in() {
             assert_eq!(get("build.graphs"), 1);
             assert_eq!(get("sim.cycles_hash"), 7);
+            assert_eq!(get("sim.tx_expand"), 3);
             let lat = snap.histograms.iter().find(|h| h.name == "search.latency_ns").unwrap();
             assert_eq!(lat.count, 1);
             assert_eq!(lat.max, 1234);
