@@ -1,0 +1,146 @@
+//! PQ two-phase search benchmark + CI smoke (ISSUE 8).
+//!
+//! Not a Criterion timing target: the interesting quantities are the
+//! recall the rerank phase buys back, the resident-memory compression,
+//! and the throughput cost of the second phase — all functions of one
+//! end-to-end run, so this binary drives a sharded PQ index directly
+//! and asserts the smoke properties the CI `pq` lane relies on:
+//!
+//! 1. **Compression**: the PQ index must be resident at under a
+//!    quarter of the f32 bytes per vector.
+//! 2. **Recall floor**: two-phase recall@10 must reach 0.95 and must
+//!    not fall below the single-phase (PQ-only) run.
+//! 3. **Exactness**: reranked result distances are bit-identical to
+//!    the full-precision metric over the original rows.
+//!
+//! With `--features obs` the run writes the `cagra-metrics-v1`
+//! snapshot — rerank counters/histograms plus `bench.pq.*` summary
+//! counters (n, recall, QPS, bytes per vector) — to
+//! `$CAGRA_BENCH_JSON_DIR/BENCH_pq.json`, the committed perf artifact.
+//!
+//! Scale knobs: `CAGRA_BENCH_N` (base size), `CAGRA_BENCH_SHARDS`.
+
+use bench::deep_like;
+use cagra::build::GraphConfig;
+use cagra::search::planner::Mode;
+use cagra::{SearchParams, ShardedIndex};
+use dataset::pq::PqConfig;
+use dataset::VectorStore;
+use distance::Metric;
+use knn::brute::ground_truth;
+use knn::topk::Neighbor;
+use std::time::Instant;
+
+const K: usize = 10;
+const QUERIES: usize = 100;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn recall(results: &[Vec<Neighbor>], gt: &[Vec<u32>]) -> f64 {
+    let mut hits = 0usize;
+    for (got, want) in results.iter().zip(gt) {
+        hits += got.iter().filter(|n| want.contains(&n.id)).count();
+    }
+    hits as f64 / (results.len() * K) as f64
+}
+
+fn search_all(
+    index: &ShardedIndex<dataset::pq::PqStore>,
+    queries: &dataset::Dataset,
+    params: &SearchParams,
+) -> (Vec<Vec<Neighbor>>, f64) {
+    let t0 = Instant::now();
+    let results = (0..queries.len())
+        .map(|qi| index.search(queries.row(qi), K, params, Mode::SingleCta))
+        .collect();
+    (results, queries.len() as f64 / t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let (base, queries) = deep_like(QUERIES);
+    let shards = env_usize("CAGRA_BENCH_SHARDS", 2);
+    // Finest split with 4 dims per subspace: 24 bytes/vec on dim 96.
+    let m = base.dim() / 4;
+    let spill = std::env::temp_dir().join(format!("cagra_bench_pq_{}", std::process::id()));
+
+    let t0 = Instant::now();
+    let (index, _) = ShardedIndex::build_pq(
+        &base,
+        Metric::SquaredL2,
+        &GraphConfig::new(bench::DEGREE),
+        shards,
+        &PqConfig::new(m),
+        &spill,
+    )
+    .expect("PQ spill dir must be writable");
+    let build_s = t0.elapsed().as_secs_f64();
+    assert!(
+        index.bytes_per_vector() * 4 < base.bytes_per_vector(),
+        "PQ index resident {} B/vec is not under a quarter of f32 {} B/vec",
+        index.bytes_per_vector(),
+        base.bytes_per_vector()
+    );
+
+    let gt = ground_truth(&base, Metric::SquaredL2, &queries, K);
+    let mut params = SearchParams::for_k(K);
+    params.itopk = 128;
+    let (single, qps_single) = search_all(&index, &queries, &params);
+    params.rerank_depth = 64;
+    let (two_phase, qps_two) = search_all(&index, &queries, &params);
+
+    let r1 = recall(&single, &gt);
+    let r2 = recall(&two_phase, &gt);
+    println!(
+        "pq smoke: n {} shards {} m {}  build {build_s:.1}s  resident {} B/vec (f32 {})",
+        base.len(),
+        index.num_shards(),
+        m,
+        index.bytes_per_vector(),
+        base.bytes_per_vector()
+    );
+    println!("  single-phase  recall@{K} {r1:.4}  qps {qps_single:.0}");
+    println!("  two-phase     recall@{K} {r2:.4}  qps {qps_two:.0}  (rerank depth 64)");
+
+    // Reranked distances are the exact metric over the original rows.
+    for (qi, got) in two_phase.iter().enumerate() {
+        for n in got {
+            let want = Metric::SquaredL2.distance(queries.row(qi), base.row(n.id as usize));
+            assert_eq!(n.dist, want, "query {qi} id {} not exactly reranked", n.id);
+        }
+    }
+    assert!(r2 >= r1, "rerank must not lose recall: {r2} vs single-phase {r1}");
+    assert!(r2 >= 0.95, "two-phase recall@{K} {r2} below the 0.95 smoke floor");
+
+    // --- Metrics artifact (obs builds) ---
+    #[cfg(feature = "obs")]
+    {
+        use obs::snapshot::CounterSnapshot;
+        let mut snap = obs::metrics().snapshot();
+        let permille = |x: f64| (x * 1000.0).round() as u64;
+        for (name, value) in [
+            ("bench.pq.n", base.len() as u64),
+            ("bench.pq.shards", index.num_shards() as u64),
+            ("bench.pq.m", m as u64),
+            ("bench.pq.itopk", params.itopk as u64),
+            ("bench.pq.rerank_depth", params.rerank_depth as u64),
+            ("bench.pq.resident_bytes_per_vector", index.bytes_per_vector() as u64),
+            ("bench.pq.f32_bytes_per_vector", base.bytes_per_vector() as u64),
+            ("bench.pq.recall_at_10_permille_single", permille(r1)),
+            ("bench.pq.recall_at_10_permille_two_phase", permille(r2)),
+            ("bench.pq.qps_single", qps_single.round() as u64),
+            ("bench.pq.qps_two_phase", qps_two.round() as u64),
+        ] {
+            snap.counters.push(CounterSnapshot { name: name.to_string(), value });
+        }
+        let dir = std::env::var("CAGRA_BENCH_JSON_DIR")
+            .unwrap_or_else(|_| "target/bench-json".to_string());
+        std::fs::create_dir_all(&dir).expect("create metrics dir");
+        let path = format!("{dir}/BENCH_pq.json");
+        std::fs::write(&path, snap.to_json()).expect("write metrics");
+        println!("\nwrote {path}");
+    }
+
+    std::fs::remove_dir_all(&spill).ok();
+}

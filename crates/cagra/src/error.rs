@@ -44,6 +44,12 @@ pub enum SearchError {
     /// Forgettable `reset_interval == 0` — the reset cadence is a
     /// modulus, so zero is nonsensical.
     ZeroResetInterval,
+    /// `rerank_depth` is nonzero but below `k` — the exact-rescore
+    /// pass could not produce `k` results.
+    RerankDepthBelowK { depth: usize, k: usize },
+    /// `rerank_depth > 0` but the index has no full-precision rerank
+    /// source attached, so exact re-scoring is impossible.
+    RerankWithoutSource,
     /// A parameter exceeds the sanity cap noted in `what` (guards
     /// against absurd allocations from untrusted configs).
     ParamOutOfRange {
@@ -81,6 +87,12 @@ impl fmt::Display for SearchError {
                 write!(f, "forgettable hash bits {bits} out of range 4..=24")
             }
             SearchError::ZeroResetInterval => write!(f, "reset_interval must be positive"),
+            SearchError::RerankDepthBelowK { depth, k } => {
+                write!(f, "rerank_depth ({depth}) must be >= k ({k}) when nonzero")
+            }
+            SearchError::RerankWithoutSource => {
+                write!(f, "rerank_depth > 0 requires a full-precision rerank source on the index")
+            }
             SearchError::ParamOutOfRange { what, value, max } => {
                 write!(f, "{what} ({value}) exceeds the supported maximum ({max})")
             }

@@ -8,22 +8,45 @@
 //! ```text
 //! magic "CGIX" | version u32 | metric u8 | dim u64 | n u64
 //! | relabel u8 [ | n * u32 old_of_new ]          (version >= 2)
-//! | n * dim f32 vectors | CAGR graph blob
+//! | storage u8                                   (version >= 3)
+//! | storage 0: n * dim f32 vectors | CAGR graph blob
+//! | storage 1: codebook blob | n * m codes | CAGR graph blob
+//! |            pad u8 | pad zero bytes | n * dim f32 vectors
 //! ```
 //!
 //! Version 2 added the locality-relabel section: a strategy tag (0 =
 //! not relabeled) followed, when nonzero, by the `old_of_new`
 //! permutation that maps internal row positions back to original ids.
 //! Version-1 bundles load unchanged as identity-labeled indexes.
+//!
+//! Version 3 adds the storage tag. Tag 0 is the plain f32 layout of
+//! v2; tag 1 is a product-quantized bundle: the codebook and `n x m`
+//! code matrix (internal row order, matching the graph), then the
+//! graph, then the **full-precision vectors in original id order**,
+//! zero-padded so the f32 region starts on an 8-byte-aligned file
+//! offset. [`read_index_pq`] memory-maps that tail region
+//! ([`crate::mmap::MmapVectors`]) and attaches it as the index's
+//! two-phase rerank source, so a multi-million-point bundle keeps only
+//! `m` bytes per vector resident. [`write_index`] still emits v2 —
+//! plain f32 bundles stay readable by older loaders.
 
+use crate::mmap::MmapVectors;
 use crate::search::index::CagraIndex;
+use dataset::pq::{PqCodebook, PqStore};
 use dataset::{Dataset, VectorStore};
 use distance::Metric;
 use graph::relabel::{IdMap, Permutation, RelabelStrategy};
-use std::io::{self, Read, Write};
+use std::io::{self, BufReader, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"CGIX";
 const VERSION: u32 = 2;
+/// First version carrying the storage tag (and thus PQ payloads).
+const VERSION_PQ: u32 = 3;
+/// Storage tags (v3+).
+const STORAGE_F32: u8 = 0;
+const STORAGE_PQ: u8 = 1;
 
 fn metric_tag(m: Metric) -> u8 {
     match m {
@@ -42,15 +65,22 @@ fn tag_metric(t: u8) -> io::Result<Metric> {
     }
 }
 
-/// Serialize a full index (vectors + graph + metric) to one stream.
-pub fn write_index<W: Write>(mut w: W, index: &CagraIndex<Dataset>) -> io::Result<()> {
-    let store = index.store();
+/// Shared header + relabel-section writer (everything before the
+/// storage-dependent body).
+fn write_header<W: Write>(
+    w: &mut W,
+    version: u32,
+    metric: Metric,
+    dim: usize,
+    n: usize,
+    id_map: Option<&IdMap>,
+) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&[metric_tag(index.metric())])?;
-    w.write_all(&(store.dim() as u64).to_le_bytes())?;
-    w.write_all(&(store.len() as u64).to_le_bytes())?;
-    match index.id_map() {
+    w.write_all(&version.to_le_bytes())?;
+    w.write_all(&[metric_tag(metric)])?;
+    w.write_all(&(dim as u64).to_le_bytes())?;
+    w.write_all(&(n as u64).to_le_bytes())?;
+    match id_map {
         None => w.write_all(&[0u8])?,
         Some(m) => {
             w.write_all(&[m.strategy.tag()])?;
@@ -61,26 +91,80 @@ pub fn write_index<W: Write>(mut w: W, index: &CagraIndex<Dataset>) -> io::Resul
             w.write_all(&raw)?;
         }
     }
+    Ok(())
+}
+
+/// Stream f32 values little-endian in bounded chunks.
+fn write_f32s<W: Write>(w: &mut W, flat: &[f32]) -> io::Result<()> {
     let mut buf = Vec::with_capacity(64 * 1024);
-    for chunk in store.as_flat().chunks(16 * 1024) {
+    for chunk in flat.chunks(16 * 1024) {
         buf.clear();
         for &x in chunk {
             buf.extend_from_slice(&x.to_le_bytes());
         }
         w.write_all(&buf)?;
     }
+    Ok(())
+}
+
+/// Serialize a full index (vectors + graph + metric) to one stream.
+pub fn write_index<W: Write>(mut w: W, index: &CagraIndex<Dataset>) -> io::Result<()> {
+    let store = index.store();
+    write_header(&mut w, VERSION, index.metric(), store.dim(), store.len(), index.id_map())?;
+    write_f32s(&mut w, store.as_flat())?;
     graph::io::write_fixed(w, index.graph())
 }
 
-/// Deserialize a bundle written by [`write_index`].
-pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
+/// Serialize a product-quantized index as a v3 bundle: codes + graph
+/// up front, then `full`'s f32 rows as the 8-aligned tail region
+/// [`read_index_pq`] memory-maps for the two-phase rerank.
+///
+/// `full` must hold the full-precision vectors in **original** id
+/// order (the order before any locality relabel — search results carry
+/// original ids, so the rerank source never needs the permutation).
+///
+/// # Panics
+/// Panics if `full`'s shape differs from the index.
+pub fn write_index_pq<W: Write>(
+    w: W,
+    index: &CagraIndex<PqStore>,
+    full: &Dataset,
+) -> io::Result<()> {
+    let store = index.store();
+    assert_eq!(full.len(), store.len(), "full-precision rows/index size mismatch");
+    assert_eq!(full.dim(), store.dim(), "full-precision rows/index dimension mismatch");
+    let mut w = CountWriter { inner: w, pos: 0 };
+    write_header(&mut w, VERSION_PQ, index.metric(), store.dim(), store.len(), index.id_map())?;
+    w.write_all(&[STORAGE_PQ])?;
+    store.codebook().write_to(&mut w)?;
+    w.write_all(store.codes())?;
+    graph::io::write_fixed(&mut w, index.graph())?;
+    // One pad-length byte plus that many zeros lands the f32 region on
+    // an 8-aligned offset (mmap hands out 4-aligned f32 rows, and 8
+    // keeps the door open for wider payloads).
+    let pad = ((8 - (w.pos + 1) % 8) % 8) as u8;
+    w.write_all(&[pad])?;
+    w.write_all(&[0u8; 8][..pad as usize])?;
+    debug_assert_eq!(w.pos % 8, 0);
+    write_f32s(&mut w, full.as_flat())
+}
+
+/// The fixed-size bundle prologue.
+struct Header {
+    version: u32,
+    metric: Metric,
+    dim: usize,
+    n: usize,
+}
+
+fn read_header<R: Read>(r: &mut R) -> io::Result<Header> {
     let mut header = [0u8; 4 + 4 + 1 + 8 + 8];
     r.read_exact(&mut header)?;
     if &header[0..4] != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
     }
     let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if version == 0 || version > VERSION {
+    if version == 0 || version > VERSION_PQ {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported index version {version}"),
@@ -92,8 +176,24 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
     if dim == 0 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dimension"));
     }
+    Ok(Header { version, metric, dim, n })
+}
+
+/// Deserialize a bundle written by [`write_index`].
+pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
+    let Header { version, metric, dim, n } = read_header(&mut r)?;
     // Version 1 predates relabeling: the index is identity-labeled.
     let id_map = if version >= 2 { read_id_map(&mut r, n)? } else { None };
+    if version >= VERSION_PQ {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        if tag[0] != STORAGE_F32 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bundle stores product-quantized vectors; load it with read_index_pq",
+            ));
+        }
+    }
     let total = n
         .checked_mul(dim)
         .and_then(|t| t.checked_mul(4))
@@ -111,6 +211,100 @@ pub fn read_index<R: Read>(mut r: R) -> io::Result<CagraIndex<Dataset>> {
         ));
     }
     Ok(CagraIndex::from_parts_mapped(store, g, metric, id_map))
+}
+
+/// Load a product-quantized v3 bundle from disk. The codebook, codes,
+/// and graph are read into memory; the trailing full-precision region
+/// is memory-mapped ([`MmapVectors`]) and attached as the index's
+/// rerank source, so searches with `rerank_depth > 0` work out of the
+/// box while resident memory stays at `m` bytes per vector.
+pub fn read_index_pq(path: &Path) -> io::Result<CagraIndex<PqStore>> {
+    let file = std::fs::File::open(path)?;
+    let mut r = CountReader { inner: BufReader::new(file), pos: 0 };
+    let Header { version, metric, dim, n } = read_header(&mut r)?;
+    if version < VERSION_PQ {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bundle stores plain f32 vectors; load it with read_index",
+        ));
+    }
+    let id_map = read_id_map(&mut r, n)?;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    if tag[0] != STORAGE_PQ {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bundle stores plain f32 vectors; load it with read_index",
+        ));
+    }
+    let codebook = PqCodebook::read_from(&mut r)?;
+    if codebook.dim() != dim {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("codebook dim {} does not match bundle dim {dim}", codebook.dim()),
+        ));
+    }
+    let code_bytes = n
+        .checked_mul(codebook.m())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "code matrix overflow"))?;
+    let mut codes = vec![0u8; code_bytes];
+    r.read_exact(&mut codes)?;
+    let g = graph::io::read_fixed(&mut r)?;
+    if g.len() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("graph covers {} nodes but bundle has {n} vectors", g.len()),
+        ));
+    }
+    let mut pad = [0u8; 1];
+    r.read_exact(&mut pad)?;
+    if pad[0] >= 8 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad vector-region padding"));
+    }
+    let mut padding = [0u8; 8];
+    r.read_exact(&mut padding[..pad[0] as usize])?;
+    let vec_off = r.pos;
+    if vec_off % 8 != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "misaligned vector region"));
+    }
+    let store = PqStore::from_parts(Arc::new(codebook), codes, n);
+    let vectors = MmapVectors::open(path, vec_off, n, dim)?;
+    let mut index = CagraIndex::from_parts_mapped(store, g, metric, id_map);
+    index.set_rerank_store(Box::new(vectors));
+    Ok(index)
+}
+
+/// Write adapter tracking the absolute byte position — lets the PQ
+/// writer compute the padding that 8-aligns the f32 region.
+struct CountWriter<W> {
+    inner: W,
+    pos: u64,
+}
+
+impl<W: Write> Write for CountWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        self.pos += written as u64;
+        Ok(written)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Read adapter tracking the absolute byte position — yields the file
+/// offset of the mapped vector region after the sequential prefix.
+struct CountReader<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Read for CountReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let read = self.inner.read(buf)?;
+        self.pos += read as u64;
+        Ok(read)
+    }
 }
 
 /// Read the version-2 relabel section: a strategy tag, then (when the
@@ -258,5 +452,101 @@ mod tests {
             write_index(&mut buf, &index).unwrap();
             assert_eq!(read_index(&buf[..]).unwrap().metric(), m);
         }
+    }
+
+    fn build_pq() -> (CagraIndex<PqStore>, Dataset, Dataset) {
+        use dataset::pq::PqConfig;
+        let (base, queries) =
+            SynthSpec { dim: 12, n: 400, queries: 10, family: Family::Gaussian, seed: 47 }
+                .generate();
+        let store = dataset::pq::build(&base, &PqConfig::new(4));
+        let (g, _) = crate::build::build_graph(&base, Metric::SquaredL2, &GraphConfig::new(8));
+        let mut index = CagraIndex::from_parts(store, g, Metric::SquaredL2);
+        index.set_rerank_store(Box::new(Dataset::from_flat(base.as_flat().to_vec(), base.dim())));
+        (index, base, queries)
+    }
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cagra_bundle_{}_{tag}.cgix", std::process::id()))
+    }
+
+    #[test]
+    fn pq_bundle_round_trips_with_mapped_rerank() {
+        let (index, base, queries) = build_pq();
+        let path = tmpfile("pq_rt");
+        write_index_pq(std::fs::File::create(&path).unwrap(), &index, &base).unwrap();
+        let back = read_index_pq(&path).unwrap();
+        assert_eq!(back.metric(), Metric::SquaredL2);
+        assert_eq!(back.graph(), index.graph());
+        assert_eq!(back.store().codes(), index.store().codes());
+        let src = back.rerank_store().expect("loader must attach the rerank source");
+        assert_eq!((src.len(), src.dim()), (base.len(), base.dim()));
+        let mut p = SearchParams::for_k(5);
+        p.rerank_depth = 32;
+        // Mapped rows are bit-identical to the heap source: two-phase
+        // results must match the in-memory index exactly.
+        for qi in 0..queries.len() {
+            assert_eq!(
+                back.search(queries.row(qi), 5, &p),
+                index.search(queries.row(qi), 5, &p),
+                "query {qi}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn relabeled_pq_bundle_round_trips() {
+        let (mut index, base, queries) = build_pq();
+        let mut p = SearchParams::for_k(5);
+        p.hash = crate::params::HashPolicy::Standard;
+        p.rerank_depth = 32;
+        let baseline: Vec<_> =
+            (0..queries.len()).map(|qi| index.search(queries.row(qi), 5, &p)).collect();
+        index.relabel(crate::RelabelStrategy::Rcm);
+        let path = tmpfile("pq_relabel");
+        write_index_pq(std::fs::File::create(&path).unwrap(), &index, &base).unwrap();
+        let back = read_index_pq(&path).unwrap();
+        assert_eq!(
+            back.id_map().map(|m| m.strategy),
+            Some(crate::RelabelStrategy::Rcm),
+            "relabel map must survive the round trip"
+        );
+        for (qi, want) in baseline.iter().enumerate() {
+            assert_eq!(&back.search(queries.row(qi), 5, &p), want, "query {qi}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn readers_reject_each_others_bundles_with_pointers() {
+        let (index, base, _) = build_pq();
+        let mut pq_bytes = Vec::new();
+        write_index_pq(&mut pq_bytes, &index, &base).unwrap();
+        let err = read_index(&pq_bytes[..]).err().expect("plain reader must reject PQ bundle");
+        assert!(err.to_string().contains("read_index_pq"), "got: {err}");
+
+        let f32_index = build();
+        let path = tmpfile("f32_as_pq");
+        write_index(std::fs::File::create(&path).unwrap(), &f32_index).unwrap();
+        let err = read_index_pq(&path).err().expect("PQ reader must reject f32 bundle");
+        assert!(err.to_string().contains("read_index"), "got: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_pq_bundle_rejected() {
+        let (index, base, _) = build_pq();
+        let mut bytes = Vec::new();
+        write_index_pq(&mut bytes, &index, &base).unwrap();
+        let path = tmpfile("pq_trunc");
+        // Cut into the mapped f32 region: the open-time bounds check
+        // must fail instead of faulting at rerank time.
+        std::fs::write(&path, &bytes[..bytes.len() - 64]).unwrap();
+        assert!(read_index_pq(&path).is_err());
+        // Cut into the sequential prefix too.
+        std::fs::write(&path, &bytes[..200]).unwrap();
+        assert!(read_index_pq(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

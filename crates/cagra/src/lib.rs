@@ -35,12 +35,15 @@
 
 // See the workspace soundness policy (DESIGN.md "Soundness & analysis"):
 // unsafe ops inside `unsafe fn` need their own `unsafe {}` + SAFETY.
-// This crate currently has zero unsafe code; the lint keeps it honest.
+// The only unsafe in this crate is the `mmap` module's file mapping
+// (raw syscalls + borrowed slices over mapped pages), each block
+// carrying its own SAFETY comment and counted in the analyze budget.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod build;
 pub mod error;
 pub mod index_io;
+pub mod mmap;
 pub mod optimize;
 pub mod params;
 pub mod search;
@@ -49,6 +52,7 @@ pub mod shard;
 pub use build::{build_graph, BuildReport, BuildStats, GraphConfig};
 pub use error::SearchError;
 pub use graph::relabel::{IdMap, Permutation, RelabelStrategy};
+pub use mmap::MmapVectors;
 pub use params::{HashPolicy, ReorderStrategy, SearchParams};
 pub use search::index::CagraIndex;
 pub use search::scratch::SearchScratch;

@@ -1,0 +1,347 @@
+//! Memory-mapped full-precision vectors — the rerank source for
+//! two-phase search.
+//!
+//! A PQ-compressed index keeps only `m` bytes per vector resident; the
+//! exact rerank pass still needs the original f32 rows. Bundle format
+//! v3 ([`crate::index_io`]) appends them after the graph blob, 8-byte
+//! aligned and in **original** id order, and this module maps that
+//! tail region straight from disk: the OS pages in only the rows the
+//! rerank actually touches, so a 10M-vector full-precision payload
+//! costs no resident memory up front.
+//!
+//! `mmap`/`munmap` are declared directly via `extern "C"` — std
+//! already links the platform C library, and the workspace carries no
+//! `libc` dependency. Non-unix or big-endian targets (the on-disk
+//! format is little-endian) and any mapping failure fall back to
+//! reading the region into a heap buffer: identical values, just
+//! resident.
+
+use dataset::VectorStore;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+#[cfg(all(unix, target_endian = "little"))]
+mod sys {
+    use std::ffi::c_void;
+
+    /// `PROT_READ` / `MAP_PRIVATE` share these values on every unix
+    /// target Rust supports (Linux, macOS, the BSDs).
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    /// `MAP_FAILED` is `(void*)-1`.
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only `n x dim` f32 matrix backed by a file region — mapped
+/// when the platform allows, heap-resident otherwise. Values are
+/// identical either way; only residency differs.
+#[derive(Debug)]
+pub struct MmapVectors {
+    backing: Backing,
+    n: usize,
+    dim: usize,
+}
+
+#[derive(Debug)]
+enum Backing {
+    #[cfg(all(unix, target_endian = "little"))]
+    Mapped(Mapping),
+    Heap(Vec<f32>),
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+#[derive(Debug)]
+struct Mapping {
+    base: *mut std::ffi::c_void,
+    map_len: usize,
+    /// Byte offset of the vector data inside the mapping (the map
+    /// starts at a page-aligned offset at or before the data).
+    data_off: usize,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE — the pointed-to pages
+// are never written through this handle and carry no interior
+// mutability. `munmap` runs only in `Drop`, which has exclusive
+// access, so sharing or moving the handle across threads cannot
+// invalidate outstanding reads (slices borrow the handle).
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Send for Mapping {}
+// SAFETY: as above — concurrent `&Mapping` access performs only reads
+// of immutable pages.
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Sync for Mapping {}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Mapping {
+    /// A multiple of every page size in common use (4 KiB, 16 KiB,
+    /// 64 KiB): rounding the file offset down to this is always
+    /// page-aligned, without querying `sysconf`.
+    const OFFSET_ALIGN: u64 = 64 * 1024;
+
+    /// Map `bytes` bytes starting at `byte_off` (must be nonzero
+    /// length; caller validated the region lies inside the file).
+    /// Returns `None` on any failure so the caller can fall back.
+    fn try_map(file: &File, byte_off: u64, bytes: usize) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        if byte_off > i64::MAX as u64 {
+            return None;
+        }
+        let aligned = byte_off - byte_off % Self::OFFSET_ALIGN;
+        let data_off = (byte_off - aligned) as usize;
+        let map_len = data_off.checked_add(bytes)?;
+        // SAFETY: null addr lets the kernel place the mapping; `fd` is
+        // open for the duration of the call; `aligned` is page-aligned
+        // and the region was validated to lie inside the file. Failure
+        // returns MAP_FAILED, handled below (the mapping outlives the
+        // fd — POSIX keeps file mappings valid after close).
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                aligned as i64,
+            )
+        };
+        if base == sys::map_failed() || base.is_null() {
+            return None;
+        }
+        Some(Mapping { base, map_len, data_off })
+    }
+
+    /// Pointer to the first f32 of the vector region.
+    fn data_ptr(&self) -> *const f32 {
+        debug_assert_eq!((self.base as usize + self.data_off) % std::mem::align_of::<f32>(), 0);
+        // SAFETY: `data_off < map_len` by construction (`try_map`
+        // requires nonzero `bytes`), so the offset pointer stays
+        // inside the mapped allocation.
+        unsafe { (self.base as *const u8).add(self.data_off) as *const f32 }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: `base`/`map_len` come from the successful mmap in
+        // `try_map` and are unmapped exactly once (Drop runs once).
+        unsafe {
+            sys::munmap(self.base, self.map_len);
+        }
+    }
+}
+
+impl MmapVectors {
+    /// Open the `n x dim` f32 region starting `byte_off` bytes into
+    /// `path`. The offset must be 4-byte aligned (the v3 bundle writer
+    /// pads to 8) and the region must lie inside the file — both are
+    /// validated here so a truncated or corrupt bundle fails at open
+    /// time, not with a fault mid-search.
+    pub fn open(path: &Path, byte_off: u64, n: usize, dim: usize) -> io::Result<MmapVectors> {
+        assert!(dim > 0, "dimension must be positive");
+        let bytes = n
+            .checked_mul(dim)
+            .and_then(|t| t.checked_mul(4))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "vector region overflow"))?;
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        match byte_off.checked_add(bytes as u64) {
+            Some(end) if end <= file_len => {}
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("vector region [{byte_off}, +{bytes}) exceeds file length {file_len}"),
+                ));
+            }
+        }
+        if !byte_off.is_multiple_of(4) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "vector region offset is not 4-byte aligned",
+            ));
+        }
+        #[cfg(all(unix, target_endian = "little"))]
+        if bytes > 0 {
+            if let Some(m) = Mapping::try_map(&file, byte_off, bytes) {
+                return Ok(MmapVectors { backing: Backing::Mapped(m), n, dim });
+            }
+        }
+        // Fallback: materialize the region, decoding little-endian
+        // explicitly (matches the mapped view on LE hosts).
+        file.seek(SeekFrom::Start(byte_off))?;
+        let mut raw = vec![0u8; bytes];
+        file.read_exact(&mut raw)?;
+        let flat =
+            raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        Ok(MmapVectors { backing: Backing::Heap(flat), n, dim })
+    }
+
+    /// True when the vectors are file-backed (no resident copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_endian = "little"))]
+            Backing::Mapped(_) => true,
+            Backing::Heap(_) => false,
+        }
+    }
+
+    /// Row `i` as a borrowed f32 slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.n, "row {i} out of bounds ({} rows)", self.n);
+        match &self.backing {
+            #[cfg(all(unix, target_endian = "little"))]
+            Backing::Mapped(m) => {
+                // SAFETY: `i < n` was asserted, so the row lies inside
+                // the validated `n * dim` f32 region; the pointer is
+                // 4-aligned (offset validated at open, base
+                // page-aligned) and the pages are immutable for
+                // `&self`'s lifetime.
+                unsafe { std::slice::from_raw_parts(m.data_ptr().add(i * self.dim), self.dim) }
+            }
+            Backing::Heap(v) => &v[i * self.dim..(i + 1) * self.dim],
+        }
+    }
+
+    /// The whole region as one row-major f32 slice.
+    pub fn flat(&self) -> &[f32] {
+        match &self.backing {
+            #[cfg(all(unix, target_endian = "little"))]
+            Backing::Mapped(m) => {
+                // SAFETY: the full `n * dim` f32 region was validated
+                // to lie inside the file at open; alignment as in
+                // `row`.
+                unsafe { std::slice::from_raw_parts(m.data_ptr(), self.n * self.dim) }
+            }
+            Backing::Heap(v) => v,
+        }
+    }
+}
+
+impl VectorStore for MmapVectors {
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn get_into(&self, i: usize, out: &mut [f32]) {
+        out.copy_from_slice(self.row(i));
+    }
+    /// Resident bytes per vector: zero when file-backed (pages live in
+    /// the OS cache, not the process heap), full f32 width otherwise.
+    fn bytes_per_vector(&self) -> usize {
+        if self.is_mapped() {
+            0
+        } else {
+            self.dim * 4
+        }
+    }
+    fn row_f32(&self, i: usize) -> Option<&[f32]> {
+        Some(self.row(i))
+    }
+    fn flat_f32(&self) -> Option<&[f32]> {
+        Some(self.flat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn write_file(tag: &str, header: usize, flat: &[f32]) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("cagra_mmap_{}_{tag}.bin", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&vec![0xABu8; header]).unwrap();
+        let mut raw = Vec::with_capacity(flat.len() * 4);
+        for &x in flat {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        f.write_all(&raw).unwrap();
+        path
+    }
+
+    #[test]
+    fn rows_match_source_values() {
+        let flat: Vec<f32> = (0..40).map(|x| x as f32 * 0.5 - 3.0).collect();
+        let path = write_file("rows", 16, &flat);
+        let v = MmapVectors::open(&path, 16, 10, 4).unwrap();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.dim(), 4);
+        assert_eq!(v.flat(), &flat[..]);
+        assert_eq!(v.row(3), &flat[12..16]);
+        let mut out = [0.0f32; 4];
+        v.get_into(7, &mut out);
+        assert_eq!(&out, &flat[28..32]);
+        assert_eq!(v.row_f32(0), Some(&flat[0..4]));
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            assert!(v.is_mapped(), "unix little-endian host should map");
+            assert_eq!(v.bytes_per_vector(), 0, "mapped pages are not resident");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_survives_file_deletion() {
+        // POSIX semantics: the mapping holds the data alive after the
+        // directory entry is gone — bundles may be replaced while an
+        // index serves.
+        let flat: Vec<f32> = (0..8).map(|x| x as f32).collect();
+        let path = write_file("unlink", 8, &flat);
+        let v = MmapVectors::open(&path, 8, 2, 4).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(v.row(1), &flat[4..8]);
+    }
+
+    #[test]
+    fn out_of_file_region_rejected() {
+        let path = write_file("short", 0, &[1.0, 2.0]);
+        assert!(MmapVectors::open(&path, 0, 4, 2).is_err());
+        assert!(MmapVectors::open(&path, u64::MAX - 2, 1, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unaligned_offset_rejected() {
+        let path = write_file("align", 3, &[1.0, 2.0]);
+        assert!(MmapVectors::open(&path, 3, 1, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_region_is_fine() {
+        let path = write_file("empty", 4, &[]);
+        let v = MmapVectors::open(&path, 4, 0, 3).unwrap();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_bounds_checked() {
+        let path = write_file("oob", 0, &[1.0, 2.0]);
+        let v = MmapVectors::open(&path, 0, 1, 2).unwrap();
+        std::fs::remove_file(&path).ok();
+        v.row(1);
+    }
+}

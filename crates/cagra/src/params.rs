@@ -57,6 +57,15 @@ pub struct SearchParams {
     pub team_size: usize,
     /// Number of CTAs per query in multi-CTA mode.
     pub num_cta: usize,
+    /// Two-phase rerank depth `r` (0 = off). When nonzero, graph
+    /// traversal collects the top `max(k, r)` candidates under the
+    /// store's (possibly approximate, e.g. PQ/ADC) distances, then the
+    /// index re-scores them against its full-precision rerank source
+    /// and returns the exact top `k`. Must be `>= k` when nonzero;
+    /// capped by [`SearchParams::MAX_RERANK_DEPTH`]. Effective depth
+    /// is additionally clamped to `itopk` (the traversal cannot
+    /// surface more than `itopk` candidates).
+    pub rerank_depth: usize,
     /// Seed for the random initial candidates.
     pub seed: u64,
 }
@@ -74,6 +83,7 @@ impl SearchParams {
             hash: HashPolicy::Forgettable { bits: 11, reset_interval: 1 },
             team_size: 8,
             num_cta: 16,
+            rerank_depth: 0,
             seed: 0xcaa7,
         }
     }
@@ -109,6 +119,9 @@ impl SearchParams {
     pub const MAX_NUM_CTA: usize = 1 << 12;
     /// Largest accepted explicit iteration bound.
     pub const MAX_ITERATION_BOUND: usize = 1 << 24;
+    /// Largest accepted rerank depth (bounds the exact-rescore pass;
+    /// same ceiling as `itopk`, which already clamps it in practice).
+    pub const MAX_RERANK_DEPTH: usize = 1 << 16;
 
     /// Validate parameter consistency for a result size `k`: rejects
     /// `k == 0`, `k > itopk`, zero/absurd knob values, non-warp team
@@ -162,6 +175,16 @@ impl SearchParams {
                     max: Self::MAX_ITERATION_BOUND,
                 });
             }
+        }
+        if self.rerank_depth != 0 && self.rerank_depth < k {
+            return Err(SearchError::RerankDepthBelowK { depth: self.rerank_depth, k });
+        }
+        if self.rerank_depth > Self::MAX_RERANK_DEPTH {
+            return Err(SearchError::ParamOutOfRange {
+                what: "rerank_depth",
+                value: self.rerank_depth,
+                max: Self::MAX_RERANK_DEPTH,
+            });
         }
         if let HashPolicy::Forgettable { bits, reset_interval } = self.hash {
             if !(4..=24).contains(&bits) {
@@ -246,6 +269,22 @@ mod tests {
         assert!(matches!(
             p.validate(1),
             Err(SearchError::ParamOutOfRange { what: "min_iterations", .. })
+        ));
+    }
+
+    #[test]
+    fn rerank_depth_validation() {
+        let mut p = SearchParams::for_k(10);
+        p.rerank_depth = 0; // off — always fine
+        assert!(p.validate(10).is_ok());
+        p.rerank_depth = 10; // == k is the floor
+        assert!(p.validate(10).is_ok());
+        p.rerank_depth = 9;
+        assert_eq!(p.validate(10), Err(SearchError::RerankDepthBelowK { depth: 9, k: 10 }));
+        p.rerank_depth = SearchParams::MAX_RERANK_DEPTH + 1;
+        assert!(matches!(
+            p.validate(10),
+            Err(SearchError::ParamOutOfRange { what: "rerank_depth", .. })
         ));
     }
 

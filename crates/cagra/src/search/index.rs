@@ -29,6 +29,10 @@ pub struct CagraIndex<S> {
     /// graph and store rows live in a permuted internal numbering, and
     /// this map translates ids at the search boundary.
     id_map: Option<IdMap>,
+    /// Full-precision rows for the two-phase exact rerank, in
+    /// **original** id order (see [`CagraIndex::set_rerank_store`]).
+    /// `None` until attached; required when `rerank_depth > 0`.
+    rerank: Option<Box<dyn VectorStore + Send + Sync>>,
     /// Dispatch thresholds used by [`CagraIndex::search_batch`].
     pub thresholds: Thresholds,
 }
@@ -38,7 +42,14 @@ impl<S: VectorStore> CagraIndex<S> {
     pub fn build(store: S, metric: Metric, config: &GraphConfig) -> (Self, BuildReport) {
         let (graph, report) = build_graph(&store, metric, config);
         (
-            CagraIndex { store, graph, metric, id_map: None, thresholds: Thresholds::default() },
+            CagraIndex {
+                store,
+                graph,
+                metric,
+                id_map: None,
+                rerank: None,
+                thresholds: Thresholds::default(),
+            },
             report,
         )
     }
@@ -49,7 +60,14 @@ impl<S: VectorStore> CagraIndex<S> {
         if store.len() != graph.len() {
             return Err(SearchError::SizeMismatch { store: store.len(), graph: graph.len() });
         }
-        Ok(CagraIndex { store, graph, metric, id_map: None, thresholds: Thresholds::default() })
+        Ok(CagraIndex {
+            store,
+            graph,
+            metric,
+            id_map: None,
+            rerank: None,
+            thresholds: Thresholds::default(),
+        })
     }
 
     /// Wrap an already-built graph (e.g. deserialized with
@@ -102,6 +120,39 @@ impl<S: VectorStore> CagraIndex<S> {
         self.metric
     }
 
+    /// Attach a full-precision rerank source, enabling two-phase
+    /// search (`SearchParams::rerank_depth > 0`): traversal under the
+    /// store's — possibly approximate, e.g. PQ/ADC — distances, then
+    /// an exact re-score of the top candidates against this source.
+    ///
+    /// Rows must be in **original** id order. Search results carry
+    /// original ids (any locality relabel is undone at the output
+    /// boundary), so the rerank pass reads `source` rows by result id
+    /// directly — no permutation bookkeeping — and a later
+    /// [`CagraIndex::relabel`] leaves the source untouched.
+    ///
+    /// # Panics
+    /// Panics if the source's shape differs from the index.
+    pub fn set_rerank_store(&mut self, source: Box<dyn VectorStore + Send + Sync>) {
+        assert_eq!(source.len(), self.store.len(), "rerank source/store size mismatch");
+        assert_eq!(source.dim(), self.store.dim(), "rerank source/store dimension mismatch");
+        self.rerank = Some(source);
+    }
+
+    /// The attached full-precision rerank source, if any.
+    pub fn rerank_store(&self) -> Option<&(dyn VectorStore + Send + Sync)> {
+        self.rerank.as_deref()
+    }
+
+    /// Reject `rerank_depth > 0` when no rerank source is attached —
+    /// part of every validated entry point's admission gate.
+    fn check_rerank(&self, params: &SearchParams) -> Result<(), SearchError> {
+        if params.rerank_depth > 0 && self.rerank.is_none() {
+            return Err(SearchError::RerankWithoutSource);
+        }
+        Ok(())
+    }
+
     /// Validate a request *shape* — `(k, query_dim, params)` against
     /// this index — without running a search. The serving layer calls
     /// this once per distinct shape at admission time and then uses
@@ -114,7 +165,8 @@ impl<S: VectorStore> CagraIndex<S> {
         k: usize,
         params: &SearchParams,
     ) -> Result<(), SearchError> {
-        validate_request(params, k, self.store.len(), self.store.dim(), query_dim)
+        validate_request(params, k, self.store.len(), self.store.dim(), query_dim)?;
+        self.check_rerank(params)
     }
 
     /// Single-query search with automatic mapping choice (a lone query
@@ -164,6 +216,7 @@ impl<S: VectorStore> CagraIndex<S> {
         mode: Mode,
     ) -> Result<(Vec<Neighbor>, SearchTrace), SearchError> {
         validate_request(params, k, self.store.len(), self.store.dim(), query.len())?;
+        self.check_rerank(params)?;
         let mut scratch = SearchScratch::new();
         self.search_mode_with(query, k, params, mode, &mut scratch);
         Ok(scratch.into_output())
@@ -185,13 +238,23 @@ impl<S: VectorStore> CagraIndex<S> {
     ) {
         let clock = obs::Stopwatch::start();
         let id_map = self.id_map.as_ref();
+        // Two-phase: traverse for the top max(k, r) candidates under
+        // the store's (possibly approximate) distances, then exactly
+        // re-score them against the rerank source. On this unchecked
+        // path, depth > 0 without a source degrades to single-phase —
+        // the validated entry points reject that combination up front.
+        let rerank = if params.rerank_depth > 0 { self.rerank.as_deref() } else { None };
+        let k_eff = match rerank {
+            Some(_) => params.rerank_depth.max(k).min(params.itopk).min(self.store.len()),
+            None => k,
+        };
         match mode {
             Mode::SingleCta => search_single_cta_mapped(
                 &self.graph,
                 &self.store,
                 self.metric,
                 query,
-                k,
+                k_eff,
                 params,
                 scratch,
                 id_map,
@@ -201,15 +264,70 @@ impl<S: VectorStore> CagraIndex<S> {
                 &self.store,
                 self.metric,
                 query,
-                k,
+                k_eff,
                 params,
                 scratch,
                 id_map,
             ),
         }
+        if let Some(src) = rerank {
+            self.rerank_results(query, k, src, scratch);
+        }
         let m = obs::metrics();
         m.search_queries.inc();
         m.search_latency_ns.record(clock.elapsed_ns());
+    }
+
+    /// Phase two: exactly re-score the candidates in `scratch.results`
+    /// against the full-precision source and keep the best `k`.
+    /// Candidate ids are original ids — exactly the source's row order
+    /// — so no id translation happens here. Uses the same kernel entry
+    /// points as a plain f32 oracle, so the kept distances are
+    /// bit-identical to what an uncompressed index would report.
+    fn rerank_results(
+        &self,
+        query: &[f32],
+        k: usize,
+        src: &dyn VectorStore,
+        scratch: &mut SearchScratch,
+    ) {
+        let clock = obs::Stopwatch::start();
+        let depth = scratch.results.len();
+        // Remember the approximate top-k to count promotions.
+        let mut approx = std::mem::take(&mut scratch.rerank_ids);
+        approx.clear();
+        approx.extend(scratch.results.iter().take(k).map(|n| n.id));
+        let mut row = std::mem::take(&mut scratch.rerank_row);
+        row.resize(src.dim(), 0.0);
+        // Hoist the query norm once, as the oracle's prepare() does.
+        let qnorm = match self.metric {
+            Metric::Cosine => distance::dot(query, query).sqrt(),
+            _ => 0.0,
+        };
+        for nb in scratch.results.iter_mut() {
+            let r: &[f32] = match src.row_f32(nb.id as usize) {
+                Some(r) => r,
+                None => {
+                    src.get_into(nb.id as usize, &mut row);
+                    &row
+                }
+            };
+            nb.dist = match self.metric {
+                Metric::SquaredL2 => distance::squared_l2(query, r),
+                Metric::InnerProduct => -distance::dot(query, r),
+                Metric::Cosine => distance::cosine_from_parts(qnorm, distance::dot_norm(query, r)),
+            };
+        }
+        scratch.results.sort_unstable_by(knn::topk::cmp_neighbor);
+        scratch.results.truncate(k);
+        let promoted = scratch.results.iter().filter(|n| !approx.contains(&n.id)).count();
+        scratch.rerank_row = row;
+        scratch.rerank_ids = approx;
+        let m = obs::metrics();
+        m.search_rerank_queries.inc();
+        m.search_rerank_promoted.add(promoted as u64);
+        m.search_rerank_depth.record(depth as u64);
+        m.search_rerank_latency_ns.record(clock.elapsed_ns());
     }
 
     /// Batch search, parallel over queries, mapping chosen per Fig. 7
@@ -271,6 +389,7 @@ impl<S: VectorStore> CagraIndex<S> {
         mode: Mode,
     ) -> Result<Vec<Vec<Neighbor>>, SearchError> {
         validate_request(params, k, self.store.len(), self.store.dim(), queries.dim())?;
+        self.check_rerank(params)?;
         obs::metrics().search_batches.inc();
         Ok(parallel_map_with(
             queries.len(),
@@ -313,6 +432,7 @@ impl<S: VectorStore> CagraIndex<S> {
         mode: Mode,
     ) -> Result<Vec<(Vec<Neighbor>, SearchTrace)>, SearchError> {
         validate_request(params, k, self.store.len(), self.store.dim(), queries.dim())?;
+        self.check_rerank(params)?;
         obs::metrics().search_batches.inc();
         Ok(parallel_map_with(
             queries.len(),
@@ -544,5 +664,85 @@ mod tests {
         let store = dataset::Dataset::from_flat(vec![0.0; 8], 8);
         let g = index.graph().clone();
         CagraIndex::from_parts(store, g, Metric::SquaredL2);
+    }
+
+    #[test]
+    fn rerank_without_source_rejected_and_accepted_with_one() {
+        let (mut index, queries) = build_index(300);
+        let mut p = SearchParams::for_k(5);
+        p.rerank_depth = 20;
+        assert_eq!(index.try_search(queries.row(0), 5, &p), Err(SearchError::RerankWithoutSource));
+        assert_eq!(
+            index.validate_shape(queries.dim(), 5, &p),
+            Err(SearchError::RerankWithoutSource)
+        );
+        let copy =
+            dataset::Dataset::from_flat(index.store().as_flat().to_vec(), index.store().dim());
+        index.set_rerank_store(Box::new(copy));
+        assert_eq!(index.validate_shape(queries.dim(), 5, &p), Ok(()));
+        assert_eq!(index.try_search(queries.row(0), 5, &p).unwrap().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rerank_source_shape_checked() {
+        let (mut index, _) = build_index(300);
+        index.set_rerank_store(Box::new(dataset::Dataset::from_flat(vec![0.0; 8], 8)));
+    }
+
+    #[test]
+    fn rerank_over_exact_store_returns_the_same_top_k() {
+        // With an f32 store the traversal distances are already exact,
+        // so phase two re-scores with bit-identical values and the
+        // final top-k must match single-phase search exactly.
+        let (mut index, queries) = build_index(800);
+        let mut p = SearchParams::for_k(10);
+        p.hash = crate::params::HashPolicy::Standard;
+        let baseline = index.search_batch(&queries, 10, &p);
+        let copy =
+            dataset::Dataset::from_flat(index.store().as_flat().to_vec(), index.store().dim());
+        index.set_rerank_store(Box::new(copy));
+        p.rerank_depth = 40;
+        assert_eq!(index.search_batch(&queries, 10, &p), baseline);
+    }
+
+    #[test]
+    fn pq_rerank_reports_exact_distances_and_lifts_recall() {
+        use dataset::pq::{self, PqConfig};
+        let spec = SynthSpec { dim: 16, n: 1500, queries: 40, family: Family::Gaussian, seed: 9 };
+        let (base, queries) = spec.generate();
+        let pq_store = pq::build(&base, &PqConfig::new(4));
+        let (graph, _) = crate::build::build_graph(&base, Metric::SquaredL2, &GraphConfig::new(16));
+        let mut index = CagraIndex::from_parts(pq_store, graph, Metric::SquaredL2);
+        let mut p = SearchParams::for_k(10);
+        p.itopk = 128;
+        let approx = index.search_batch(&queries, 10, &p);
+        index.set_rerank_store(Box::new(dataset::Dataset::from_flat(
+            base.as_flat().to_vec(),
+            base.dim(),
+        )));
+        p.rerank_depth = 64;
+        let reranked = index.search_batch(&queries, 10, &p);
+        // Reranked distances are the true f32 distances of the ids.
+        for (qi, hits) in reranked.iter().enumerate() {
+            assert_eq!(hits.len(), 10);
+            for nb in hits {
+                let want = Metric::SquaredL2.distance(queries.row(qi), base.row(nb.id as usize));
+                assert_eq!(nb.dist, want, "query {qi} id {}", nb.id);
+            }
+        }
+        // Recall@10 with rerank must beat (or tie) raw PQ traversal.
+        let gt = ground_truth(&base, Metric::SquaredL2, &queries, 10);
+        let recall = |got: &[Vec<knn::topk::Neighbor>]| {
+            let mut hits = 0usize;
+            for (g, t) in got.iter().zip(&gt) {
+                let ts: std::collections::HashSet<u32> = t.iter().copied().collect();
+                hits += g.iter().filter(|n| ts.contains(&n.id)).count();
+            }
+            hits as f64 / (gt.len() * 10) as f64
+        };
+        let (r_pq, r_rr) = (recall(&approx), recall(&reranked));
+        assert!(r_rr >= r_pq, "rerank lowered recall: {r_pq} -> {r_rr}");
+        assert!(r_rr > 0.9, "reranked recall@10 = {r_rr}");
     }
 }

@@ -52,6 +52,12 @@ pub struct SearchScratch {
     pub(crate) gang_dists: Vec<f32>,
     /// Results of the most recent search, ascending by distance.
     pub(crate) results: Vec<Neighbor>,
+    /// Rerank staging: one full-precision row gathered from the rerank
+    /// source (used only when the source has no borrowable rows).
+    pub(crate) rerank_row: Vec<f32>,
+    /// Rerank staging: the approximate top-k ids before re-scoring
+    /// (drives the `search.rerank_promoted` counter).
+    pub(crate) rerank_ids: Vec<u32>,
     /// Trace of the most recent search.
     pub(crate) trace: SearchTrace,
     /// When false, per-iteration trace entries are not recorded (the

@@ -10,22 +10,54 @@
 //! merged. Shard-local node ids are translated back to global ids.
 
 use crate::build::{BuildReport, GraphConfig};
+use crate::mmap::MmapVectors;
 use crate::params::SearchParams;
 use crate::search::index::CagraIndex;
 use crate::search::planner::Mode;
+use dataset::pq::{PqCodebook, PqConfig, PqStore};
 use dataset::{Dataset, VectorStore};
 use distance::Metric;
 use knn::topk::{cmp_neighbor, Neighbor};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
 
-/// A collection of independent per-shard CAGRA indexes.
-pub struct ShardedIndex {
-    shards: Vec<CagraIndex<Dataset>>,
+/// A collection of independent per-shard CAGRA indexes. The shard
+/// store type is generic: `Dataset` (f32, the default) for in-memory
+/// shards, `PqStore` for compressed shards built by
+/// [`ShardedIndex::build_pq`].
+pub struct ShardedIndex<S = Dataset> {
+    shards: Vec<CagraIndex<S>>,
     /// Global id of each shard's first vector.
     offsets: Vec<u32>,
     metric: Metric,
 }
 
-impl ShardedIndex {
+/// Gather shard rows `[start, end)` of any store into an f32 dataset.
+fn gather_shard<S: VectorStore>(store: &S, start: usize, end: usize) -> Dataset {
+    let dim = store.dim();
+    let mut row = vec![0.0f32; dim];
+    let mut flat = Vec::with_capacity((end - start) * dim);
+    for i in start..end {
+        store.get_into(i, &mut row);
+        flat.extend_from_slice(&row);
+    }
+    Dataset::from_flat(flat, dim)
+}
+
+/// Validate the shard count and return the shard length.
+fn shard_len_for(n: usize, num_shards: usize, config: &GraphConfig) -> usize {
+    assert!(num_shards > 0, "need at least one shard");
+    let shard_len = n.div_ceil(num_shards);
+    assert!(
+        shard_len > config.d_init(),
+        "shards of {shard_len} vectors cannot support d_init = {}",
+        config.d_init()
+    );
+    shard_len
+}
+
+impl ShardedIndex<Dataset> {
     /// Split `store` into `num_shards` contiguous shards and build one
     /// CAGRA graph per shard. Returns the index and the per-shard
     /// build reports.
@@ -39,28 +71,15 @@ impl ShardedIndex {
         config: &GraphConfig,
         num_shards: usize,
     ) -> (Self, Vec<BuildReport>) {
-        assert!(num_shards > 0, "need at least one shard");
         let n = store.len();
-        let shard_len = n.div_ceil(num_shards);
-        assert!(
-            shard_len > config.d_init(),
-            "shards of {shard_len} vectors cannot support d_init = {}",
-            config.d_init()
-        );
-        let dim = store.dim();
+        let shard_len = shard_len_for(n, num_shards, config);
         let mut shards = Vec::with_capacity(num_shards);
         let mut offsets = Vec::with_capacity(num_shards);
         let mut reports = Vec::with_capacity(num_shards);
-        let mut row = vec![0.0f32; dim];
         let mut start = 0usize;
         while start < n {
             let end = (start + shard_len).min(n);
-            let mut flat = Vec::with_capacity((end - start) * dim);
-            for i in start..end {
-                store.get_into(i, &mut row);
-                flat.extend_from_slice(&row);
-            }
-            let shard_store = Dataset::from_flat(flat, dim);
+            let shard_store = gather_shard(store, start, end);
             let (index, report) = CagraIndex::build(shard_store, metric, config);
             shards.push(index);
             offsets.push(start as u32);
@@ -69,7 +88,74 @@ impl ShardedIndex {
         }
         (ShardedIndex { shards, offsets, metric }, reports)
     }
+}
 
+impl ShardedIndex<PqStore> {
+    /// Build a sharded **product-quantized** index — the multi-million
+    /// point configuration: one *global* codebook is trained on a
+    /// deterministic sample of the whole store, then each shard builds
+    /// its graph on transient f32 rows, encodes them to `m`-byte PQ
+    /// codes, and spills the f32 rows to
+    /// `spill_dir/shard_NNNN.f32` — memory-mapped back as the shard's
+    /// two-phase rerank source ([`MmapVectors`]). Steady-state
+    /// residency is `m` bytes per vector plus the graph; the peak is
+    /// one shard of f32 during its build.
+    ///
+    /// A single codebook across shards keeps every shard's distances
+    /// in the same quantized space, so the merged top-k is consistent,
+    /// and the codebook is stored once.
+    ///
+    /// # Panics
+    /// Panics if a shard would be too small for the configured degree.
+    pub fn build_pq<S: VectorStore>(
+        store: &S,
+        metric: Metric,
+        config: &GraphConfig,
+        num_shards: usize,
+        pq: &PqConfig,
+        spill_dir: &Path,
+    ) -> io::Result<(Self, Vec<BuildReport>)> {
+        let n = store.len();
+        let shard_len = shard_len_for(n, num_shards, config);
+        std::fs::create_dir_all(spill_dir)?;
+        let codebook = Arc::new(PqCodebook::train(store, pq));
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offsets = Vec::with_capacity(num_shards);
+        let mut reports = Vec::with_capacity(num_shards);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + shard_len).min(n);
+            let full = gather_shard(store, start, end);
+            // Graph quality comes from exact f32 distances; the PQ
+            // store only serves search-time traversal.
+            let (graph, report) = crate::build::build_graph(&full, metric, config);
+            let pq_store = PqStore::encode(Arc::clone(&codebook), &full);
+            let path = spill_dir.join(format!("shard_{:04}.f32", shards.len()));
+            let mut w = io::BufWriter::new(std::fs::File::create(&path)?);
+            for chunk in full.as_flat() {
+                w.write_all(&chunk.to_le_bytes())?;
+            }
+            w.flush()?;
+            drop(w);
+            drop(full);
+            let vectors = MmapVectors::open(&path, 0, end - start, store.dim())?;
+            let mut index = CagraIndex::from_parts(pq_store, graph, metric);
+            index.set_rerank_store(Box::new(vectors));
+            shards.push(index);
+            offsets.push(start as u32);
+            reports.push(report);
+            start = end;
+        }
+        Ok((ShardedIndex { shards, offsets, metric }, reports))
+    }
+
+    /// The codebook shared by every shard.
+    pub fn codebook(&self) -> &Arc<PqCodebook> {
+        self.shards[0].store().codebook()
+    }
+}
+
+impl<S: VectorStore> ShardedIndex<S> {
     /// Number of shards (devices in the paper's deployment).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -90,8 +176,17 @@ impl ShardedIndex {
         self.metric
     }
 
+    /// Resident bytes per vector across shard stores (PQ shards
+    /// report `m`; the mmap'd rerank rows are file-backed and count
+    /// zero).
+    pub fn bytes_per_vector(&self) -> usize {
+        self.shards.first().map_or(0, |s| {
+            s.store().bytes_per_vector() + s.rerank_store().map_or(0, |r| r.bytes_per_vector())
+        })
+    }
+
     /// Borrow one shard's index (e.g. to route it to a device model).
-    pub fn shard(&self, i: usize) -> &CagraIndex<Dataset> {
+    pub fn shard(&self, i: usize) -> &CagraIndex<S> {
         &self.shards[i]
     }
 
@@ -214,5 +309,55 @@ mod tests {
     fn too_many_shards_rejected() {
         let (base, _) = workload();
         let _ = ShardedIndex::build(&base, Metric::SquaredL2, &GraphConfig::new(32), 64);
+    }
+
+    #[test]
+    fn pq_shards_share_one_codebook_and_rerank_to_high_recall() {
+        let (base, queries) = workload();
+        let dir = std::env::temp_dir().join(format!("cagra_shard_pq_{}", std::process::id()));
+        let (sharded, reports) = ShardedIndex::build_pq(
+            &base,
+            Metric::SquaredL2,
+            &GraphConfig::new(8),
+            3,
+            &dataset::pq::PqConfig::new(4),
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.len(), 2400);
+        assert_eq!(reports.len(), 3);
+        // One codebook instance across shards.
+        assert!(Arc::ptr_eq(
+            sharded.shard(0).store().codebook(),
+            sharded.shard(2).store().codebook()
+        ));
+        // Residency: m bytes per vector (+0 for the mapped rerank rows
+        // on unix) — far below the 32 f32 bytes.
+        assert!(
+            sharded.bytes_per_vector() * 4 <= base.bytes_per_vector(),
+            "PQ shards resident {} B/vec vs f32 {} B/vec",
+            sharded.bytes_per_vector(),
+            base.bytes_per_vector()
+        );
+        let mut params = SearchParams::for_k(10);
+        params.itopk = 128;
+        params.rerank_depth = 64;
+        let mut hits = 0usize;
+        for qi in 0..queries.len() {
+            let got = sharded.search(queries.row(qi), 10, &params, Mode::SingleCta);
+            assert_eq!(got.len(), 10);
+            // Reranked distances are exact f32 distances in global ids.
+            for n in &got {
+                let d = Metric::SquaredL2.distance(queries.row(qi), base.row(n.id as usize));
+                assert_eq!(n.dist, d, "query {qi} id {}", n.id);
+            }
+            let want = exact_search(&base, Metric::SquaredL2, queries.row(qi), 10);
+            let want_ids: std::collections::HashSet<u32> = want.iter().map(|n| n.id).collect();
+            hits += got.iter().filter(|n| want_ids.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (queries.len() * 10) as f64;
+        assert!(recall > 0.9, "sharded PQ+rerank recall@10 = {recall}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 
 /// Usage string shown on errors.
 pub const USAGE: &str = "usage: cagra-cli <synth|gt|build|bundle|search|serve|stats> \
-     [--flag value]... (bundle accepts --relabel identity|degree|rcm|gorder)";
+     [--flag value]... (bundle accepts --relabel identity|degree|rcm|gorder and --pq M; \
+     search/serve accept --rerank D for two-phase search over PQ bundles)";
 
 /// Parsed flags for one subcommand.
 #[derive(Clone, Debug, Default)]

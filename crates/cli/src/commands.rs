@@ -6,16 +6,27 @@ use cagra::build::GraphConfig;
 use cagra::params::ReorderStrategy;
 use cagra::search::planner::Mode;
 use cagra::{CagraIndex, RelabelStrategy, SearchParams};
+use dataset::pq::{PqConfig, PqStore};
 use dataset::presets::{DatasetPreset, PresetName};
 use dataset::{Dataset, VectorStore};
 use distance::Metric;
 use graph::stats::{graph_stats, locality_stats};
 use graph::AdjacencyGraph;
+use knn::topk::Neighbor;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read as _};
 use std::path::Path;
 use std::time::Instant;
+
+/// Parse `--rerank <depth>` (absent or 0 = single-phase search).
+fn parse_rerank(args: &Args, k: usize) -> Result<usize, String> {
+    let depth = args.usize_or("rerank", 0)?;
+    if depth > 0 && depth < k {
+        return Err(format!("--rerank {depth} must be at least k ({k})"));
+    }
+    Ok(depth)
+}
 
 /// Parse `--relabel <identity|degree|rcm|gorder>` (absent = identity).
 fn parse_relabel(args: &Args) -> Result<RelabelStrategy, String> {
@@ -150,23 +161,64 @@ pub fn build(args: &Args) -> Result<String, String> {
 /// metric together, so they cannot drift apart). `--relabel` renumbers
 /// graph and vectors jointly for memory locality; the permutation is
 /// persisted so loaded bundles keep answering in original ids.
+/// `--pq M` writes a product-quantized v3 bundle instead: M-byte codes
+/// plus the graph up front, the full-precision rows as a mmap-able
+/// tail that `search --rerank` re-scores against.
 pub fn bundle(args: &Args) -> Result<String, String> {
     let base = read_dataset(args.req("base")?)?;
     let degree = args.req_usize("degree")?;
     let metric = parse_metric(args)?;
     let relabel = parse_relabel(args)?;
+    let pq_m = match args.opt("pq") {
+        None => None,
+        Some(v) => {
+            let m: usize = v.parse().map_err(|_| "--pq must be a number".to_string())?;
+            if m == 0 || m > base.dim() {
+                return Err(format!("--pq {m} must be in 1..={} (the dataset dim)", base.dim()));
+            }
+            Some(m)
+        }
+    };
     let out = args.req("out")?;
     let config = GraphConfig::new(degree);
+    // PQ bundles store the full-precision rows in original id order;
+    // keep a copy before the build (possibly) relabels the store.
+    let full = pq_m.map(|_| Dataset::from_flat(base.as_flat().to_vec(), base.dim()));
     let (index, report) = match relabel {
         RelabelStrategy::Identity => CagraIndex::build(base, metric, &config),
         s => CagraIndex::build_with_relabel(base, metric, &config, s),
     };
-    cagra::index_io::write_index(create(out)?, &index).map_err(|e| e.to_string())?;
-    let mut text = format!(
-        "bundled {} vectors + degree-{degree} graph into {out} (built in {:.2?})",
-        index.store().len(),
-        report.total()
-    );
+    let mut text = match pq_m {
+        None => {
+            cagra::index_io::write_index(create(out)?, &index).map_err(|e| e.to_string())?;
+            format!(
+                "bundled {} vectors + degree-{degree} graph into {out} (built in {:.2?})",
+                index.store().len(),
+                report.total()
+            )
+        }
+        Some(m) => {
+            // Encode in the index's (possibly relabeled) row order so
+            // codes stay aligned with the graph.
+            let store = dataset::pq::build(index.store(), &PqConfig::new(m));
+            let pq_index = CagraIndex::from_parts_mapped(
+                store,
+                index.graph().clone(),
+                metric,
+                index.id_map().cloned(),
+            );
+            let full = full.expect("full-precision copy kept for PQ bundles");
+            cagra::index_io::write_index_pq(create(out)?, &pq_index, &full)
+                .map_err(|e| e.to_string())?;
+            format!(
+                "bundled {} vectors as {m}-byte PQ codes + degree-{degree} graph into {out} \
+                 (built in {:.2?}; resident {m} B/vec vs f32 {} B/vec, rerank tail mmap'd)",
+                pq_index.store().len(),
+                report.total(),
+                full.bytes_per_vector()
+            )
+        }
+    };
     if let Some(m) = index.id_map() {
         let _ = write!(
             text,
@@ -179,30 +231,78 @@ pub fn bundle(args: &Args) -> Result<String, String> {
     Ok(text)
 }
 
-/// Load a persisted index: either `--index bundle.cgix` or the
-/// `--base fvecs --graph cagra [--metric m]` pair (shared by `search`
-/// and `serve`).
-fn load_index(args: &Args) -> Result<CagraIndex<Dataset>, String> {
+/// A loaded index of either storage flavour. The two variants share
+/// every search surface; dispatch once here instead of at each call.
+enum LoadedIndex {
+    F32(CagraIndex<Dataset>),
+    Pq(CagraIndex<PqStore>),
+}
+
+/// Peek a bundle's format version (magic + u32, before any payload).
+fn bundle_version(path: &str) -> Result<u32, String> {
+    let mut head = [0u8; 8];
+    let mut f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    f.read_exact(&mut head).map_err(|e| format!("read {path}: {e}"))?;
+    if &head[0..4] != b"CGIX" {
+        return Err(format!("{path} is not an index bundle (bad magic)"));
+    }
+    Ok(u32::from_le_bytes(head[4..8].try_into().unwrap()))
+}
+
+/// Load a persisted index: either `--index bundle.cgix` (format
+/// version dispatched automatically — v3 PQ bundles get their mmap'd
+/// rerank tail attached) or the `--base fvecs --graph cagra
+/// [--metric m]` pair (shared by `search` and `serve`).
+fn load_index(args: &Args) -> Result<LoadedIndex, String> {
     if let Some(bundle_path) = args.opt("index") {
+        if bundle_version(bundle_path)? >= 3 {
+            match cagra::index_io::read_index_pq(Path::new(bundle_path)) {
+                Ok(index) => return Ok(LoadedIndex::Pq(index)),
+                // A v3+ bundle can still carry plain f32 storage; the
+                // reader's pointer error says to fall through.
+                Err(e) if e.to_string().contains("read_index") => {}
+                Err(e) => return Err(e.to_string()),
+            }
+        }
         let f = File::open(bundle_path).map_err(|e| format!("open {bundle_path}: {e}"))?;
-        cagra::index_io::read_index(BufReader::new(f)).map_err(|e| e.to_string())
+        cagra::index_io::read_index(BufReader::new(f))
+            .map(LoadedIndex::F32)
+            .map_err(|e| e.to_string())
     } else {
         let base = read_dataset(args.req("base")?)?;
         let graph_file = File::open(args.req("graph")?).map_err(|e| e.to_string())?;
         let g = graph::io::read_fixed(BufReader::new(graph_file)).map_err(|e| e.to_string())?;
         let metric = parse_metric(args)?;
-        Ok(CagraIndex::from_parts(base, g, metric))
+        Ok(LoadedIndex::F32(CagraIndex::from_parts(base, g, metric)))
+    }
+}
+
+/// Batch-search either storage flavour with the parsed mode.
+fn search_batch<S: VectorStore>(
+    index: &CagraIndex<S>,
+    queries: &Dataset,
+    k: usize,
+    params: &SearchParams,
+    mode: Option<Mode>,
+) -> Vec<Vec<Neighbor>> {
+    match mode {
+        None => index.search_batch(queries, k, params),
+        Some(m) => index.search_batch_mode(queries, k, params, m),
     }
 }
 
 /// `search`: query a persisted index; reports recall when ground truth
 /// is supplied. Accepts either `--index bundle.cgix` or the
-/// `--base fvecs --graph cagra` pair.
+/// `--base fvecs --graph cagra` pair. `--rerank R` enables two-phase
+/// search on PQ bundles: traversal over approximate distances, then an
+/// exact re-score of the top R candidates against the mmap'd
+/// full-precision rows.
 pub fn search(args: &Args) -> Result<String, String> {
     let queries = read_dataset(args.req("queries")?)?;
     let k = args.req_usize("k")?;
     let mut params = SearchParams::for_k(k);
     params.itopk = args.usize_or("itopk", params.itopk)?.max(k);
+    params.rerank_depth = parse_rerank(args, k)?;
     let mode = match args.opt("mode").unwrap_or("auto") {
         "auto" => None,
         "single" => Some(Mode::SingleCta),
@@ -211,10 +311,17 @@ pub fn search(args: &Args) -> Result<String, String> {
     };
 
     let index = load_index(args)?;
+    if params.rerank_depth > 0 && matches!(index, LoadedIndex::F32(_)) {
+        return Err(
+            "--rerank needs a full-precision rerank source; f32 indexes are already exact \
+             (build a PQ bundle with `bundle --pq M`)"
+                .to_string(),
+        );
+    }
     let t0 = Instant::now();
-    let results = match mode {
-        None => index.search_batch(&queries, k, &params),
-        Some(m) => index.search_batch_mode(&queries, k, &params, m),
+    let results = match &index {
+        LoadedIndex::F32(ix) => search_batch(ix, &queries, k, &params, mode),
+        LoadedIndex::Pq(ix) => search_batch(ix, &queries, k, &params, mode),
     };
     let wall = t0.elapsed().as_secs_f64();
 
@@ -264,6 +371,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let k = args.usize_or("k", 10)?;
     let mut params = SearchParams::for_k(k);
     params.itopk = args.usize_or("itopk", params.itopk)?.max(k);
+    params.rerank_depth = parse_rerank(args, k)?;
     let mut config = serve::ServeConfig::new(params);
     config.max_batch = args.usize_or("max-batch", config.max_batch)?;
     config.max_wait = std::time::Duration::from_micros(args.u64_or("max-wait-us", 0)?);
@@ -275,15 +383,37 @@ pub fn serve(args: &Args) -> Result<String, String> {
         None => None,
     };
 
-    let index = load_index(args)?;
+    match load_index(args)? {
+        LoadedIndex::F32(ix) => {
+            if params.rerank_depth > 0 {
+                return Err(
+                    "--rerank needs a PQ bundle (f32 indexes are already exact)".to_string()
+                );
+            }
+            serve_index(ix, args, k, params, config, addr, self_test)
+        }
+        LoadedIndex::Pq(ix) => serve_index(ix, args, k, params, config, addr, self_test),
+    }
+}
+
+/// The serve body, generic over the index's storage flavour.
+fn serve_index<S: VectorStore + Send + 'static>(
+    index: CagraIndex<S>,
+    args: &Args,
+    k: usize,
+    params: SearchParams,
+    config: serve::ServeConfig,
+    addr: &str,
+    self_test: Option<usize>,
+) -> Result<String, String> {
     // Sample self-test queries from the base before the service takes
-    // ownership of the index.
-    let sample: Vec<Vec<f32>> = index
-        .store()
-        .as_flat()
-        .chunks(index.store().dim())
-        .take(128)
-        .map(|row| row.to_vec())
+    // ownership of the index (decoded rows, so PQ stores work too).
+    let mut row = vec![0.0f32; index.store().dim()];
+    let sample: Vec<Vec<f32>> = (0..index.store().len().min(128))
+        .map(|i| {
+            index.store().get_into(i, &mut row);
+            row.clone()
+        })
         .collect();
     let n = index.store().len();
     let service = std::sync::Arc::new(
@@ -523,6 +653,153 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("identity|degree|rcm|gorder"), "error: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pq_bundle_two_phase_workflow() {
+        let dir = tmpdir("pq");
+        synth(&Args::from_pairs(&[
+            ("preset", "deep"),
+            ("n", "600"),
+            ("queries", "20"),
+            ("out-dir", &dir),
+        ]))
+        .unwrap();
+        let base = format!("{dir}/base.fvecs");
+        let queries = format!("{dir}/queries.fvecs");
+        let gt_path = format!("{dir}/gt.ivecs");
+        ground_truth(&Args::from_pairs(&[
+            ("base", &base),
+            ("queries", &queries),
+            ("k", "10"),
+            ("out", &gt_path),
+        ]))
+        .unwrap();
+        let bundle_path = format!("{dir}/index_pq.cgix");
+        let out = bundle(&Args::from_pairs(&[
+            ("base", &base),
+            ("degree", "16"),
+            ("pq", "24"),
+            ("out", &bundle_path),
+        ]))
+        .unwrap();
+        assert!(out.contains("24-byte PQ codes"), "report: {out}");
+
+        let recall_of = |extra: &[(&str, &str)]| -> f64 {
+            let mut pairs = vec![
+                ("index", bundle_path.as_str()),
+                ("queries", queries.as_str()),
+                ("k", "10"),
+                ("gt", gt_path.as_str()),
+                ("itopk", "64"),
+            ];
+            pairs.extend_from_slice(extra);
+            let out = search(&Args::from_pairs(&pairs)).unwrap();
+            out.lines()
+                .find(|l| l.starts_with("recall@10"))
+                .and_then(|l| l.split('=').nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap()
+        };
+        let single = recall_of(&[]);
+        let two_phase = recall_of(&[("rerank", "64")]);
+        assert!(two_phase >= single, "rerank lost recall: {two_phase} vs {single}");
+        assert!(two_phase > 0.9, "two-phase recall {two_phase}");
+
+        // Rerank depth below k is rejected up front.
+        let err = search(&Args::from_pairs(&[
+            ("index", &bundle_path),
+            ("queries", &queries),
+            ("k", "10"),
+            ("rerank", "5"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least k"), "error: {err}");
+
+        // --rerank against a plain f32 bundle points at `bundle --pq`.
+        let f32_path = format!("{dir}/index_f32.cgix");
+        bundle(&Args::from_pairs(&[("base", &base), ("degree", "16"), ("out", &f32_path)]))
+            .unwrap();
+        let err = search(&Args::from_pairs(&[
+            ("index", &f32_path),
+            ("queries", &queries),
+            ("k", "10"),
+            ("rerank", "32"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bundle --pq"), "error: {err}");
+
+        // Subspace count outside 1..=dim is rejected.
+        let err = bundle(&Args::from_pairs(&[
+            ("base", &base),
+            ("degree", "16"),
+            ("pq", "0"),
+            ("out", &bundle_path),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--pq"), "error: {err}");
+
+        // The PQ bundle serves two-phase over TCP out of the box.
+        let out = serve(&Args::from_pairs(&[
+            ("index", &bundle_path),
+            ("self-test", "32"),
+            ("clients", "2"),
+            ("k", "5"),
+            ("rerank", "32"),
+            ("max-wait-us", "100"),
+        ]))
+        .unwrap();
+        assert!(out.contains("32 served / 0 failed"), "unexpected report: {out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn relabeled_pq_bundle_answers_in_original_ids() {
+        let dir = tmpdir("pq_relabel");
+        synth(&Args::from_pairs(&[
+            ("preset", "deep"),
+            ("n", "500"),
+            ("queries", "10"),
+            ("out-dir", &dir),
+        ]))
+        .unwrap();
+        let base = format!("{dir}/base.fvecs");
+        let queries = format!("{dir}/queries.fvecs");
+        let gt_path = format!("{dir}/gt.ivecs");
+        ground_truth(&Args::from_pairs(&[
+            ("base", &base),
+            ("queries", &queries),
+            ("k", "5"),
+            ("out", &gt_path),
+        ]))
+        .unwrap();
+        let bundle_path = format!("{dir}/index.cgix");
+        let out = bundle(&Args::from_pairs(&[
+            ("base", &base),
+            ("degree", "8"),
+            ("pq", "24"),
+            ("relabel", "rcm"),
+            ("out", &bundle_path),
+        ]))
+        .unwrap();
+        assert!(out.contains("relabeled with rcm"), "report: {out}");
+        let out = search(&Args::from_pairs(&[
+            ("index", &bundle_path),
+            ("queries", &queries),
+            ("k", "5"),
+            ("itopk", "64"),
+            ("rerank", "32"),
+            ("gt", &gt_path),
+        ]))
+        .unwrap();
+        let recall: f64 = out
+            .lines()
+            .find(|l| l.starts_with("recall@5"))
+            .and_then(|l| l.split('=').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        assert!(recall > 0.85, "relabeled PQ bundle recall {recall}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

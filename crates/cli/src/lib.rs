@@ -13,6 +13,12 @@
 //! cagra-cli serve  --index work/index.cgix --addr 127.0.0.1:7878
 //! ```
 //!
+//! `bundle --pq M` stores vectors as `M`-byte product-quantized codes
+//! with the full-precision rows appended as a memory-mapped rerank
+//! tail (format v3); `search`/`serve` then accept `--rerank D` to
+//! traverse over LUT-based approximate distances and re-score the top
+//! `D` candidates exactly (ISSUE 8).
+//!
 //! `serve` runs the online micro-batching query service (ISSUE 6):
 //! single-query TCP requests are coalesced into micro-batches under a
 //! `--max-batch`/`--max-wait-us` policy with bounded-queue admission

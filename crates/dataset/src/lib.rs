@@ -24,12 +24,15 @@
 
 pub mod f16;
 pub mod io;
+pub mod pq;
 pub mod presets;
 pub mod quantize;
+pub mod sample;
 pub mod storage;
 pub mod synth;
 
 pub use f16::F16;
+pub use pq::{PqCodebook, PqConfig, PqStore};
 pub use presets::{DatasetPreset, PresetName};
 pub use quantize::DatasetI8;
-pub use storage::{Dataset, DatasetF16, PermutableStore, VectorStore};
+pub use storage::{Dataset, DatasetF16, PermutableStore, PqView, VectorStore};

@@ -9,7 +9,17 @@
 //! `scale_j = max_i |x_ij| / 127`. Per-dimension scales keep
 //! dimensions with very different magnitudes (common in embeddings)
 //! from washing out.
+//!
+//! Scale fitting has two paths: [`DatasetI8::from_f32`] scans every
+//! row (exact maxima), and [`DatasetI8::from_f32_sampled`] estimates
+//! scales on the same deterministic row sample the PQ k-means trainer
+//! draws ([`crate::sample`], stage [`crate::sample::STAGE_SAMPLE`]).
+//! Both are single-RNG-stream serial fits, so scalar and product
+//! quantization produce bit-identical codes for a given `(data, seed)`
+//! under any thread count — out-of-sample outliers simply saturate at
+//! `±127` instead of stretching the scale.
 
+use crate::sample::{derive_seed, sample_rows, STAGE_SAMPLE};
 use crate::storage::{Dataset, VectorStore};
 
 /// An `N x dim` matrix of int8 codes plus per-dimension scales.
@@ -36,6 +46,32 @@ impl DatasetI8 {
         }
         let mut codes = Vec::with_capacity(n * dim);
         for i in 0..n {
+            for (j, &x) in src.row(i).iter().enumerate() {
+                codes.push((x / scales[j]).round().clamp(-127.0, 127.0) as i8);
+            }
+        }
+        DatasetI8 { codes, scales, dim }
+    }
+
+    /// Quantize with scales estimated on a deterministic row sample —
+    /// the exact rows `sample_rows(n, sample, derive_seed(seed,
+    /// STAGE_SAMPLE))` selects, i.e. the same rows a [`crate::pq`]
+    /// codebook trained with the same `seed` fits on. Rows outside the
+    /// sample clamp to `±127` when they exceed the sampled maxima.
+    pub fn from_f32_sampled(src: &Dataset, sample: usize, seed: u64) -> DatasetI8 {
+        let dim = src.dim();
+        let rows = sample_rows(src.len(), sample.max(1), derive_seed(seed, STAGE_SAMPLE));
+        let mut scales = vec![0.0f32; dim];
+        for &i in &rows {
+            for (j, &x) in src.row(i as usize).iter().enumerate() {
+                scales[j] = scales[j].max(x.abs());
+            }
+        }
+        for s in &mut scales {
+            *s = if *s == 0.0 { 1.0 } else { *s / 127.0 };
+        }
+        let mut codes = Vec::with_capacity(src.len() * dim);
+        for i in 0..src.len() {
             for (j, &x) in src.row(i).iter().enumerate() {
                 codes.push((x / scales[j]).round().clamp(-127.0, 127.0) as i8);
             }
@@ -146,6 +182,40 @@ mod tests {
         let q = d.to_i8();
         assert_eq!(q.bytes_per_vector() * 4, d.bytes_per_vector());
         assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn sampled_scales_are_reproducible_and_shared_with_pq() {
+        use crate::synth::{Family, SynthSpec};
+        let spec = SynthSpec { dim: 6, n: 200, queries: 0, family: Family::Gaussian, seed: 3 };
+        let (d, _) = spec.generate();
+        // Same (data, seed) => bit-identical codes, run to run. The
+        // fit is a single seeded RNG stream, so CAGRA_THREADS (or any
+        // other ambient parallelism) cannot perturb it.
+        let a = DatasetI8::from_f32_sampled(&d, 64, 77);
+        let b = DatasetI8::from_f32_sampled(&d, 64, 77);
+        assert_eq!(a.row_codes(5), b.row_codes(5));
+        assert_eq!(a.scales(), b.scales());
+        // The scale fit uses the same sampler stage as PQ k-means:
+        // reproducing the draw by hand gives the same maxima.
+        let rows = crate::sample::sample_rows(
+            200,
+            64,
+            crate::sample::derive_seed(77, crate::sample::STAGE_SAMPLE),
+        );
+        let mut want = vec![0.0f32; 6];
+        for &i in &rows {
+            for (j, &x) in d.row(i as usize).iter().enumerate() {
+                want[j] = want[j].max(x.abs());
+            }
+        }
+        for (s, w) in a.scales().iter().zip(&want) {
+            assert_eq!(*s, if *w == 0.0 { 1.0 } else { *w / 127.0 });
+        }
+        // A sample covering every row reproduces the exact path.
+        let full = DatasetI8::from_f32_sampled(&d, 200, 77);
+        let exact = DatasetI8::from_f32(&d);
+        assert_eq!(full.scales(), exact.scales());
     }
 
     #[test]

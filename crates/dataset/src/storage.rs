@@ -56,6 +56,24 @@ pub trait VectorStore: Sync {
     fn flat_i8(&self) -> Option<(&[i8], &[f32])> {
         None
     }
+
+    /// Borrow the product-quantized code matrix and its codebook if
+    /// that is the backing storage. The distance engine resolves this
+    /// once per oracle and scores rows with a per-query lookup table
+    /// instead of decoding (asymmetric distance computation).
+    fn flat_pq(&self) -> Option<PqView<'_>> {
+        None
+    }
+}
+
+/// Borrowed view of a product-quantized store: the raw `n x m` code
+/// matrix plus the codebook that interprets it.
+#[derive(Clone, Copy, Debug)]
+pub struct PqView<'a> {
+    /// Row-major codes, `m` bytes per vector.
+    pub codes: &'a [u8],
+    /// The shared per-subspace centroid tables.
+    pub codebook: &'a crate::pq::PqCodebook,
 }
 
 /// A store whose rows can be reordered by a vertex permutation.

@@ -26,8 +26,10 @@
 use dataset::VectorStore;
 use serde::{Deserialize, Serialize};
 
+pub mod adc;
 pub mod kernels;
 
+pub use adc::AdcTable;
 pub use kernels::Kernels;
 
 /// Distance (or similarity converted to a distance) between vectors.
@@ -67,9 +69,11 @@ impl Metric {
 }
 
 /// `1 - cos` from the hoisted query norm and a fused `(a·b, b·b)`
-/// pair; zero vectors are maximally far by convention.
+/// pair; zero vectors are maximally far by convention. Public so the
+/// two-phase rerank path can hoist the query norm once and reuse the
+/// exact cosine epilogue the oracle uses.
 #[inline]
-fn cosine_from_parts(qnorm: f32, (ab, bb): (f32, f32)) -> f32 {
+pub fn cosine_from_parts(qnorm: f32, (ab, bb): (f32, f32)) -> f32 {
     let nb = bb.sqrt();
     if qnorm == 0.0 || nb == 0.0 {
         return 1.0;
@@ -89,6 +93,13 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     (kernels::active().dot)(a, b)
 }
 
+/// Fused `(a · b, b · b)` via the active SIMD backend — the cosine
+/// building block ([`cosine_from_parts`] turns it into a distance).
+#[inline]
+pub fn dot_norm(a: &[f32], b: &[f32]) -> (f32, f32) {
+    (kernels::active().dot_norm)(a, b)
+}
+
 /// Cosine distance `1 - cos`; zero vectors are treated as maximally
 /// far. One-shot form — search loops instead hoist the query norm via
 /// [`DistanceOracle::prepare`] so `dot(a, a)` is not recomputed per
@@ -100,11 +111,15 @@ pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
 
 /// A query with its per-query invariants hoisted: for cosine, the
 /// query L2 norm (previously recomputed from `dot(a, a)` on every
-/// pair). Borrowed by the batched oracle entry points.
+/// pair), and for PQ-backed stores the per-query ADC lookup table.
+/// Borrowed by the batched oracle entry points.
 pub struct PreparedQuery<'q> {
     query: &'q [f32],
     /// `‖q‖₂` under [`Metric::Cosine`]; 0.0 (unused) otherwise.
     norm: f32,
+    /// The `m × 256` ADC table when the oracle's store is PQ-backed
+    /// (built once here — the only per-query allocation on that path).
+    adc: Option<AdcTable>,
 }
 
 impl<'q> PreparedQuery<'q> {
@@ -125,6 +140,8 @@ enum Rows<'a> {
     F32(&'a [f32]),
     F16(&'a [dataset::F16]),
     I8(&'a [i8], &'a [f32]),
+    /// Product-quantized codes; scored via a per-query ADC table.
+    Pq(dataset::PqView<'a>),
     /// No flat view available: widen per row through `get_into`.
     Opaque,
 }
@@ -164,6 +181,8 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
             Rows::F16(flat)
         } else if let Some((codes, scales)) = store.flat_i8() {
             Rows::I8(codes, scales)
+        } else if let Some(view) = store.flat_pq() {
+            Rows::Pq(view)
         } else {
             Rows::Opaque
         };
@@ -194,7 +213,9 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
         self.kern
     }
 
-    /// Hoist the per-query invariants (cosine query norm) once; the
+    /// Hoist the per-query invariants once: the cosine query norm,
+    /// and — on PQ-backed stores — the full `m × 256` ADC lookup
+    /// table, so every subsequent row score is `m` table lookups. The
     /// result feeds [`Self::to_row_prepared`] and [`Self::to_rows`].
     #[inline]
     pub fn prepare<'q>(&self, query: &'q [f32]) -> PreparedQuery<'q> {
@@ -202,7 +223,11 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
             Metric::Cosine => (self.kern.dot)(query, query).sqrt(),
             _ => 0.0,
         };
-        PreparedQuery { query, norm }
+        let adc = match &self.rows {
+            Rows::Pq(view) => Some(AdcTable::build(view, self.metric, query, self.kern)),
+            _ => None,
+        };
+        PreparedQuery { query, norm, adc }
     }
 
     /// Distance between `query` and dataset row `i` (one-shot form;
@@ -217,7 +242,7 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
     #[inline]
     pub fn to_row_prepared(&self, pq: &PreparedQuery<'_>, i: usize) -> f32 {
         self.count.set(self.count.get() + 1);
-        self.row_distance(pq.query, pq.norm, i)
+        self.row_distance(pq.query, pq.norm, pq.adc.as_ref(), i)
     }
 
     /// Batched gang kernel: distances from a prepared query to every
@@ -265,6 +290,25 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
                 |i| (k.dot_norm_i8)(q, &codes[i * dim..(i + 1) * dim], scales),
                 |i| kernels::prefetch(codes[i * dim..].as_ptr()),
             ),
+            Rows::Pq(view) => {
+                // Metric dispatch lives inside the table (entries were
+                // built for this oracle's metric); the gang loop only
+                // streams code rows through it with the usual two-ahead
+                // prefetch.
+                let t = pq
+                    .adc
+                    .as_ref()
+                    .expect("PQ-backed oracle requires a query prepared on this oracle");
+                let m = view.codebook.m();
+                let codes = view.codes;
+                let qnorm = pq.norm;
+                gang(
+                    ids,
+                    out,
+                    |i| t.score(&codes[i * m..(i + 1) * m], qnorm),
+                    |i| kernels::prefetch(codes[i * m..].as_ptr()),
+                );
+            }
             Rows::Opaque => {
                 for (o, &id) in out.iter_mut().zip(ids) {
                     let mut s = self.scratch.borrow_mut();
@@ -299,8 +343,11 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
     }
 
     /// Dispatch one query-to-row distance on the resolved row layout.
+    /// `adc` must be `Some` when the layout is [`Rows::Pq`] (callers
+    /// pass the prepared query's table; `between_rows` never routes
+    /// PQ rows here).
     #[inline]
-    fn row_distance(&self, q: &[f32], qnorm: f32, i: usize) -> f32 {
+    fn row_distance(&self, q: &[f32], qnorm: f32, adc: Option<&AdcTable>, i: usize) -> f32 {
         let k = self.kern;
         let dim = self.dim;
         match self.rows {
@@ -327,6 +374,11 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
                     Metric::InnerProduct => -(k.dot_i8)(q, r, scales),
                     Metric::Cosine => cosine_from_parts(qnorm, (k.dot_norm_i8)(q, r, scales)),
                 }
+            }
+            Rows::Pq(view) => {
+                let t = adc.expect("PQ-backed oracle requires a query prepared on this oracle");
+                let m = view.codebook.m();
+                t.score(&view.codes[i * m..(i + 1) * m], qnorm)
             }
             Rows::Opaque => {
                 let mut s = self.scratch.borrow_mut();
@@ -360,15 +412,18 @@ impl<'a, S: VectorStore + ?Sized> DistanceOracle<'a, S> {
                 let dim = self.dim;
                 let a = &flat[i * dim..(i + 1) * dim];
                 let qnorm = self.hoist_norm(a);
-                self.row_distance(a, qnorm, j)
+                self.row_distance(a, qnorm, None, j)
             }
             Rows::F16(..) | Rows::I8(..) => {
                 let mut a = self.scratch.borrow_mut();
                 self.store.get_into(i, &mut a);
                 let qnorm = self.hoist_norm(&a);
-                self.row_distance(&a, qnorm, j)
+                self.row_distance(&a, qnorm, None, j)
             }
-            Rows::Opaque => {
+            // PQ rows decode through `get_into` for row-to-row work
+            // (graph build); per-row ADC tables would cost more than
+            // they save when the "query" changes every call.
+            Rows::Pq(..) | Rows::Opaque => {
                 let mut a = self.scratch.borrow_mut();
                 let mut b = self.scratch2.borrow_mut();
                 self.store.get_into(i, &mut a);
@@ -498,6 +553,40 @@ mod tests {
         assert_eq!(o.computed(), 5);
         for (&id, &got) in ids.iter().zip(&out) {
             assert_eq!(got.to_bits(), o.to_row(&query, id as usize).to_bits());
+        }
+    }
+
+    #[test]
+    fn oracle_scores_pq_store_via_adc() {
+        use dataset::synth::{Family, SynthSpec};
+        let spec = SynthSpec { dim: 12, n: 50, queries: 0, family: Family::Gaussian, seed: 21 };
+        let (d, _) = spec.generate();
+        let store =
+            dataset::pq::build(&d, &dataset::PqConfig { sample: 50, ..dataset::PqConfig::new(4) });
+        for metric in [Metric::SquaredL2, Metric::InnerProduct, Metric::Cosine] {
+            let o = DistanceOracle::new(&store, metric);
+            let q = d.row(0);
+            let pq = o.prepare(q);
+            let ids: Vec<u32> = (0..50).collect();
+            let mut out = vec![0.0f32; 50];
+            o.to_rows(&pq, &ids, &mut out);
+            // Gang path == per-row prepared path, bit for bit.
+            for (&id, &got) in ids.iter().zip(&out) {
+                assert_eq!(got.to_bits(), o.to_row_prepared(&pq, id as usize).to_bits());
+            }
+            // ADC scores track the decoded rows (approximate store,
+            // exact scoring of it).
+            let mut rec = vec![0.0f32; 12];
+            for (i, &got) in out.iter().enumerate().take(store.len()) {
+                store.get_into(i, &mut rec);
+                let exact = metric.distance(q, &rec);
+                assert!(
+                    (got - exact).abs() <= 1e-3 * exact.abs().max(1.0),
+                    "{metric:?} row {i}: {got} vs {exact}"
+                );
+            }
+            // between_rows decodes (no prepared table needed).
+            let _ = o.between_rows(0, 1);
         }
     }
 

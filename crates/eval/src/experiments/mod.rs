@@ -1,5 +1,6 @@
 //! One runner per table/figure of the paper (ids match DESIGN.md).
 
+pub mod ext_pq;
 pub mod ext_relabel;
 pub mod ext_search_ablation;
 pub mod ext_sharding;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "ext-shard",
     "ext-search",
     "ext-relabel",
+    "ext-pq",
 ];
 
 /// Dispatch an experiment by id. Returns false for unknown ids.
@@ -65,6 +67,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> bool {
         "ext-shard" => ext_sharding::run(ctx),
         "ext-search" => ext_search_ablation::run(ctx),
         "ext-relabel" => ext_relabel::run(ctx),
+        "ext-pq" => ext_pq::run(ctx),
         _ => return false,
     }
     true
@@ -114,6 +117,6 @@ mod tests {
 
     #[test]
     fn registry_lists_every_runner() {
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 18);
     }
 }

@@ -56,6 +56,16 @@ pub struct Metrics {
     pub search_hash_occupancy_permille: Histogram,
     /// Top-M sort input length per iteration.
     pub search_sort_len: Histogram,
+    /// Queries that ran the two-phase exact rerank pass.
+    pub search_rerank_queries: Counter,
+    /// Candidates the rerank promoted into the final top-k that the
+    /// approximate traversal had ranked below k.
+    pub search_rerank_promoted: Counter,
+    /// Effective rerank depth per reranked query (candidates exactly
+    /// re-scored).
+    pub search_rerank_depth: Histogram,
+    /// Wall time of the rerank pass per query (ns).
+    pub search_rerank_latency_ns: Histogram,
 
     // --- serve: online query service (micro-batching front door) ---
     /// Requests admitted to the serving queue.
@@ -126,6 +136,10 @@ impl Metrics {
             search_probe_len: Histogram::new(),
             search_hash_occupancy_permille: Histogram::new(),
             search_sort_len: Histogram::new(),
+            search_rerank_queries: Counter::new(),
+            search_rerank_promoted: Counter::new(),
+            search_rerank_depth: Histogram::new(),
+            search_rerank_latency_ns: Histogram::new(),
             sim_batches: Counter::new(),
             sim_cycles_sort: Counter::new(),
             sim_cycles_parent_select: Counter::new(),
@@ -139,7 +153,7 @@ impl Metrics {
     }
 
     /// Every counter with its snapshot name, in export order.
-    fn counters(&self) -> [(&'static str, &Counter); 18] {
+    fn counters(&self) -> [(&'static str, &Counter); 20] {
         [
             ("build.graphs", &self.build_graphs),
             ("build.nn_iterations", &self.build_nn_iterations),
@@ -147,6 +161,8 @@ impl Metrics {
             ("build.opt_distances", &self.build_opt_distances),
             ("search.queries", &self.search_queries),
             ("search.batches", &self.search_batches),
+            ("search.rerank_queries", &self.search_rerank_queries),
+            ("search.rerank_promoted", &self.search_rerank_promoted),
             ("serve.requests", &self.serve_requests),
             ("serve.rejected", &self.serve_rejected),
             ("serve.invalid", &self.serve_invalid),
@@ -178,7 +194,7 @@ impl Metrics {
     }
 
     /// Every histogram with its snapshot name, in export order.
-    fn histograms(&self) -> [(&'static str, &Histogram); 10] {
+    fn histograms(&self) -> [(&'static str, &Histogram); 12] {
         [
             ("search.latency_ns", &self.search_latency_ns),
             ("search.iterations", &self.search_iterations),
@@ -186,6 +202,8 @@ impl Metrics {
             ("search.probe_len", &self.search_probe_len),
             ("search.hash_occupancy_permille", &self.search_hash_occupancy_permille),
             ("search.sort_len", &self.search_sort_len),
+            ("search.rerank_depth", &self.search_rerank_depth),
+            ("search.rerank_latency_ns", &self.search_rerank_latency_ns),
             ("serve.batch_size", &self.serve_batch_size),
             ("serve.queue_depth", &self.serve_queue_depth),
             ("serve.queue_wait_ns", &self.serve_queue_wait_ns),
@@ -279,9 +297,9 @@ mod tests {
         m.serve_batch_size.record(4);
         let snap = m.snapshot();
         assert_eq!(snap.enabled, crate::compiled_in());
-        assert_eq!(snap.counters.len(), 19);
+        assert_eq!(snap.counters.len(), 21);
         assert_eq!(snap.spans.len(), 7);
-        assert_eq!(snap.histograms.len(), 10);
+        assert_eq!(snap.histograms.len(), 12);
         let get = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
         if crate::compiled_in() {
             assert_eq!(get("build.graphs"), 1);

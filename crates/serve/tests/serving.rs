@@ -270,3 +270,43 @@ fn tcp_overload_maps_to_the_overloaded_status() {
     let err = client.search(&[0.0; 12], K).expect_err("zero capacity sheds everything");
     assert!(err.is_overloaded(), "expected Overloaded over the wire, got {err:?}");
 }
+
+#[test]
+fn pq_backed_service_serves_two_phase_exact_distances() {
+    // A compressed (PQ) index served with rerank enabled must return
+    // exact full-precision distances — the serving layer's hot path
+    // runs phase two transparently via `search_mode_with`.
+    let spec = SynthSpec { dim: 12, n: 900, queries: 16, family: Family::Gaussian, seed: 42 };
+    let (base, queries) = spec.generate();
+    let pq_store = dataset::pq::build(&base, &dataset::pq::PqConfig::new(4));
+    let (graph, _) = cagra::build_graph(&base, Metric::SquaredL2, &GraphConfig::new(16));
+    let index = CagraIndex::from_parts(pq_store, graph, Metric::SquaredL2);
+
+    // Without a rerank source, a rerank-enabled config is rejected at
+    // admission with the typed error.
+    let mut params = SearchParams::for_k(K);
+    params.itopk = 128;
+    params.rerank_depth = 64;
+    let service = Service::start(index, ServeConfig::new(params)).expect("start service");
+    match service.submit(queries.row(0), K) {
+        Err(ServeError::Invalid(SearchError::RerankWithoutSource)) => {}
+        Err(other) => panic!("expected RerankWithoutSource, got {other:?}"),
+        Ok(_) => panic!("expected RerankWithoutSource, got an admitted request"),
+    }
+    drop(service);
+
+    // Rebuild with the source attached: served distances are exact.
+    let pq_store = dataset::pq::build(&base, &dataset::pq::PqConfig::new(4));
+    let (graph, _) = cagra::build_graph(&base, Metric::SquaredL2, &GraphConfig::new(16));
+    let mut index = CagraIndex::from_parts(pq_store, graph, Metric::SquaredL2);
+    index.set_rerank_store(Box::new(Dataset::from_flat(base.as_flat().to_vec(), base.dim())));
+    let service = Service::start(index, ServeConfig::new(params)).expect("start service");
+    for qi in 0..queries.len() {
+        let resp = service.search_blocking(queries.row(qi), K).expect("served");
+        assert_eq!(resp.neighbors.len(), K);
+        for n in &resp.neighbors {
+            let want = Metric::SquaredL2.distance(queries.row(qi), base.row(n.id as usize));
+            assert_eq!(n.dist.to_bits(), want.to_bits(), "query {qi} id {}", n.id);
+        }
+    }
+}
