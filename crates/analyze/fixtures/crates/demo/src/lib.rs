@@ -1,0 +1,63 @@
+//! Deliberate static-analysis violations — at least one per pass — so
+//! the analyze test-suite can prove every lint actually fires.
+//!
+//! This tree is *not* a cargo workspace member and is never compiled;
+//! the workspace scanner skips any directory named `fixtures`, and the
+//! tests load it explicitly as an out-of-tree root. Keep each
+//! violation minimal and labeled: tests assert on exact counts.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct Demo {
+    pub items: Mutex<Vec<u32>>,
+    pub names: Mutex<Vec<String>>,
+}
+
+/// panic pass: an un-ALLOWed unwrap in non-test code.
+pub fn panic_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// panic pass: a bare ALLOW (no reason) is itself a violation.
+pub fn bare_allow_site(v: &[u32]) -> u32 {
+    // ALLOW(panic)
+    v[0]
+}
+
+/// panic pass: a reasoned ALLOW counts under `allowed`.
+pub fn reasoned_allow_site(v: &[u32]) -> u32 {
+    // ALLOW(panic): fixture exercising the reasoned-exemption path.
+    v[1]
+}
+
+/// alloc pass: allocation inside a function listed as hot.
+pub fn hot_alloc(v: &[u32]) -> Vec<u32> {
+    v.to_vec()
+}
+
+/// lock pass: allocation under a held lock, plus a nested acquisition.
+pub fn lock_trouble(d: &Demo) -> usize {
+    let items = d.items.lock().unwrap();
+    let copy: Vec<u32> = items.iter().copied().collect();
+    let names = d.names.lock().unwrap();
+    copy.len() + names.len()
+}
+
+/// determinism pass: a hash container reachable from a search entry.
+pub fn search_demo(keys: &[u32]) -> usize {
+    let m: HashMap<u32, u32> = keys.iter().map(|&k| (k, k)).collect();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt from every pass; this unwrap must never be
+    /// counted.
+    #[test]
+    fn exempt() {
+        assert_eq!(super::panic_site(Some(3)), 3);
+        let invisible: Option<u32> = Some(1);
+        invisible.unwrap();
+    }
+}

@@ -116,7 +116,10 @@ fn walk(dir: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let entry = entry?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if name.starts_with('.') || name == "target" {
+        if name.starts_with('.') || name == "target" || name == "fixtures" {
+            // `fixtures/` holds deliberately-violating lint-test
+            // sources (crates/analyze/fixtures); auditing them would
+            // poison every workspace budget.
             continue;
         }
         let path = entry.path();
@@ -147,7 +150,7 @@ pub fn scan_file(rel: &Path, src: &str, out: &mut Vec<Site>) {
     let code_lines: Vec<&str> = masks.code.lines().collect();
     let comment_lines: Vec<&str> = masks.comment.lines().collect();
 
-    for pos in word_occurrences(&masks.code, "unsafe") {
+    for pos in crate::syntax::word_occurrences(&masks.code, "unsafe") {
         let Some(kind) = classify(code, pos + "unsafe".len()) else {
             continue; // `unsafe fn(..)` pointer type: no site, nothing to document
         };
@@ -155,21 +158,6 @@ pub fn scan_file(rel: &Path, src: &str, out: &mut Vec<Site>) {
         let documented = is_documented(kind, line, &code_lines, &comment_lines);
         out.push(Site { path: rel.to_path_buf(), line: line + 1, kind, documented });
     }
-}
-
-/// Byte offsets of whole-word matches of `word` in `hay`.
-fn word_occurrences(hay: &str, word: &str) -> Vec<usize> {
-    let bytes = hay.as_bytes();
-    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    hay.match_indices(word)
-        .filter(|&(i, _)| {
-            let before_ok = i == 0 || !is_word(bytes[i - 1]);
-            let after = i + word.len();
-            let after_ok = after >= bytes.len() || !is_word(bytes[after]);
-            before_ok && after_ok
-        })
-        .map(|(i, _)| i)
-        .collect()
 }
 
 /// Decide what an `unsafe` keyword at `code[..from]` introduces by
@@ -200,26 +188,7 @@ fn classify(code: &[u8], mut from: usize) -> Option<Kind> {
     }
 }
 
-/// Read the next code token at/after `from`: a word (`[A-Za-z0-9_]+`)
-/// or a single punctuation byte. Returns `(token, offset_after)`.
-fn next_token(code: &[u8], mut from: usize) -> Option<(String, usize)> {
-    while from < code.len() && (code[from] as char).is_whitespace() {
-        from += 1;
-    }
-    if from >= code.len() {
-        return None;
-    }
-    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let start = from;
-    if is_word(code[from]) {
-        while from < code.len() && is_word(code[from]) {
-            from += 1;
-        }
-    } else {
-        from += 1;
-    }
-    Some((String::from_utf8_lossy(&code[start..from]).into_owned(), from))
-}
+use crate::syntax::next_token;
 
 /// Check the adjacency convention for a site on 0-based `line`.
 fn is_documented(kind: Kind, line: usize, code_lines: &[&str], comment_lines: &[&str]) -> bool {

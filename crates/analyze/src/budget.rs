@@ -2,62 +2,14 @@
 //! change to the workspace's unsafe surface a conscious, reviewed
 //! diff of `crates/analyze/unsafe_budget.toml`.
 //!
-//! The audit demands an **exact** match in both directions: counts
-//! above budget mean new unsafe landed without review; counts below
-//! budget mean unsafe was removed and the ratchet should be tightened
-//! so it cannot silently creep back.
-//!
-//! The file is a small TOML subset (quoted-key sections, integer
-//! values, `#` comments) parsed here without any dependency, since
-//! the workspace builds offline.
+//! The format, exact-match diffing, and canonical rendering live in
+//! the generic [`crate::ledger`] engine shared by all passes; this
+//! module contributes the unsafe-specific [`ledger::Schema`] and the
+//! [`Counts`]-typed API the audit front-end uses.
 
 use crate::audit::{Counts, Site};
+use crate::ledger::{self, Tallies};
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// Parse the budget file. Returns bucket → expected counts, or a
-/// human-readable error naming the offending line.
-pub fn parse(text: &str) -> Result<BTreeMap<String, Counts>, String> {
-    let mut out = BTreeMap::new();
-    let mut section: Option<String> = None;
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let err = |msg: &str| format!("unsafe_budget.toml:{}: {msg}: `{raw}`", idx + 1);
-        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            let name = name.trim().trim_matches('"').to_string();
-            if out.insert(name.clone(), Counts::default()).is_some() {
-                return Err(err("duplicate section"));
-            }
-            section = Some(name);
-            continue;
-        }
-        let (key, value) = line.split_once('=').ok_or_else(|| err("expected `key = value`"))?;
-        let value: usize =
-            value.trim().parse().map_err(|_| err("expected a non-negative integer"))?;
-        let section = section.as_ref().ok_or_else(|| err("key outside any [section]"))?;
-        let counts = out.get_mut(section).expect("section inserted when header was seen");
-        match key.trim() {
-            "blocks" => counts.blocks = value,
-            "fns" => counts.fns = value,
-            "impls" => counts.impls = value,
-            "traits" => counts.traits = value,
-            _ => return Err(err("unknown key (expected blocks/fns/impls/traits)")),
-        }
-    }
-    Ok(out)
-}
-
-/// Tally audited sites into per-bucket counts.
-pub fn tally(sites: &[Site]) -> BTreeMap<String, Counts> {
-    let mut out: BTreeMap<String, Counts> = BTreeMap::new();
-    for site in sites {
-        out.entry(site.bucket()).or_default().add(site.kind);
-    }
-    out
-}
 
 /// Buckets whose budget is an explicit commitment to ZERO unsafe:
 /// the canonical render always emits their section (with the
@@ -93,66 +45,62 @@ pub const PINNED_ZERO: &[(&str, &str)] = &[
     ),
 ];
 
+/// The unsafe pass's budget-file schema.
+pub const SCHEMA: ledger::Schema = ledger::Schema {
+    file: "unsafe_budget.toml",
+    header: "# Per-crate unsafe budget, enforced by `cargo run -p analyze -- audit`.\n\
+             # The audit requires an EXACT match: growing a count needs review of the\n\
+             # new unsafe (with its SAFETY justification), shrinking one ratchets the\n\
+             # budget down so removed unsafe cannot silently return. Regenerate with\n\
+             # `cargo run -p analyze -- budget-write` and commit the diff.\n",
+    keys: &["blocks", "fns", "impls", "traits"],
+    pinned_zero: PINNED_ZERO,
+    grow_hint: "review the new unsafe",
+    write_cmd: "cargo run -p analyze -- budget-write",
+};
+
+fn to_counts(v: &[usize]) -> Counts {
+    Counts { blocks: v[0], fns: v[1], impls: v[2], traits: v[3] }
+}
+
+fn to_vec(c: &Counts) -> Vec<usize> {
+    vec![c.blocks, c.fns, c.impls, c.traits]
+}
+
+fn typed(t: Tallies) -> BTreeMap<String, Counts> {
+    t.into_iter().map(|(k, v)| (k, to_counts(&v))).collect()
+}
+
+fn untyped(t: &BTreeMap<String, Counts>) -> Tallies {
+    t.iter().map(|(k, c)| (k.clone(), to_vec(c))).collect()
+}
+
+/// Parse the budget file. Returns bucket → expected counts, or a
+/// human-readable error naming the offending line.
+pub fn parse(text: &str) -> Result<BTreeMap<String, Counts>, String> {
+    ledger::parse(&SCHEMA, text).map(typed)
+}
+
+/// Tally audited sites into per-bucket counts.
+pub fn tally(sites: &[Site]) -> BTreeMap<String, Counts> {
+    let mut out: BTreeMap<String, Counts> = BTreeMap::new();
+    for site in sites {
+        out.entry(site.bucket()).or_default().add(site.kind);
+    }
+    out
+}
+
 /// Render the canonical budget file for the given tallies (what
 /// `analyze budget-write` commits). Zero-count buckets are omitted
 /// unless pinned in [`PINNED_ZERO`].
 pub fn render(tallies: &BTreeMap<String, Counts>) -> String {
-    let mut s = String::from(
-        "# Per-crate unsafe budget, enforced by `cargo run -p analyze -- audit`.\n\
-         # The audit requires an EXACT match: growing a count needs review of the\n\
-         # new unsafe (with its SAFETY justification), shrinking one ratchets the\n\
-         # budget down so removed unsafe cannot silently return. Regenerate with\n\
-         # `cargo run -p analyze -- budget-write` and commit the diff.\n",
-    );
-    let mut buckets: BTreeMap<&str, Counts> = tallies
-        .iter()
-        .filter(|(_, c)| c.total() > 0)
-        .map(|(name, c)| (name.as_str(), *c))
-        .collect();
-    for (name, _) in PINNED_ZERO {
-        buckets.entry(name).or_default();
-    }
-    for (bucket, c) in buckets {
-        s.push('\n');
-        if let Some((_, rationale)) = PINNED_ZERO.iter().find(|(name, _)| *name == bucket) {
-            s.push_str(rationale);
-        }
-        let _ = write!(
-            s,
-            "[\"{bucket}\"]\nblocks = {}\nfns = {}\nimpls = {}\ntraits = {}\n",
-            c.blocks, c.fns, c.impls, c.traits
-        );
-    }
-    s
+    ledger::render(&SCHEMA, &untyped(tallies))
 }
 
 /// Compare actual tallies against the committed budget. Returns a
 /// list of violations (empty = pass).
 pub fn diff(actual: &BTreeMap<String, Counts>, budget: &BTreeMap<String, Counts>) -> Vec<String> {
-    let mut problems = Vec::new();
-    let fields = |c: &Counts| {
-        [("blocks", c.blocks), ("fns", c.fns), ("impls", c.impls), ("traits", c.traits)]
-    };
-    let zero = Counts::default();
-    let buckets: std::collections::BTreeSet<&String> = actual.keys().chain(budget.keys()).collect();
-    for bucket in buckets {
-        let a = actual.get(bucket.as_str()).unwrap_or(&zero);
-        let b = budget.get(bucket.as_str()).unwrap_or(&zero);
-        for ((name, av), (_, bv)) in fields(a).into_iter().zip(fields(b)) {
-            if av > bv {
-                problems.push(format!(
-                    "{bucket}: {name} grew to {av} (budget {bv}) — review the new unsafe, \
-                     then `cargo run -p analyze -- budget-write`"
-                ));
-            } else if av < bv {
-                problems.push(format!(
-                    "{bucket}: {name} shrank to {av} (budget {bv}) — ratchet the budget \
-                     down with `cargo run -p analyze -- budget-write`"
-                ));
-            }
-        }
-    }
-    problems
+    ledger::diff(&SCHEMA, &untyped(actual), &untyped(budget))
 }
 
 #[cfg(test)]

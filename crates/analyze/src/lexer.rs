@@ -13,9 +13,11 @@
 //!   code or strings mentioning the word.
 //!
 //! Handled: line comments, nested block comments, string literals
-//! with escapes, raw strings with any `#` arity (including raw byte
-//! and raw C strings), byte strings, char literals, and the
-//! char-vs-lifetime ambiguity (`'a'` vs `'a`).
+//! with escapes (including `\`-newline line continuations, which must
+//! not shift line numbers), raw strings with any `#` arity (including
+//! raw byte and raw C strings), byte strings, char literals (including
+//! non-ASCII contents and contents that look like syntax: `'"'`,
+//! `'/'`), and the char-vs-lifetime ambiguity (`'a'` vs `'a`).
 
 /// The two masks produced by [`mask`].
 pub struct Masks {
@@ -84,12 +86,20 @@ pub fn mask(src: &str) -> Masks {
                     i += 2;
                     continue;
                 } else if c == b'\'' {
-                    // `'a'`/`'\n'` are char literals; `'a` (no closing
-                    // quote within the escape window) is a lifetime.
-                    let is_char = b.get(i + 1) == Some(&b'\\')
-                        || b.get(i + 2) == Some(&b'\'')
-                        || (b.get(i + 1).is_some_and(|c| c.is_ascii_alphanumeric())
-                            && b.get(i + 2) == Some(&b'\''));
+                    // A lifetime (or loop label) is `'` followed by an
+                    // identifier-start byte and *no* closing quote one
+                    // byte later (`'a` vs `'a'`). Everything else —
+                    // escapes (`'\n'`), punctuation (`'"'`, `'/'`),
+                    // digits, non-ASCII scalars (`'→'`) — is a char
+                    // literal, since lifetimes cannot start with those.
+                    let is_char = match b.get(i + 1) {
+                        Some(&b'\\') => true,
+                        Some(&n) if n.is_ascii_alphabetic() || n == b'_' => {
+                            b.get(i + 2) == Some(&b'\'')
+                        }
+                        Some(_) => true,
+                        None => false,
+                    };
                     if is_char {
                         st = State::Char;
                     } else {
@@ -117,6 +127,13 @@ pub fn mask(src: &str) -> Masks {
             }
             State::Str => {
                 if c == b'\\' {
+                    // A `\`-newline line continuation skips the
+                    // newline byte; record it anyway so line numbers
+                    // downstream of the literal stay correct.
+                    if b.get(i + 1) == Some(&b'\n') {
+                        code[i + 1] = b'\n';
+                        comment[i + 1] = b'\n';
+                    }
                     i += 2;
                     continue;
                 }
@@ -133,6 +150,10 @@ pub fn mask(src: &str) -> Masks {
             }
             State::Char => {
                 if c == b'\\' {
+                    if b.get(i + 1) == Some(&b'\n') {
+                        code[i + 1] = b'\n';
+                        comment[i + 1] = b'\n';
+                    }
                     i += 2;
                     continue;
                 }
@@ -226,5 +247,46 @@ mod tests {
         let m = mask(src);
         assert_eq!(m.code.lines().count(), src.lines().count());
         assert_eq!(m.code.lines().nth(2).unwrap().trim(), "unsafe {");
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // `\`-newline is a line continuation *inside* the literal; the
+        // newline byte must still count toward line numbering.
+        let src = "let s = \"a\\\nb\";\nunsafe { g() }\n";
+        let m = mask(src);
+        assert_eq!(m.code.lines().count(), 3, "continuation newline must not vanish");
+        assert_eq!(m.code.lines().nth(2).unwrap().trim(), "unsafe { g() }");
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slash_contents() {
+        let src = "let q = '\"'; let s = '/'; let t = '\\''; // trailing\nunsafe {}\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches("unsafe").count(), 1);
+        assert!(!m.code.contains('"'), "char-quoted `\"` must not open a string");
+        assert!(m.comment.contains("trailing"), "`'/'` must not eat the line comment");
+    }
+
+    #[test]
+    fn non_ascii_char_literal_is_masked() {
+        let src = "let a = '\u{2192}'; unsafe { g() }\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches("unsafe").count(), 1);
+        assert!(!m.code.contains('\u{2192}'), "char contents must not leak into code");
+    }
+
+    #[test]
+    fn raw_string_zero_hashes_and_byte_raw() {
+        let src = "let a = r\"unsafe {}\"; let b = br#\"unsafe fn x\"#; unsafe { g() }\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches("unsafe").count(), 1);
+    }
+
+    #[test]
+    fn anonymous_lifetime_is_code_not_char() {
+        let src = "fn f(x: &'_ str) -> &'_ str { x }\n";
+        let m = mask(src);
+        assert!(m.code.contains("&'_ str"), "`'_` is a lifetime, not a char literal");
     }
 }

@@ -1,23 +1,37 @@
-//! Static-analysis driver for the workspace's soundness story
-//! (DESIGN.md "Soundness & analysis").
+//! Static-analysis suite for the workspace's soundness and quality
+//! story (DESIGN.md "Soundness & analysis" / "Static analysis").
 //!
-//! The binary front-end is `cargo run -p analyze -- <check>`:
+//! Five passes, all driven by the same comment/string-aware lexer
+//! ([`lexer`]) and budget engine ([`ledger`]):
 //!
-//! * `audit` — inventory every `unsafe` block/fn/impl/trait in the
-//!   workspace, fail on any missing `SAFETY:` / `# Safety`
-//!   documentation, and fail unless the per-crate counts exactly
-//!   match the committed budget in `crates/analyze/unsafe_budget.toml`;
-//! * `list` — print the full inventory (path:line, kind, doc status);
-//! * `budget-write` — regenerate the budget file from current counts.
+//! * `unsafe` — every `unsafe` site needs adjacent `SAFETY:` docs and
+//!   the per-crate counts must match `unsafe_budget.toml` exactly;
+//! * `panic` — unwrap/expect/panic!/assert!/indexing inventory with
+//!   `panic_budget.toml`, pinned to zero un-ALLOWed sites for
+//!   `crates/serve` and the `try_search*` call graph;
+//! * `alloc` — allocation tokens inside the hot functions listed in
+//!   `hot_paths.toml`, budgeted by `alloc_budget.toml`;
+//! * `lock` — lock acquisitions, nesting, alloc/I/O under locks
+//!   (`lock_budget.toml`); acquisition-order cycles fail outright;
+//! * `determinism` — hash iteration, unseeded RNG, float reductions
+//!   reachable from build/search (`determinism_budget.toml`).
 //!
-//! Being textual, the audit sees *all* sources — including targets'
+//! The binary front-end is `cargo run -p analyze -- <audit|list|`
+//! `budget-write> [--pass <name|all>]`; `audit --json <path>` also
+//! writes a `cagra-metrics-v1` report ([`report`]).
+//!
+//! Being textual, the passes see *all* sources — including targets'
 //! `cfg`'d-out kernels (NEON on an x86 host) that `clippy::`
 //! `undocumented_unsafe_blocks` cannot reach. The two checks are
 //! deliberately redundant where they overlap.
 
 pub mod audit;
 pub mod budget;
+pub mod ledger;
 pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod syntax;
 
 use std::path::{Path, PathBuf};
 
@@ -37,9 +51,9 @@ pub fn budget_path(root: &Path) -> PathBuf {
     root.join("crates/analyze/unsafe_budget.toml")
 }
 
-/// Run the full audit (documentation + budget) over the workspace at
-/// `root`. Returns the inventory on success, or the list of
-/// violations on failure.
+/// Run the full unsafe audit (documentation + budget) over the
+/// workspace at `root`. Returns the inventory on success, or the
+/// list of violations on failure.
 pub fn run_audit(root: &Path) -> Result<Vec<Site>, Vec<String>> {
     let sites = audit_workspace(root).map_err(|e| vec![format!("walking sources: {e}")])?;
     let mut problems: Vec<String> = sites
@@ -70,4 +84,124 @@ pub fn run_audit(root: &Path) -> Result<Vec<Site>, Vec<String>> {
     } else {
         Err(problems)
     }
+}
+
+/// Every pass the suite knows, in run order.
+pub const PASSES: &[&str] = &["unsafe", "panic", "alloc", "lock", "determinism"];
+
+/// The quality passes' schemas by CLI name (`unsafe` lives in
+/// [`budget::SCHEMA`] and predates the generic driver).
+pub fn pass_schema(name: &str) -> Option<&'static ledger::Schema> {
+    match name {
+        "unsafe" => Some(&budget::SCHEMA),
+        "panic" => Some(&passes::panics::SCHEMA),
+        "alloc" => Some(&passes::hotpath::SCHEMA),
+        "lock" => Some(&passes::locks::SCHEMA),
+        "determinism" => Some(&passes::determinism::SCHEMA),
+        _ => None,
+    }
+}
+
+/// Location of a pass's committed budget file under `root`.
+pub fn pass_budget_path(root: &Path, schema: &ledger::Schema) -> PathBuf {
+    root.join("crates/analyze").join(schema.file)
+}
+
+/// Everything one pass produced, ready for printing/reporting.
+pub struct PassOutcome {
+    /// CLI name of the pass.
+    pub pass: &'static str,
+    /// Count keys (parallel to each tally row).
+    pub keys: &'static [&'static str],
+    /// Per-bucket counts.
+    pub tallies: ledger::Tallies,
+    /// Human-readable inventory lines (`path:line  what  [status]`).
+    pub inventory: Vec<String>,
+    /// Violations (empty = pass).
+    pub problems: Vec<String>,
+}
+
+/// Run one pass by name and check it against its committed budget.
+pub fn audit_pass(root: &Path, name: &str) -> std::io::Result<PassOutcome> {
+    if name == "unsafe" {
+        let sites = audit_workspace(root)?;
+        let tallies: ledger::Tallies = budget::tally(&sites)
+            .into_iter()
+            .map(|(k, c)| (k, vec![c.blocks, c.fns, c.impls, c.traits]))
+            .collect();
+        let inventory = sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}:{}\t{}\t{}",
+                    s.path.display(),
+                    s.line,
+                    s.kind,
+                    if s.documented { "documented" } else { "UNDOCUMENTED" }
+                )
+            })
+            .collect();
+        let problems = match run_audit(root) {
+            Ok(_) => Vec::new(),
+            Err(problems) => problems,
+        };
+        return Ok(PassOutcome {
+            pass: "unsafe",
+            keys: budget::SCHEMA.keys,
+            tallies,
+            inventory,
+            problems,
+        });
+    }
+    let (result, pass): (passes::PassResult, &'static str) = match name {
+        "panic" => (passes::panics::run_root(root)?, "panic"),
+        "alloc" => (passes::hotpath::run_root(root)?, "alloc"),
+        "lock" => (passes::locks::run_root(root)?, "lock"),
+        "determinism" => (passes::determinism::run_root(root)?, "determinism"),
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unknown pass `{other}` (expected {})", PASSES.join("/")),
+            ))
+        }
+    };
+    let schema = pass_schema(pass).expect("every quality pass has a schema");
+    let budget_text = std::fs::read_to_string(pass_budget_path(root, schema)).ok();
+    let problems = passes::check(schema, &result, budget_text.as_deref());
+    let tallies = passes::tally(schema.keys, &result.findings);
+    let inventory = result
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{}:{}\t{}\t{}\t{}",
+                f.path.display(),
+                f.line,
+                f.key,
+                f.what,
+                match f.allow {
+                    syntax::Allow::None => "",
+                    syntax::Allow::Reasoned => "ALLOW",
+                    syntax::Allow::Bare => "BARE-ALLOW",
+                }
+            )
+        })
+        .collect();
+    Ok(PassOutcome { pass, keys: schema.keys, tallies, inventory, problems })
+}
+
+/// Regenerate one pass's budget file from current counts; returns the
+/// path written and the number of sites tallied.
+pub fn write_pass_budget(root: &Path, name: &str) -> std::io::Result<(PathBuf, usize)> {
+    let schema = pass_schema(name).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unknown pass `{name}` (expected {})", PASSES.join("/")),
+        )
+    })?;
+    let outcome = audit_pass(root, name)?;
+    let path = pass_budget_path(root, schema);
+    std::fs::write(&path, ledger::render(schema, &outcome.tallies))?;
+    let sites = outcome.tallies.values().map(|v| v.iter().sum::<usize>()).sum();
+    Ok((path, sites))
 }

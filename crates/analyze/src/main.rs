@@ -1,16 +1,20 @@
 //! CLI driver: `cargo run -p analyze -- <audit|list|budget-write>
-//! [--root <path>]`. See the crate docs (src/lib.rs) for what each
-//! check does; CI runs `audit` as a required lane.
+//! [--pass <name|all>] [--json <path>] [--root <path>]`. See the
+//! crate docs (src/lib.rs) for what each pass does; CI runs `audit`
+//! (all passes) as a required lane and uploads the JSON report.
 
-use analyze::{audit, budget};
+use analyze::report::{self, PassReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo run -p analyze -- <audit|list|budget-write> [--root <path>]
+const USAGE: &str = "usage: cargo run -p analyze -- <audit|list|budget-write> \
+[--pass <unsafe|panic|alloc|lock|determinism|all>] [--json <path>] [--root <path>]
 
-  audit         enforce SAFETY documentation and the committed unsafe budget
-  list          print the full unsafe inventory
-  budget-write  regenerate crates/analyze/unsafe_budget.toml from current counts";
+  audit         run the pass(es) and fail on any violation (missing docs,
+                budget drift, pinned-zero breaches, lock cycles, bare ALLOWs);
+                --json also writes a cagra-metrics-v1 report
+  list          print the pass(es)' full site inventory
+  budget-write  regenerate the committed budget file(s) from current counts";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -19,76 +23,113 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let mut root = analyze::workspace_root();
-    match (args.next().as_deref(), args.next()) {
-        (None, _) => {}
-        (Some("--root"), Some(p)) => root = PathBuf::from(p),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
+    let mut pass = "all".to_string();
+    let mut json: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next()) {
+            ("--root", Some(p)) => root = PathBuf::from(p),
+            ("--pass", Some(p)) => pass = p,
+            ("--json", Some(p)) => json = Some(PathBuf::from(p)),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    let selected: Vec<&str> = if pass == "all" {
+        analyze::PASSES.to_vec()
+    } else if analyze::PASSES.contains(&pass.as_str()) {
+        vec![analyze::PASSES.iter().find(|p| **p == pass).copied().unwrap_or("unsafe")]
+    } else {
+        eprintln!("unknown pass `{pass}`\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
 
     match cmd.as_str() {
-        "audit" => match analyze::run_audit(&root) {
-            Ok(sites) => {
-                let tallies = budget::tally(&sites);
-                println!(
-                    "unsafe audit PASS: {} sites across {} crates, all documented, \
-                     budget exact",
-                    sites.len(),
-                    tallies.len()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(problems) => {
-                for p in &problems {
-                    eprintln!("audit: {p}");
-                }
-                eprintln!("unsafe audit FAIL: {} problem(s)", problems.len());
-                ExitCode::FAILURE
-            }
-        },
-        "list" => match audit::audit_workspace(&root) {
-            Ok(sites) => {
-                for s in &sites {
+        "audit" => {
+            let mut reports = Vec::new();
+            let mut failed = false;
+            for name in &selected {
+                let outcome = match analyze::audit_pass(&root, name) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("{name} audit: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let sites: usize = outcome.tallies.values().map(|v| v.iter().sum::<usize>()).sum();
+                if outcome.problems.is_empty() {
                     println!(
-                        "{}:{}\t{}\t{}",
-                        s.path.display(),
-                        s.line,
-                        s.kind,
-                        if s.documented { "documented" } else { "UNDOCUMENTED" }
+                        "{name} audit PASS: {sites} sites across {} buckets, budget exact",
+                        outcome.tallies.len()
                     );
+                } else {
+                    for p in &outcome.problems {
+                        eprintln!("{name} audit: {p}");
+                    }
+                    eprintln!("{name} audit FAIL: {} problem(s)", outcome.problems.len());
+                    failed = true;
                 }
-                let tallies = budget::tally(&sites);
-                for (bucket, c) in &tallies {
-                    println!(
-                        "# {bucket}: {} blocks, {} fns, {} impls, {} traits",
-                        c.blocks, c.fns, c.impls, c.traits
-                    );
+                reports.push(PassReport {
+                    pass: outcome.pass,
+                    keys: outcome.keys,
+                    tallies: outcome.tallies,
+                    violations: outcome.problems.len(),
+                });
+            }
+            if let Some(path) = json {
+                if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    let _ = std::fs::create_dir_all(dir);
                 }
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("list: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "budget-write" => match audit::audit_workspace(&root) {
-            Ok(sites) => {
-                let path = analyze::budget_path(&root);
-                let text = budget::render(&budget::tally(&sites));
-                if let Err(e) = std::fs::write(&path, text) {
-                    eprintln!("budget-write: writing {}: {e}", path.display());
+                if let Err(e) = std::fs::write(&path, report::to_json(&reports)) {
+                    eprintln!("writing {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
-                println!("wrote {} ({} sites)", path.display(), sites.len());
+                println!("wrote {}", path.display());
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("budget-write: {e}");
-                ExitCode::FAILURE
+        }
+        "list" => {
+            for name in &selected {
+                match analyze::audit_pass(&root, name) {
+                    Ok(outcome) => {
+                        for line in &outcome.inventory {
+                            println!("{line}");
+                        }
+                        for (bucket, counts) in &outcome.tallies {
+                            let pairs: Vec<String> = outcome
+                                .keys
+                                .iter()
+                                .zip(counts)
+                                .map(|(k, v)| format!("{v} {k}"))
+                                .collect();
+                            println!("# {name} {bucket}: {}", pairs.join(", "));
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{name} list: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-        },
+            ExitCode::SUCCESS
+        }
+        "budget-write" => {
+            for name in &selected {
+                match analyze::write_pass_budget(&root, name) {
+                    Ok((path, sites)) => println!("wrote {} ({sites} sites)", path.display()),
+                    Err(e) => {
+                        eprintln!("{name} budget-write: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
         other => {
             eprintln!("unknown check `{other}`\n{USAGE}");
             ExitCode::FAILURE

@@ -1,0 +1,186 @@
+//! The determinism lint: flag order-sensitive constructs in code
+//! reachable from the build/search entry points of the core pipeline
+//! crates. The workspace's reproducibility contract (ROADMAP:
+//! bit-identical graphs and result lists for a fixed seed) dies
+//! quietly when any of these sneak in:
+//!
+//! * **hash iteration** — `HashMap`/`HashSet` iterate in RandomState
+//!   order, which varies per process; anything derived from that
+//!   order (neighbor ranks, visit order, result lists) becomes
+//!   run-dependent. Sorted structures (`Vec` + `binary_search`,
+//!   `BTreeMap`) are the deterministic replacements.
+//! * **unseeded RNG** — `thread_rng`/`from_entropy`/`random()` draw
+//!   from OS entropy; every RNG on the build path must derive from
+//!   the config seed.
+//! * **float accumulation outside the canonical 8-lane contract** —
+//!   explicitly-typed float `.sum::<f32>()` / `.fold(0.0, ..)`
+//!   reductions commit to *some* association order; the distance
+//!   crate's canonical kernels define the blessed lane order, and any
+//!   other float reduction on the pipeline must either match it or
+//!   justify why order cannot matter (`ALLOW(determinism)`).
+//!
+//! Reachability is the same textual call graph the panic pass uses:
+//! per-crate, name-resolved, rooted at functions whose name contains
+//! `search`, `build`, or `optimize`.
+
+use super::{live_occurrences, next_nonspace, Finding, PassResult, SCOPES};
+use crate::ledger;
+use crate::syntax::{find_allow, Workspace};
+use std::path::Path;
+
+pub const KEYS: &[&str] = &["hash_iter", "rng", "float_accum", "allowed"];
+
+/// The core pipeline crates the lint covers. Baseline crates (hnsw,
+/// song, nssg, ...) are comparison implementations with their own
+/// seeds; the reproducibility contract is about this pipeline.
+pub const BUCKETS: &[&str] =
+    &["crates/cagra", "crates/knn", "crates/distance", "crates/graph", "crates/gpu-sim"];
+
+pub const SCHEMA: ledger::Schema = ledger::Schema {
+    file: "determinism_budget.toml",
+    header: "# Determinism budget for code reachable from build/search entry points\n\
+             # of the core pipeline crates (cagra/knn/distance/graph/gpu-sim),\n\
+             # enforced by `cargo run -p analyze -- audit --pass determinism`.\n\
+             # Counts HashMap/HashSet use (iteration order varies per process),\n\
+             # unseeded RNG, and explicitly-float reductions; sites with an\n\
+             # adjacent `ALLOW(determinism): <reason>` count under `allowed`.\n\
+             # EXACT match required; regenerate with\n\
+             # `cargo run -p analyze -- budget-write --pass determinism`.\n",
+    keys: KEYS,
+    pinned_zero: &[],
+    grow_hint: "make it order-independent (or justify why order cannot matter)",
+    write_cmd: "cargo run -p analyze -- budget-write --pass determinism",
+};
+
+fn is_root(name: &str) -> bool {
+    name.contains("search") || name.contains("build") || name.contains("optimize")
+}
+
+/// Float-reduction patterns that commit to an association order.
+const FLOAT_ACCUM: &[&str] =
+    &[".sum::<f32>", ".sum::<f64>", ".fold(0.0", ".fold(0f32", ".fold(0f64"];
+
+/// Run the pass over a loaded workspace, covering `buckets` (the CLI
+/// uses [`BUCKETS`]; tests substitute fixture crates).
+pub fn run(ws: &Workspace, buckets: &[&str]) -> PassResult {
+    let mut findings = Vec::new();
+    for bucket in buckets {
+        let reach = super::reachable_fns(ws, bucket, &is_root);
+        for file in ws.files.iter().filter(|f| f.bucket == *bucket) {
+            let code = file.masks.code.as_bytes();
+            let in_reach =
+                |pos: usize| file.enclosing_fn(pos).is_some_and(|f| reach.contains(&f.name));
+            let mut push = |line: usize, key: &'static str, what: String| {
+                let allow = find_allow("determinism", line, &file.code_lines, &file.comment_lines);
+                findings.push(Finding {
+                    path: file.rel.clone(),
+                    line: line + 1,
+                    bucket: bucket.to_string(),
+                    key,
+                    what,
+                    allow,
+                });
+            };
+            // Hash containers: one finding per line mentioning them.
+            let mut last_line = usize::MAX;
+            for word in ["HashMap", "HashSet"] {
+                for (pos, line) in live_occurrences(file, word) {
+                    if in_reach(pos) && line != last_line {
+                        last_line = line;
+                        push(line, "hash_iter", format!("`{word}` (iteration order varies)"));
+                    }
+                }
+            }
+            // Unseeded RNG.
+            for word in ["thread_rng", "from_entropy"] {
+                for (pos, line) in live_occurrences(file, word) {
+                    if in_reach(pos) {
+                        push(line, "rng", format!("unseeded RNG `{word}`"));
+                    }
+                }
+            }
+            for (pos, line) in live_occurrences(file, "random") {
+                if in_reach(pos) && next_nonspace(code, pos + 6) == Some(b'(') {
+                    push(line, "rng", "unseeded RNG `random()`".to_string());
+                }
+            }
+            // Float accumulation.
+            if !file.is_test_file {
+                for pat in FLOAT_ACCUM {
+                    for (pos, _) in file.masks.code.match_indices(pat) {
+                        if !file.in_test_code(pos) && in_reach(pos) {
+                            let line = file.line_of(pos);
+                            push(line, "float_accum", format!("float reduction `{pat}..`"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    PassResult { findings, problems: Vec::new() }
+}
+
+/// Load the workspace and run (the CLI entry point).
+pub fn run_root(root: &Path) -> std::io::Result<PassResult> {
+    Ok(run(&Workspace::load(root, SCOPES)?, BUCKETS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::SourceFile;
+    use std::path::Path;
+
+    fn ws_of(path: &str, src: &str) -> Workspace {
+        Workspace { files: vec![SourceFile::parse(Path::new(path), src)] }
+    }
+
+    #[test]
+    fn flags_hash_iteration_reachable_from_search() {
+        let w = ws_of(
+            "crates/cagra/src/lib.rs",
+            "pub fn search(v: &[u32]) { rank(v); }\nfn rank(v: &[u32]) {\n    let m: std::collections::HashMap<u32, usize> =\n        v.iter().map(|&x| (x, 0)).collect();\n    let _ = m;\n}\nfn unrelated() {\n    let s: std::collections::HashSet<u32> = Default::default();\n    let _ = s;\n}\n",
+        );
+        let r = run(&w, BUCKETS);
+        let t = super::super::tally(KEYS, &r.findings);
+        assert_eq!(t["crates/cagra"], vec![1, 0, 0, 0], "only the reachable HashMap counts");
+    }
+
+    #[test]
+    fn out_of_scope_buckets_are_ignored() {
+        let w = ws_of(
+            "crates/serve/src/lib.rs",
+            "pub fn search_cache() {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    let _ = m;\n}\n",
+        );
+        assert!(run(&w, BUCKETS).findings.is_empty());
+    }
+
+    #[test]
+    fn flags_unseeded_rng_and_float_folds() {
+        let w = ws_of(
+            "crates/knn/src/lib.rs",
+            "pub fn build(v: &[f32]) -> f32 {\n    let mut rng = thread_rng();\n    v.iter().copied().fold(0.0, |a, b| a + b)\n}\n",
+        );
+        let t = super::super::tally(KEYS, &run(&w, BUCKETS).findings);
+        assert_eq!(t["crates/knn"], vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn allow_determinism_exempts_order_independent_reductions() {
+        let w = ws_of(
+            "crates/gpu-sim/src/lib.rs",
+            "pub fn build_cost(v: &[f64]) -> f64 {\n    // ALLOW(determinism): max is order-independent.\n    v.iter().copied().fold(0.0, f64::max)\n}\n",
+        );
+        let t = super::super::tally(KEYS, &run(&w, BUCKETS).findings);
+        assert_eq!(t["crates/gpu-sim"], vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let w = ws_of(
+            "crates/cagra/src/lib.rs",
+            "pub fn search() {}\n#[cfg(test)]\nmod t {\n    fn search_check() {\n        let s = std::collections::HashSet::<u32>::new();\n        let _ = s;\n    }\n}\n",
+        );
+        assert!(run(&w, BUCKETS).findings.is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! The lint passes beyond the unsafe audit, and the driver machinery
+//! they share: a common [`Finding`] shape, ALLOW-aware tallying into
+//! [`ledger`] buckets, and the textual per-crate call graph used for
+//! reachability zones.
+//!
+//! Every pass follows the same contract (DESIGN.md "Static analysis"):
+//!
+//! * it scans **non-test** code only (test files and `#[cfg(test)]`
+//!   items are free to unwrap/allocate/etc.), and skips `shims/`,
+//!   which holds vendored offline stand-ins, not product code;
+//! * each site can be exempted by an adjacent `ALLOW(<pass>): <reason>`
+//!   comment — same adjacency rule as `SAFETY:` — which moves it from
+//!   its violation key to the pass's `allowed` count; a bare `ALLOW`
+//!   without a reason is itself a violation;
+//! * per-bucket counts are ratcheted by a committed budget file, and
+//!   buckets listed as pinned-zero reject un-ALLOWed sites outright —
+//!   `budget-write` cannot whitewash them.
+
+pub mod determinism;
+pub mod hotpath;
+pub mod locks;
+pub mod panics;
+
+use crate::ledger::{self, Tallies};
+use crate::syntax::{word_occurrences, Allow, SourceFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Top-level scopes the quality passes scan. `shims/` is deliberately
+/// absent; `src`/`tests`/`benches`/`examples` cover the root package
+/// (test-scope files are then skipped per file).
+pub const SCOPES: &[&str] = &["crates", "src", "tests", "benches", "examples"];
+
+/// One site a pass flagged.
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Budget bucket (`crates/<name>` or a `zone:` bucket).
+    pub bucket: String,
+    /// Which schema key this site counts under.
+    pub key: &'static str,
+    /// Human-readable description of the site.
+    pub what: String,
+    /// Escape-hatch status at the site.
+    pub allow: Allow,
+}
+
+/// What a pass produces: the full inventory plus structural problems
+/// that are violations regardless of any budget (bare ALLOWs, lock
+/// cycles, pinned-zero breaches).
+pub struct PassResult {
+    pub findings: Vec<Finding>,
+    pub problems: Vec<String>,
+}
+
+/// Tally findings into budget buckets. Un-ALLOWed (and bare-ALLOW)
+/// sites count under their own key; `Reasoned` sites count under the
+/// trailing `allowed` key, so exemptions are ratcheted too.
+pub fn tally(keys: &[&str], findings: &[Finding]) -> Tallies {
+    let allowed_slot = keys.len() - 1;
+    debug_assert_eq!(keys[allowed_slot], "allowed");
+    let mut out = Tallies::new();
+    for f in findings {
+        let counts = out.entry(f.bucket.clone()).or_insert_with(|| vec![0; keys.len()]);
+        let slot = if f.allow == Allow::Reasoned {
+            allowed_slot
+        } else {
+            keys.iter().position(|k| *k == f.key).unwrap_or(allowed_slot)
+        };
+        counts[slot] += 1;
+    }
+    out
+}
+
+/// Fold a pass's structural problems with budget drift into the final
+/// violation list (empty = pass). `budget_text` is the committed
+/// budget file's contents, or `None` when it does not exist yet.
+pub fn check(
+    schema: &ledger::Schema,
+    result: &PassResult,
+    budget_text: Option<&str>,
+) -> Vec<String> {
+    let mut problems = result.problems.clone();
+    for f in &result.findings {
+        if f.allow == Allow::Bare {
+            problems.push(format!(
+                "{}:{}: bare ALLOW without a reason on {} — write the justification",
+                f.path.display(),
+                f.line,
+                f.what,
+            ));
+        }
+    }
+    let actual = tally(schema.keys, &result.findings);
+    match budget_text {
+        Some(text) => match ledger::parse(schema, text) {
+            Ok(budget) => problems.extend(ledger::diff(schema, &actual, &budget)),
+            Err(e) => problems.push(e),
+        },
+        None => problems.push(format!(
+            "missing crates/analyze/{} (run `{}` to create it)",
+            schema.file, schema.write_cmd
+        )),
+    }
+    problems
+}
+
+/// Emit pinned-zero breaches: un-ALLOWed findings in a bucket whose
+/// budget is a hard ZERO commitment. These are problems even before
+/// the budget diff, so `budget-write` cannot bake them in.
+pub fn pinned_zero_breaches(schema: &ledger::Schema, findings: &[Finding]) -> Vec<String> {
+    findings
+        .iter()
+        .filter(|f| f.allow != Allow::Reasoned)
+        .filter(|f| schema.pinned_zero.iter().any(|(b, _)| *b == f.bucket))
+        .map(|f| {
+            format!(
+                "{}:{}: {} in pinned-zero bucket {} — fix it or document an \
+                 ALLOW with a reason",
+                f.path.display(),
+                f.line,
+                f.what,
+                f.bucket,
+            )
+        })
+        .collect()
+}
+
+/// The set of word-tokens appearing in a code span. Used to build
+/// call edges cheaply: a function "calls" every workspace function
+/// whose name appears as a word in its body (a deliberate
+/// over-approximation — for pinned-zero zones, erring toward *more*
+/// code under the strict rule is the safe direction).
+fn body_tokens(code: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    while i < bytes.len() {
+        if is_word(bytes[i]) && !bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && is_word(bytes[i]) {
+                i += 1;
+            }
+            out.insert(String::from_utf8_lossy(&bytes[start..i]).into_owned());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Function names in `bucket` reachable from the functions accepted
+/// by `is_root`, via the textual call graph (name-based resolution,
+/// same-bucket only — cross-crate calls land in the callee crate's
+/// own budget). Test-scope functions are excluded from both nodes and
+/// edges.
+pub fn reachable_fns(
+    ws: &Workspace,
+    bucket: &str,
+    is_root: &dyn Fn(&str) -> bool,
+) -> BTreeSet<String> {
+    // Collect the bucket's non-test function definitions and, per
+    // name, the union of word-tokens across all bodies of that name.
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    let mut mentions: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in ws.files.iter().filter(|f| f.bucket == bucket) {
+        for f in &file.fns {
+            if file.in_test_code(f.body.start) {
+                continue;
+            }
+            defined.insert(f.name.clone());
+            mentions
+                .entry(f.name.clone())
+                .or_default()
+                .extend(body_tokens(&file.masks.code[f.body.clone()]));
+        }
+    }
+    let mut reach: BTreeSet<String> = defined.iter().filter(|n| is_root(n)).cloned().collect();
+    let mut frontier: Vec<String> = reach.iter().cloned().collect();
+    while let Some(name) = frontier.pop() {
+        let Some(tokens) = mentions.get(&name) else { continue };
+        for callee in tokens {
+            if defined.contains(callee) && reach.insert(callee.clone()) {
+                frontier.push(callee.clone());
+            }
+        }
+    }
+    reach
+}
+
+/// Word occurrences of `word` in `file`'s code mask that lie in
+/// non-test code, yielding `(byte_pos, 0-based line)`.
+pub fn live_occurrences(file: &SourceFile, word: &str) -> Vec<(usize, usize)> {
+    if file.is_test_file {
+        return Vec::new();
+    }
+    word_occurrences(&file.masks.code, word)
+        .into_iter()
+        .filter(|&pos| !file.in_test_code(pos))
+        .map(|pos| (pos, file.line_of(pos)))
+        .collect()
+}
+
+/// First non-whitespace byte at/after `from` in `code`, if any.
+pub fn next_nonspace(code: &[u8], mut from: usize) -> Option<u8> {
+    while from < code.len() {
+        let b = code[from];
+        if !b.is_ascii_whitespace() {
+            return Some(b);
+        }
+        from += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace { files: vec![SourceFile::parse(Path::new("crates/x/src/lib.rs"), src)] }
+    }
+
+    #[test]
+    fn reachability_follows_textual_calls() {
+        let w = ws(
+            "fn try_search() { helper(); }\nfn helper() { leaf() }\nfn leaf() {}\nfn island() {}\n",
+        );
+        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"));
+        assert!(r.contains("try_search") && r.contains("helper") && r.contains("leaf"));
+        assert!(!r.contains("island"));
+    }
+
+    #[test]
+    fn reachability_skips_test_functions() {
+        let w = ws("fn try_search() {}\n#[cfg(test)]\nmod t {\n    fn try_search_like() { island(); }\n}\nfn island() {}\n");
+        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"));
+        assert!(!r.contains("island"), "test-only callers must not extend the zone");
+    }
+
+    #[test]
+    fn tally_routes_allowed_sites_to_the_allowed_key() {
+        let f = |allow| Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 1,
+            bucket: "crates/x".into(),
+            key: "unwraps",
+            what: "`.unwrap()`".into(),
+            allow,
+        };
+        let t =
+            tally(&["unwraps", "allowed"], &[f(Allow::None), f(Allow::Reasoned), f(Allow::Bare)]);
+        assert_eq!(t["crates/x"], vec![2, 1], "bare ALLOW still counts as a site");
+    }
+
+    #[test]
+    fn pinned_zero_rejects_unallowed_sites_only() {
+        const S: ledger::Schema = ledger::Schema {
+            file: "f",
+            header: "#\n",
+            keys: &["unwraps", "allowed"],
+            pinned_zero: &[("crates/serve", "# z\n")],
+            grow_hint: "g",
+            write_cmd: "w",
+        };
+        let f = |bucket: &str, allow| Finding {
+            path: "p".into(),
+            line: 1,
+            bucket: bucket.into(),
+            key: "unwraps",
+            what: "`.unwrap()`".into(),
+            allow,
+        };
+        let breaches = pinned_zero_breaches(
+            &S,
+            &[
+                f("crates/serve", Allow::None),
+                f("crates/serve", Allow::Reasoned),
+                f("crates/other", Allow::None),
+            ],
+        );
+        assert_eq!(breaches.len(), 1, "only the un-ALLOWed serve site breaches the pin");
+        assert!(breaches[0].contains("pinned-zero"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Shared syntactic model for the multi-pass lint suite.
+//!
+//! Every pass beyond the unsafe audit needs the same three structural
+//! facts about a source file, all derivable from the [`crate::lexer`]
+//! masks without a real parse tree:
+//!
+//! * **function spans** — `fn name` occurrences with brace-matched
+//!   body extents, the unit the hot-path, lock-order, and determinism
+//!   passes reason over (and the nodes of the textual call graph);
+//! * **test regions** — `#[cfg(test)]` items and test-scope files, so
+//!   the "non-test code" passes can skip them;
+//! * **escape hatches** — `ALLOW(<pass>): <reason>` adjacency, the
+//!   generalization of the unsafe audit's `SAFETY:` rule.
+//!
+//! Like the unsafe audit, everything here is textual: the passes see
+//! `cfg`'d-out code (NEON kernels on x86 CI) that compiler-based lints
+//! cannot reach, at the cost of name-based (not type-based)
+//! resolution. The budget files absorb the imprecision: what matters
+//! is that the counts are *stable and exact*, so any drift is a
+//! reviewed diff.
+
+use crate::audit;
+use crate::lexer::{self, Masks};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// One parsed source file, shared by all passes.
+pub struct SourceFile {
+    /// Path relative to the workspace root.
+    pub rel: PathBuf,
+    /// Budget bucket (`crates/<name>`, `shims/<name>`, or `root`).
+    pub bucket: String,
+    /// Lexer masks over the raw source.
+    pub masks: Masks,
+    /// Code mask split into lines (parallel to `comment_lines`).
+    pub code_lines: Vec<String>,
+    /// Comment mask split into lines.
+    pub comment_lines: Vec<String>,
+    /// Byte offset of the start of each line of the masks.
+    pub line_starts: Vec<usize>,
+    /// True when the whole file is test scope (`tests/`, `benches/`,
+    /// `examples/` trees, or a `tests` directory inside a crate).
+    pub is_test_file: bool,
+    /// Byte ranges of `#[cfg(test)]` items within the code mask.
+    pub test_ranges: Vec<Range<usize>>,
+    /// Function definitions found in the code mask.
+    pub fns: Vec<FnSpan>,
+}
+
+/// A `fn` definition: its name and brace-matched body extent.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The declared name (textual; generics/impl context not resolved).
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte range of the body, `{` through matching `}` (empty for
+    /// bodyless trait-method declarations).
+    pub body: Range<usize>,
+}
+
+impl SourceFile {
+    /// Lex and index one file.
+    pub fn parse(rel: &Path, src: &str) -> SourceFile {
+        let masks = lexer::mask(src);
+        let code_lines: Vec<String> = masks.code.lines().map(str::to_string).collect();
+        let comment_lines: Vec<String> = masks.comment.lines().map(str::to_string).collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in masks.code.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let is_test_file = rel
+            .components()
+            .any(|c| matches!(c.as_os_str().to_str(), Some("tests" | "benches" | "examples")))
+            || rel
+                .file_stem()
+                .and_then(|s| s.to_str())
+                // Loom model-checking harnesses live in src/ but only
+                // compile under `--cfg loom`; they are test scope.
+                .is_some_and(|s| s.starts_with("loom_model"));
+        let test_ranges = cfg_test_ranges(&masks.code);
+        let fns = functions(&masks.code);
+        let bucket = bucket_of(rel);
+        SourceFile {
+            rel: rel.to_path_buf(),
+            bucket,
+            masks,
+            code_lines,
+            comment_lines,
+            line_starts,
+            is_test_file,
+            test_ranges,
+            fns,
+        }
+    }
+
+    /// 0-based line containing byte `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    }
+
+    /// True when byte `pos` lies in test scope (test file or inside a
+    /// `#[cfg(test)]` item).
+    pub fn in_test_code(&self, pos: usize) -> bool {
+        self.is_test_file || self.test_ranges.iter().any(|r| r.contains(&pos))
+    }
+
+    /// The function whose body contains byte `pos`, if any. Nested
+    /// functions resolve to the innermost definition.
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&FnSpan> {
+        self.fns.iter().filter(|f| f.body.contains(&pos)).min_by_key(|f| f.body.end - f.body.start)
+    }
+}
+
+/// The workspace as every pass sees it: all in-scope files, parsed
+/// once. `scopes` filters the walk (e.g. the code-quality passes skip
+/// `shims/`, which holds vendored offline stand-ins, not product
+/// code).
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Load every `.rs` file under `root`, excluding top-level scopes
+    /// not listed in `scopes`.
+    pub fn load(root: &Path, scopes: &[&str]) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        for rel in audit::source_files(root)? {
+            let top = rel.components().next().and_then(|c| c.as_os_str().to_str());
+            if !top.is_some_and(|t| scopes.contains(&t)) {
+                continue;
+            }
+            let src = std::fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::parse(&rel, &src));
+        }
+        Ok(Workspace { files })
+    }
+}
+
+/// Budget bucket for a path: `crates/<name>`, `shims/<name>`, `root`.
+pub fn bucket_of(rel: &Path) -> String {
+    let mut parts = rel.components().filter_map(|c| c.as_os_str().to_str());
+    match (parts.next(), parts.next()) {
+        (Some(top @ ("crates" | "shims")), Some(name)) => format!("{top}/{name}"),
+        _ => "root".to_string(),
+    }
+}
+
+/// Byte offsets of whole-word matches of `word` in `hay`.
+pub fn word_occurrences(hay: &str, word: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    hay.match_indices(word)
+        .filter(|&(i, _)| {
+            let before_ok = i == 0 || !is_word(bytes[i - 1]);
+            let after = i + word.len();
+            let after_ok = after >= bytes.len() || !is_word(bytes[after]);
+            before_ok && after_ok
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Next non-whitespace code token at/after `from`: a word or one
+/// punctuation byte, with the offset past it.
+pub fn next_token(code: &[u8], mut from: usize) -> Option<(String, usize)> {
+    while from < code.len() && (code[from] as char).is_whitespace() {
+        from += 1;
+    }
+    if from >= code.len() {
+        return None;
+    }
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let start = from;
+    if is_word(code[from]) {
+        while from < code.len() && is_word(code[from]) {
+            from += 1;
+        }
+    } else {
+        from += 1;
+    }
+    Some((String::from_utf8_lossy(&code[start..from]).into_owned(), from))
+}
+
+/// Find the matching `}` for the `{` at `open` (depth-counted over
+/// the code mask, so strings/comments cannot unbalance it). Returns
+/// the offset *after* the closing brace, or `code.len()` when
+/// unbalanced.
+pub fn match_brace(code: &[u8], open: usize) -> usize {
+    debug_assert_eq!(code[open], b'{');
+    let mut depth = 0usize;
+    for (i, &b) in code.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// Extract every `fn` definition from a code mask.
+pub fn functions(code: &str) -> Vec<FnSpan> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for pos in word_occurrences(code, "fn") {
+        let Some((name, after_name)) = next_token(bytes, pos + 2) else { continue };
+        // `fn(` is a fn-pointer type, not a definition.
+        if !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            continue;
+        }
+        let line = code[..pos].bytes().filter(|&b| b == b'\n').count();
+        // Scan for the body `{` (or a `;` ending a bodyless trait
+        // declaration) at zero paren/bracket depth, so braces inside
+        // const-generic brackets or where-clause parens don't trigger
+        // early.
+        let mut depth = 0i32;
+        let mut body = after_name..after_name;
+        let mut i = after_name;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    body = i..match_brace(bytes, i);
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(FnSpan { name, line, body });
+    }
+    out
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated items in a code mask. The
+/// attribute's item is the next `{`-delimited block (a `mod tests`,
+/// fn, or impl) or, for statement-like items, everything through the
+/// next top-level `;`.
+pub fn cfg_test_ranges(code: &str) -> Vec<Range<usize>> {
+    let bytes = code.as_bytes();
+    let mut out: Vec<Range<usize>> = Vec::new();
+    for (at, _) in code.match_indices("#[cfg(test)]").chain(code.match_indices("#[cfg(all(test")) {
+        if out.iter().any(|r| r.contains(&at)) {
+            continue; // nested inside an already-recorded region
+        }
+        let mut depth = 0i32;
+        let mut i = at + 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    out.push(at..match_brace(bytes, i));
+                    break;
+                }
+                b';' if depth == 0 => {
+                    out.push(at..i + 1);
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Escape-hatch lookup result for one site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Allow {
+    /// No `ALLOW(<pass>)` marker adjacent to the site.
+    None,
+    /// Marker present with a non-empty reason — the site is exempt.
+    Reasoned,
+    /// Marker present but the reason is missing/empty — itself a
+    /// violation (the hatch exists to force written justification).
+    Bare,
+}
+
+/// Check the `ALLOW(<tag>): <reason>` convention for a site on
+/// 0-based `line`: the marker counts on the same line or anywhere in
+/// the contiguous run of comment-only/attribute lines directly above
+/// (same adjacency rule as the unsafe audit's `SAFETY:` comments).
+pub fn find_allow(
+    tag: &str,
+    line: usize,
+    code_lines: &[String],
+    comment_lines: &[String],
+) -> Allow {
+    let needle = format!("ALLOW({tag})");
+    let hit = |l: usize| -> Option<Allow> {
+        let c = comment_lines.get(l).map(String::as_str).unwrap_or("");
+        let at = c.find(&needle)?;
+        let rest = c[at + needle.len()..].trim_start();
+        let reason = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        Some(if reason.is_empty() { Allow::Bare } else { Allow::Reasoned })
+    };
+    if let Some(a) = hit(line) {
+        return a;
+    }
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let code_l = code_lines.get(l).map(String::as_str).unwrap_or("").trim();
+        let comment_l = comment_lines.get(l).map(String::as_str).unwrap_or("").trim();
+        let is_comment_only = code_l.is_empty() && !comment_l.is_empty();
+        let is_attr = code_l.starts_with("#[");
+        if !(is_comment_only || is_attr) {
+            return Allow::None;
+        }
+        if let Some(a) = hit(l) {
+            return a;
+        }
+    }
+    Allow::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_have_names_lines_and_bodies() {
+        let code = "pub fn alpha(x: u32) -> u32 {\n    x + 1\n}\nfn beta() {}\n";
+        let fns = functions(code);
+        assert_eq!(fns.len(), 2);
+        assert_eq!((fns[0].name.as_str(), fns[0].line), ("alpha", 0));
+        assert!(code[fns[0].body.clone()].contains("x + 1"));
+        assert_eq!(fns[1].name, "beta");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_definitions() {
+        let fns = functions("type K = fn(u32) -> u32;\nfn real() {}\n");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn trait_declarations_have_empty_bodies() {
+        let fns = functions("trait T {\n    fn decl(&self) -> u32;\n    fn with(&self) {}\n}\n");
+        // `decl` has no body; `with` does. Both are found.
+        let decl = fns.iter().find(|f| f.name == "decl").unwrap();
+        assert!(decl.body.is_empty());
+        let with = fns.iter().find(|f| f.name == "with").unwrap();
+        assert!(!with.body.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_resolves_to_innermost() {
+        let code = "fn outer() {\n    fn inner() { tok(); }\n    tok();\n}\n";
+        let f = SourceFile::parse(Path::new("crates/x/src/lib.rs"), code);
+        let pos = code.find("tok").unwrap();
+        assert_eq!(f.enclosing_fn(pos).unwrap().name, "inner");
+        let pos2 = code.rfind("tok").unwrap();
+        assert_eq!(f.enclosing_fn(pos2).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_one_region() {
+        let code = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = SourceFile::parse(Path::new("crates/x/src/lib.rs"), code);
+        assert!(f.in_test_code(code.find("unwrap").unwrap()));
+        assert!(!f.in_test_code(code.find("live").unwrap()));
+    }
+
+    #[test]
+    fn tests_dir_files_are_test_scope() {
+        let f = SourceFile::parse(Path::new("crates/x/tests/it.rs"), "fn t() {}\n");
+        assert!(f.is_test_file);
+        let f2 = SourceFile::parse(Path::new("crates/x/src/lib.rs"), "fn t() {}\n");
+        assert!(!f2.is_test_file);
+    }
+
+    #[test]
+    fn allow_requires_a_reason() {
+        let parse = |src: &str| SourceFile::parse(Path::new("crates/x/src/lib.rs"), src);
+        let f = parse("// ALLOW(panic): checked by validate() upstream.\nx.unwrap();\n");
+        assert_eq!(find_allow("panic", 1, &f.code_lines, &f.comment_lines), Allow::Reasoned);
+        let bare = parse("// ALLOW(panic)\nx.unwrap();\n");
+        assert_eq!(find_allow("panic", 1, &bare.code_lines, &bare.comment_lines), Allow::Bare);
+        let wrong = parse("// ALLOW(alloc): wrong tag.\nx.unwrap();\n");
+        assert_eq!(find_allow("panic", 1, &wrong.code_lines, &wrong.comment_lines), Allow::None);
+        let detached = parse("// ALLOW(panic): stale.\n\nx.unwrap();\n");
+        assert_eq!(
+            find_allow("panic", 2, &detached.code_lines, &detached.comment_lines),
+            Allow::None,
+        );
+    }
+
+    #[test]
+    fn same_line_allow_counts() {
+        let f = SourceFile::parse(
+            Path::new("crates/x/src/lib.rs"),
+            "x.unwrap(); // ALLOW(panic): len checked above.\n",
+        );
+        assert_eq!(find_allow("panic", 0, &f.code_lines, &f.comment_lines), Allow::Reasoned);
+    }
+
+    #[test]
+    fn match_brace_is_depth_aware() {
+        let code = "{ a { b } c } tail";
+        assert_eq!(match_brace(code.as_bytes(), 0), code.find(" tail").unwrap());
+    }
+}

@@ -1,0 +1,52 @@
+//! Every pass must fire on the deliberate violations planted in
+//! `crates/analyze/fixtures/` — a lint that cannot find its own
+//! fixture is scanning nothing. Counts are exact so a detector that
+//! silently widens (or narrows) fails here first.
+
+use analyze::passes::{self, determinism, hotpath, locks, panics};
+use analyze::syntax::{Allow, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn fixture_ws() -> Workspace {
+    let root = analyze::workspace_root().join("crates/analyze/fixtures");
+    Workspace::load(&root, passes::SCOPES).expect("load fixture tree")
+}
+
+#[test]
+fn panic_pass_fires_on_fixture() {
+    let r = panics::run(&fixture_ws());
+    let t = passes::tally(panics::KEYS, &r.findings);
+    // 3 unwraps (panic_site + two lock guards), 1 indexing (the bare
+    // ALLOW still counts), 1 allowed (the reasoned ALLOW); the
+    // #[cfg(test)] unwrap and assert_eq are invisible.
+    assert_eq!(t["crates/demo"], vec![3, 0, 0, 0, 1, 1]);
+    let bare = r.findings.iter().filter(|f| f.allow == Allow::Bare).count();
+    assert_eq!(bare, 1, "the reasonless ALLOW must be detected as bare");
+}
+
+#[test]
+fn alloc_pass_fires_on_fixture() {
+    let mut hot: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    hot.insert("crates/demo".into(), ["hot_alloc".to_string()].into_iter().collect());
+    let r = hotpath::run(&fixture_ws(), &hot);
+    let t = passes::tally(hotpath::KEYS, &r.findings);
+    assert_eq!(t["crates/demo"], vec![1, 0], "to_vec in the listed hot fn");
+    assert!(r.problems.is_empty(), "{:?}", r.problems);
+}
+
+#[test]
+fn lock_pass_fires_on_fixture() {
+    let r = locks::run(&fixture_ws());
+    let t = passes::tally(locks::KEYS, &r.findings);
+    // Two acquisitions; `names` is taken while `items` is held
+    // (nested); `collect` allocates inside the `items` section.
+    assert_eq!(t["crates/demo"], vec![2, 1, 1, 0]);
+    assert!(r.problems.is_empty(), "no cycle in the fixture: {:?}", r.problems);
+}
+
+#[test]
+fn determinism_pass_fires_on_fixture() {
+    let r = determinism::run(&fixture_ws(), &["crates/demo"]);
+    let t = passes::tally(determinism::KEYS, &r.findings);
+    assert_eq!(t["crates/demo"], vec![1, 0, 0, 0], "HashMap reachable from search_demo");
+}

@@ -1,0 +1,81 @@
+//! Lexer mask invariants over arbitrary concatenations of pathological
+//! source fragments (raw strings, nested block comments, char literals
+//! that look like syntax, escaped quotes, line continuations). Every
+//! downstream pass assumes these properties; if one breaks, every
+//! budget in the repo is suspect.
+
+use analyze::lexer::mask;
+use proptest::prelude::*;
+
+/// Tricky fragments; random concatenations explore their interactions
+/// (a raw string opened right after a block comment, a char literal
+/// against a line comment, ...).
+const VOCAB: &[&str] = &[
+    "fn main() {}",
+    "// line comment\n",
+    "/* block /* nested */ still */",
+    "\"string // not a comment\"",
+    "r#\"raw \" quote\"#",
+    "r\"raw\"",
+    "b\"bytes\"",
+    "'\"'",
+    "'a'",
+    "'\\''",
+    "'/'",
+    "'a",
+    "\n",
+    "let x = v[0];",
+    "\"esc \\\" quote\"",
+    "\"trail \\\n cont\"",
+    "// ALLOW(panic): reason\n",
+    "#",
+    "<'a>",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    picks.iter().map(|&i| VOCAB[i % VOCAB.len()]).collect()
+}
+
+proptest! {
+    #[test]
+    fn masks_are_aligned_disjoint_and_newline_preserving(
+        picks in proptest::collection::vec(0usize..1000, 0..40)
+    ) {
+        let src = assemble(&picks);
+        let m = mask(&src);
+        // Byte-aligned with the input.
+        prop_assert_eq!(m.code.len(), src.len());
+        prop_assert_eq!(m.comment.len(), src.len());
+        let (s, c, k) = (src.as_bytes(), m.code.as_bytes(), m.comment.as_bytes());
+        for i in 0..s.len() {
+            // Newlines survive in BOTH masks (line numbers must match);
+            // every other mask byte is the source byte or a blank.
+            if s[i] == b'\n' {
+                prop_assert_eq!(c[i], b'\n');
+                prop_assert_eq!(k[i], b'\n');
+            } else {
+                prop_assert!(c[i] == s[i] || c[i] == b' ', "code[{}]", i);
+                prop_assert!(k[i] == s[i] || k[i] == b' ', "comment[{}]", i);
+                // A byte is never code AND comment.
+                prop_assert!(
+                    c[i] == b' ' || k[i] == b' ',
+                    "byte {} claimed by both masks", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masking_is_deterministic_and_line_stable(
+        picks in proptest::collection::vec(0usize..1000, 0..40)
+    ) {
+        let src = assemble(&picks);
+        let a = mask(&src);
+        let b = mask(&src);
+        prop_assert_eq!(&a.code, &b.code);
+        prop_assert_eq!(&a.comment, &b.comment);
+        let lines = src.bytes().filter(|&b| b == b'\n').count();
+        prop_assert_eq!(a.code.bytes().filter(|&b| b == b'\n').count(), lines);
+        prop_assert_eq!(a.comment.bytes().filter(|&b| b == b'\n').count(), lines);
+    }
+}

@@ -203,6 +203,8 @@ impl MmapVectors {
 
     /// Row `i` as a borrowed f32 slice.
     pub fn row(&self, i: usize) -> &[f32] {
+        // ALLOW(panic): this bound check is the SAFETY precondition of
+        // the mapped branch below; removing it would be unsound.
         assert!(i < self.n, "row {i} out of bounds ({} rows)", self.n);
         match &self.backing {
             #[cfg(all(unix, target_endian = "little"))]
@@ -214,6 +216,8 @@ impl MmapVectors {
                 // `&self`'s lifetime.
                 unsafe { std::slice::from_raw_parts(m.data_ptr().add(i * self.dim), self.dim) }
             }
+            // ALLOW(panic): `i < n` asserted above, so the row range
+            // lies inside the `n * dim` heap buffer.
             Backing::Heap(v) => &v[i * self.dim..(i + 1) * self.dim],
         }
     }

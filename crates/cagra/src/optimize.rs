@@ -376,12 +376,11 @@ pub fn optimize_naive<S: VectorStore + ?Sized>(
                         let nb_ids: Vec<u32> = list.iter().map(|nb| nb.id).collect();
                         let mut w_x = vec![0.0f32; k];
                         oracle.to_rows(&prepared, &nb_ids, &mut w_x);
-                        let rank_of: std::collections::HashMap<u32, usize> =
-                            list.iter().enumerate().map(|(r, nb)| (nb.id, r)).collect();
+                        let rank_idx = rank_index(list);
                         let mut counts = vec![0u32; k];
                         for (rz, z) in list.iter().enumerate() {
                             for y in knn.row(z.id as usize).iter() {
-                                if let Some(&ry) = rank_of.get(&y.id) {
+                                if let Some(ry) = rank_in(&rank_idx, y.id) {
                                     let w_zy = oracle.between_rows(z.id as usize, y.id as usize);
                                     if w_x[rz].max(w_zy) < w_x[ry] {
                                         counts[ry] += 1;
@@ -466,6 +465,21 @@ pub fn merge(pruned: &[Vec<u32>], reversed: &[Vec<u32>], d: usize) -> FixedDegre
     FixedDegreeGraph::from_flat(flat, n, d)
 }
 
+/// Sorted `(id, rank)` lookup table over one neighbor list — the
+/// deterministic replacement for a rank `HashMap` (hash containers are
+/// banned on the build path; see the determinism lint).
+fn rank_index(list: &[Neighbor]) -> Vec<(u32, u32)> {
+    let mut idx: Vec<(u32, u32)> =
+        list.iter().enumerate().map(|(r, nb)| (nb.id, r as u32)).collect();
+    idx.sort_unstable();
+    idx
+}
+
+/// Rank of `id` in the list `idx` was built from, if present.
+fn rank_in(idx: &[(u32, u32)], id: u32) -> Option<usize> {
+    idx.binary_search_by_key(&id, |p| p.0).ok().and_then(|i| idx.get(i)).map(|p| p.1 as usize)
+}
+
 fn rows_to_fixed(rows: &[Vec<u32>], d: usize) -> FixedDegreeGraph {
     let n = rows.len();
     let mut flat = Vec::with_capacity(n * d);
@@ -489,11 +503,10 @@ where
     let list = row(x);
     let k = list.len();
     let mut counts = vec![0u32; k];
-    let rank_of: std::collections::HashMap<u32, usize> =
-        list.iter().enumerate().map(|(r, n)| (n.id, r)).collect();
+    let rank_idx = rank_index(list);
     for (rz, z) in list.iter().enumerate() {
         for (rzy, y) in row(z.id as usize).iter().enumerate() {
-            if let Some(&ry) = rank_of.get(&y.id) {
+            if let Some(ry) = rank_in(&rank_idx, y.id) {
                 if rz.max(rzy) < ry {
                     counts[ry] += 1;
                 }

@@ -79,6 +79,8 @@ pub fn bitonic_sort(entries: &mut [BufEntry]) {
                 let l = i ^ j;
                 if l > i {
                     let ascending = i & k == 0;
+                    // ALLOW(panic): `i < padded` and `l = i ^ j` with
+                    // `j < padded` (a power of two), so `l < padded`.
                     if less(&buf[l], &buf[i]) == ascending {
                         buf.swap(i, l);
                     }
@@ -88,6 +90,7 @@ pub fn bitonic_sort(entries: &mut [BufEntry]) {
         }
         k *= 2;
     }
+    // ALLOW(panic): `buf` was resized to `padded >= n` above.
     entries.copy_from_slice(&buf[..n]);
 }
 
@@ -106,6 +109,8 @@ impl SearchBuffer {
     /// Create a buffer with top-M length `m` and candidate capacity
     /// `width` (`p * d`). The top-M list starts as all dummies.
     pub fn new(m: usize, width: usize) -> Self {
+        // ALLOW(panic): constructor precondition; zero-sized lists
+        // have no meaningful search semantics.
         assert!(m > 0 && width > 0, "buffer sizes must be positive");
         SearchBuffer {
             topm: vec![BufEntry::DUMMY; m],
@@ -121,6 +126,7 @@ impl SearchBuffer {
     /// [`SearchBuffer::new`]`(m, width)` except that, in steady state
     /// (same shape as the previous search), no heap allocation occurs.
     pub fn reset(&mut self, m: usize, width: usize) {
+        // ALLOW(panic): same precondition as `new`.
         assert!(m > 0 && width > 0, "buffer sizes must be positive");
         self.m = m;
         self.topm.clear();
@@ -183,19 +189,24 @@ impl SearchBuffer {
         let mut ci = 0usize;
         let mut admitted = 0usize;
         while self.scratch.len() < self.m {
-            let take_candidate = match (self.topm.get(ti), self.candidates.get(ci)) {
-                (Some(t), Some(c)) => less(c, t),
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (None, None) => break,
-            };
-            if take_candidate {
-                self.scratch.push(self.candidates[ci]);
-                ci += 1;
-                admitted += 1;
-            } else {
-                self.scratch.push(self.topm[ti]);
-                ti += 1;
+            // Matching on the fetched entries (instead of re-indexing
+            // after a take/skip decision) keeps the merge panic-free.
+            match (self.topm.get(ti), self.candidates.get(ci)) {
+                (Some(&t), Some(&c)) if less(&c, &t) => {
+                    self.scratch.push(c);
+                    ci += 1;
+                    admitted += 1;
+                }
+                (_, Some(&c)) if ti >= self.topm.len() => {
+                    self.scratch.push(c);
+                    ci += 1;
+                    admitted += 1;
+                }
+                (Some(&t), _) => {
+                    self.scratch.push(t);
+                    ti += 1;
+                }
+                _ => break,
             }
         }
         while self.scratch.len() < self.m {

@@ -37,6 +37,7 @@ impl VisitedSet {
     /// # Panics
     /// Panics unless `4 <= bits <= 30`.
     pub fn new(bits: u8) -> Self {
+        // ALLOW(panic): documented precondition (see `# Panics`).
         assert!((4..=30).contains(&bits), "hash bits {bits} out of range");
         let size = 1usize << bits;
         let v = VisitedSet { slots: vec![EMPTY; size], mask: (size - 1) as u32, len: 0, probes: 0 };
@@ -54,15 +55,18 @@ impl VisitedSet {
     fn check_shape(&self) {
         #[cfg(feature = "debug_invariants")]
         {
+            // ALLOW(panic): compiled only under `debug_invariants`.
             assert!(
                 self.slots.len().is_power_of_two(),
                 "probe invariant: table not a power of two"
             );
+            // ALLOW(panic): compiled only under `debug_invariants`.
             assert_eq!(
                 self.mask as usize,
                 self.slots.len() - 1,
                 "probe invariant: wrap mask does not match table size"
             );
+            // ALLOW(panic): compiled only under `debug_invariants`.
             assert!(self.len <= self.slots.len(), "probe invariant: len exceeds capacity");
         }
     }
@@ -106,11 +110,14 @@ impl VisitedSet {
         let cap = self.slots.len();
         for _ in 0..cap {
             self.probes += 1;
+            // ALLOW(panic): `slot` is masked by `size - 1` of the
+            // power-of-two table, so it is always in bounds.
             let cur = self.slots[slot as usize];
             if cur == id {
                 return false;
             }
             if cur == EMPTY {
+                // ALLOW(panic): same masked in-bounds `slot` as above.
                 self.slots[slot as usize] = id;
                 self.len += 1;
                 self.check_shape();
@@ -121,6 +128,7 @@ impl VisitedSet {
         // The bounded probe loop visited every slot without finding
         // `id` or a hole — only a genuinely full table can do that.
         #[cfg(feature = "debug_invariants")]
+        // ALLOW(panic): compiled only under `debug_invariants`.
         assert_eq!(
             self.len, cap,
             "probe invariant: probe loop exhausted {cap} slots but only {} are occupied",
@@ -133,6 +141,8 @@ impl VisitedSet {
     pub fn contains(&self, id: u32) -> bool {
         let mut slot = hash(id) & self.mask;
         for _ in 0..self.slots.len() {
+            // ALLOW(panic): `slot` is masked by `size - 1` of the
+            // power-of-two table, so it is always in bounds.
             let cur = self.slots[slot as usize];
             if cur == id {
                 return true;
@@ -153,6 +163,7 @@ impl VisitedSet {
     /// # Panics
     /// Panics unless `4 <= bits <= 30`.
     pub fn reset_to(&mut self, bits: u8) {
+        // ALLOW(panic): documented precondition (see `# Panics`).
         assert!((4..=30).contains(&bits), "hash bits {bits} out of range");
         let size = 1usize << bits;
         if self.slots.len() == size {

@@ -92,11 +92,16 @@ pub fn search_multi_cta_mapped<S: VectorStore + ?Sized>(
     scratch: &mut SearchScratch,
     id_map: Option<&IdMap>,
 ) {
+    // ALLOW(panic): documented contract of the panicking entry; the
+    // `try_search*` path validates and returns typed errors instead.
     params.validate(k).unwrap_or_else(|e| panic!("{e}"));
     if let Some(m) = id_map {
+        // ALLOW(panic): documented precondition (see `# Panics`).
         assert_eq!(m.len(), graph.len(), "id map and graph sizes differ");
     }
+    // ALLOW(panic): documented precondition (see `# Panics`).
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
+    // ALLOW(panic): documented precondition (see `# Panics`).
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
     let d = graph.degree();
@@ -119,6 +124,7 @@ pub fn search_multi_cta_mapped<S: VectorStore + ?Sized>(
         gang_dists,
         ..
     } = scratch;
+    // ALLOW(panic): `begin` unconditionally installed the set above.
     let hash = visited.as_mut().expect("begin installs the visited set");
     trace.itopk = params.itopk;
     trace.search_width = 1;
@@ -171,8 +177,8 @@ pub fn search_multi_cta_mapped<S: VectorStore + ?Sized>(
         if let Some(log) = trace.accesses.as_mut() {
             log.iterations.push(IterAccess::default());
         }
-        for (w, buf) in buffers.iter_mut().enumerate() {
-            if !active[w] {
+        for (buf, act) in buffers.iter_mut().zip(active.iter_mut()) {
+            if !*act {
                 continue;
             }
             buf.update_topm();
@@ -189,12 +195,14 @@ pub fn search_multi_cta_mapped<S: VectorStore + ?Sized>(
                 }
             }
             let Some(p) = parent else {
-                active[w] = false;
+                *act = false;
                 continue;
             };
             any_active = true;
             if let Some(log) = trace.accesses.as_mut() {
-                log.iterations.last_mut().expect("pushed at round start").parents.push(p);
+                if let Some(iter) = log.iterations.last_mut() {
+                    iter.parents.push(p);
+                }
             }
             // All d neighbors enter in adjacency order; the first-visit
             // ones are scored by one batched gang call and patched in.
@@ -213,13 +221,16 @@ pub fn search_multi_cta_mapped<S: VectorStore + ?Sized>(
             oracle.to_rows(&prepared, gang_ids, gang_dists);
             let cands = buf.candidates_mut();
             for (&pos, &dist) in gang_pos.iter().zip(gang_dists.iter()) {
+                // ALLOW(panic): every `pos` was recorded as
+                // `candidates().len()` just before a push above.
                 cands[pos as usize].dist = dist;
             }
             round_computed += gang_ids.len() as u64;
             round_candidates += buf.candidates().len() as u64;
             if let Some(log) = trace.accesses.as_mut() {
-                let iter = log.iterations.last_mut().expect("pushed at round start");
-                iter.scored.extend_from_slice(gang_ids);
+                if let Some(iter) = log.iterations.last_mut() {
+                    iter.scored.extend_from_slice(gang_ids);
+                }
             }
         }
         if !any_active {

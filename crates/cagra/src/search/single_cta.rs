@@ -88,11 +88,16 @@ pub fn search_single_cta_mapped<S: VectorStore + ?Sized>(
     scratch: &mut SearchScratch,
     id_map: Option<&IdMap>,
 ) {
+    // ALLOW(panic): documented contract of the panicking entry; the
+    // `try_search*` path validates and returns typed errors instead.
     params.validate(k).unwrap_or_else(|e| panic!("{e}"));
     if let Some(m) = id_map {
+        // ALLOW(panic): documented precondition (see `# Panics`).
         assert_eq!(m.len(), graph.len(), "id map and graph sizes differ");
     }
+    // ALLOW(panic): documented precondition (see `# Panics`).
     assert_eq!(query.len(), store.dim(), "query dimension mismatch");
+    // ALLOW(panic): documented precondition (see `# Panics`).
     assert_eq!(graph.len(), store.len(), "graph and dataset sizes differ");
     let n = graph.len();
     let d = graph.degree();
@@ -117,7 +122,9 @@ pub fn search_single_cta_mapped<S: VectorStore + ?Sized>(
         gang_dists,
         ..
     } = scratch;
+    // ALLOW(panic): `begin` unconditionally installed the set above.
     let hash = visited.as_mut().expect("begin installs the visited set");
+    // ALLOW(panic): `begin(.., 1, ..)` sized `buffers` to exactly one.
     let buffer = &mut buffers[0];
     trace.itopk = params.itopk;
     trace.search_width = params.search_width;
@@ -185,6 +192,8 @@ pub fn search_single_cta_mapped<S: VectorStore + ?Sized>(
             break;
         }
         if let Some(log) = trace.accesses.as_mut() {
+            // ALLOW(alloc): runs only with access-trace recording on
+            // (analysis mode); the log stores an owned parent list.
             log.iterations.push(IterAccess { parents: parents.clone(), scored: Vec::new() });
         }
 
@@ -219,12 +228,15 @@ pub fn search_single_cta_mapped<S: VectorStore + ?Sized>(
             oracle.to_rows(&prepared, gang_ids, gang_dists);
             let cands = buffer.candidates_mut();
             for (&pos, &dist) in gang_pos.iter().zip(gang_dists.iter()) {
+                // ALLOW(panic): every `pos` was recorded as
+                // `candidates().len()` just before a push above.
                 cands[pos as usize].dist = dist;
             }
             computed += gang_ids.len() as u64;
             if let Some(log) = trace.accesses.as_mut() {
-                let iter = log.iterations.last_mut().expect("pushed at iteration start");
-                iter.scored.extend_from_slice(gang_ids);
+                if let Some(iter) = log.iterations.last_mut() {
+                    iter.scored.extend_from_slice(gang_ids);
+                }
             }
         }
         let iter_probes = hash.probes() - probes_before;

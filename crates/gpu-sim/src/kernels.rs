@@ -19,7 +19,7 @@ use distance::{DistanceOracle, Metric};
 use knn::topk::{cmp_neighbor, Neighbor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Parameters of the baseline GPU search loop.
 #[derive(Clone, Copy, Debug)]
@@ -69,7 +69,10 @@ pub fn traced_beam_search<S: VectorStore + ?Sized>(
     }
 
     let oracle = DistanceOracle::new(store, metric);
-    let mut visited: HashSet<u32> = HashSet::with_capacity(beam * 8);
+    // A BTreeSet (not HashSet) keeps the membership structure free of
+    // RandomState: nothing here iterates it today, but the determinism
+    // lint bans hash containers on the search path outright.
+    let mut visited: BTreeSet<u32> = BTreeSet::new();
     let mut pool: Vec<(Neighbor, bool)> = Vec::with_capacity(beam + 1);
     let mut rng = StdRng::seed_from_u64(params.seed);
     for _ in 0..params.n_starts.max(1).min(n) {

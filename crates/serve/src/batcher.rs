@@ -87,7 +87,7 @@ pub(crate) struct Batcher {
 impl Batcher {
     pub(crate) fn new(capacity: usize) -> Self {
         Batcher {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), closed: false }),
+            inner: Mutex::new(Inner { queue: VecDeque::with_capacity(capacity), closed: false }),
             nonempty: Condvar::new(),
             capacity,
         }
@@ -103,6 +103,10 @@ impl Batcher {
     /// Admit `job` or shed it. On success returns the receiver the
     /// dispatcher will answer on.
     pub(crate) fn submit(&self, job: Job) -> Result<mpsc::Receiver<Response>, ServeError> {
+        // Created before taking the lock so the critical section stays
+        // allocation-free; a shed request just throws the pair away,
+        // which is cheaper than allocating while submitters contend.
+        let (tx, rx) = mpsc::channel();
         let mut inner = self.lock();
         if inner.closed {
             return Err(ServeError::ShuttingDown);
@@ -113,7 +117,6 @@ impl Batcher {
             obs::metrics().serve_rejected.inc();
             return Err(ServeError::Overloaded { depth, capacity: self.capacity });
         }
-        let (tx, rx) = mpsc::channel();
         inner.queue.push_back(Pending { job, tx });
         drop(inner);
         let m = obs::metrics();
@@ -163,9 +166,15 @@ impl Batcher {
         // immediately ("batch when loaded"), while a fresh arrival
         // into an idle engine waits at most `max_wait` ("dispatch
         // immediately when idle" with the default zero window).
-        if !max_wait.is_zero() {
-            let deadline =
-                inner.queue.front().expect("nonempty after phase 1").job.enqueued + max_wait;
+        // Phase 1 guarantees the queue is nonempty here; mapping over
+        // `front()` (instead of expecting it) makes an impossible empty
+        // queue skip the window rather than panic the dispatcher.
+        let window = if max_wait.is_zero() {
+            None
+        } else {
+            inner.queue.front().map(|p| p.job.enqueued + max_wait)
+        };
+        if let Some(deadline) = window {
             while inner.queue.len() < max_batch && !inner.closed {
                 let now = Instant::now();
                 let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())

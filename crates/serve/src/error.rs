@@ -29,6 +29,8 @@ pub enum ServeError {
     Disconnected,
     /// The service configuration itself is unusable.
     BadConfig(&'static str),
+    /// The OS refused to start the dispatcher thread.
+    SpawnFailed,
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +43,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Disconnected => write!(f, "dispatcher disconnected before responding"),
             ServeError::BadConfig(what) => write!(f, "bad serve config: {what}"),
+            ServeError::SpawnFailed => write!(f, "failed to spawn the dispatcher thread"),
         }
     }
 }

@@ -145,28 +145,38 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ProtoError> {
-        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
-            ProtoError::Corrupt(format!("truncated at {what} (offset {})", self.at))
-        })?;
-        let s = &self.buf[self.at..end];
-        self.at = end;
+        let s =
+            self.at.checked_add(n).and_then(|end| self.buf.get(self.at..end)).ok_or_else(|| {
+                ProtoError::Corrupt(format!("truncated at {what} (offset {})", self.at))
+            })?;
+        self.at += n;
         Ok(s)
     }
 
+    /// Fixed-size [`Cursor::take`]: the bound check above proves the
+    /// slice is exactly `N` bytes, so the conversion needs no fallible
+    /// `try_into`.
+    fn take_arr<const N: usize>(&mut self, what: &str) -> Result<[u8; N], ProtoError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N, what)?);
+        Ok(out)
+    }
+
     fn u8(&mut self, what: &str) -> Result<u8, ProtoError> {
-        Ok(self.take(1, what)?[0])
+        let [b] = self.take_arr(what)?;
+        Ok(b)
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(self.take_arr(what)?))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(self.take_arr(what)?))
     }
 
     fn f32(&mut self, what: &str) -> Result<f32, ProtoError> {
-        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+        Ok(f32::from_le_bytes(self.take_arr(what)?))
     }
 
     /// Bytes left unread — guards element counts before any
@@ -250,7 +260,7 @@ pub fn encode_reject(err: &ServeError) -> Vec<u8> {
         ServeError::Overloaded { .. } => Status::Overloaded,
         ServeError::Invalid(_) => Status::Invalid,
         ServeError::ShuttingDown | ServeError::Disconnected => Status::ShuttingDown,
-        ServeError::BadConfig(_) => Status::ShuttingDown,
+        ServeError::BadConfig(_) | ServeError::SpawnFailed => Status::ShuttingDown,
     };
     encode_outcome(status, None, &err.to_string())
 }

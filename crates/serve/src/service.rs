@@ -77,7 +77,7 @@ impl<S: VectorStore + Send + 'static> Service<S> {
             std::thread::Builder::new()
                 .name("cagra-serve-dispatch".into())
                 .spawn(move || dispatch_loop(&index, &batcher, &config))
-                .expect("spawn dispatcher thread")
+                .map_err(|_| ServeError::SpawnFailed)?
         };
         Ok(Service {
             index,
@@ -122,6 +122,8 @@ impl<S: VectorStore + Send + 'static> Service<S> {
             }
             self.shapes.insert(k);
         }
+        // ALLOW(alloc): admission copies the query exactly once — the
+        // queued job must own its vector to outlive the caller.
         let job = Job { query: query.to_vec(), k, enqueued: Instant::now() };
         self.batcher.submit(job).map(|rx| ResponseHandle { rx })
     }
@@ -159,7 +161,10 @@ fn dispatch_loop<S: VectorStore + Send>(
 ) {
     let worker_cap =
         if config.worker_threads == 0 { default_threads() } else { config.worker_threads };
+    // ALLOW(alloc): one-time setup before the loop; both buffers are
+    // drained and reused across every batch, never reallocated.
     let mut jobs: Vec<Job> = Vec::with_capacity(config.max_batch);
+    // ALLOW(alloc): same one-time reused buffer as `jobs` above.
     let mut txs: Vec<mpsc::Sender<Response>> = Vec::with_capacity(config.max_batch);
     while batcher.pop_batch(config.max_batch, config.max_wait, &mut jobs, &mut txs) {
         let dispatched = Instant::now();
@@ -185,8 +190,12 @@ fn dispatch_loop<S: VectorStore + Send>(
                 scratch
             },
             |scratch, i| {
+                // ALLOW(panic): `parallel_map_with` hands out `i` in
+                // `0..jobs_ref.len()` by contract.
                 let job = &jobs_ref[i];
                 index.search_mode_with(&job.query, job.k, &params, plan.mode, scratch);
+                // ALLOW(alloc): the response buffer is handed to the
+                // client channel; ownership must leave the scratch.
                 scratch.results().to_vec()
             },
         );
