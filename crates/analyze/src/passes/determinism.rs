@@ -65,7 +65,7 @@ const FLOAT_ACCUM: &[&str] =
 pub fn run(ws: &Workspace, buckets: &[&str]) -> PassResult {
     let mut findings = Vec::new();
     for bucket in buckets {
-        let reach = super::reachable_fns(ws, bucket, &is_root);
+        let reach = super::reachable_fns(ws, bucket, &is_root, &|_| false);
         for file in ws.files.iter().filter(|f| f.bucket == *bucket) {
             let code = file.masks.code.as_bytes();
             let in_reach =

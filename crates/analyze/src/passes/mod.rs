@@ -128,12 +128,16 @@ pub fn pinned_zero_breaches(schema: &ledger::Schema, findings: &[Finding]) -> Ve
         .collect()
 }
 
-/// The set of word-tokens appearing in a code span. Used to build
+/// The set of word-tokens appearing in **call position** in a code
+/// span: the next non-whitespace byte after the word is `(`, or the
+/// word takes an explicit turbofish (`name::<...>`). Used to build
 /// call edges cheaply: a function "calls" every workspace function
-/// whose name appears as a word in its body (a deliberate
-/// over-approximation — for pinned-zero zones, erring toward *more*
-/// code under the strict rule is the safe direction).
-fn body_tokens(code: &str) -> BTreeSet<String> {
+/// whose name appears as a call in its body. Name resolution still
+/// over-approximates (every same-named definition is a candidate
+/// callee), but the call gate keeps struct fields, locals, and range
+/// bounds (`params.search`, `span.start`) from minting edges — those
+/// were the main way unrelated code leaked into pinned zones.
+fn call_tokens(code: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let bytes = code.as_bytes();
     let mut i = 0usize;
@@ -144,7 +148,14 @@ fn body_tokens(code: &str) -> BTreeSet<String> {
             while i < bytes.len() && is_word(bytes[i]) {
                 i += 1;
             }
-            out.insert(String::from_utf8_lossy(&bytes[start..i]).into_owned());
+            let called = match next_nonspace(bytes, i) {
+                Some(b'(') => true,
+                Some(b':') => bytes[i..].starts_with(b"::<"),
+                _ => false,
+            };
+            if called {
+                out.insert(String::from_utf8_lossy(&bytes[start..i]).into_owned());
+            }
         } else {
             i += 1;
         }
@@ -156,14 +167,18 @@ fn body_tokens(code: &str) -> BTreeSet<String> {
 /// by `is_root`, via the textual call graph (name-based resolution,
 /// same-bucket only — cross-crate calls land in the callee crate's
 /// own budget). Test-scope functions are excluded from both nodes and
-/// edges.
+/// edges. Names accepted by `is_barrier` are never entered: they mark
+/// documented contract boundaries (and hub names like `new` that
+/// textual resolution cannot disambiguate from std constructors), so
+/// neither they nor anything only they call joins the zone.
 pub fn reachable_fns(
     ws: &Workspace,
     bucket: &str,
     is_root: &dyn Fn(&str) -> bool,
+    is_barrier: &dyn Fn(&str) -> bool,
 ) -> BTreeSet<String> {
     // Collect the bucket's non-test function definitions and, per
-    // name, the union of word-tokens across all bodies of that name.
+    // name, the union of call-tokens across all bodies of that name.
     let mut defined: BTreeSet<String> = BTreeSet::new();
     let mut mentions: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for file in ws.files.iter().filter(|f| f.bucket == bucket) {
@@ -175,7 +190,7 @@ pub fn reachable_fns(
             mentions
                 .entry(f.name.clone())
                 .or_default()
-                .extend(body_tokens(&file.masks.code[f.body.clone()]));
+                .extend(call_tokens(&file.masks.code[f.body.clone()]));
         }
     }
     let mut reach: BTreeSet<String> = defined.iter().filter(|n| is_root(n)).cloned().collect();
@@ -183,6 +198,9 @@ pub fn reachable_fns(
     while let Some(name) = frontier.pop() {
         let Some(tokens) = mentions.get(&name) else { continue };
         for callee in tokens {
+            if is_barrier(callee) {
+                continue;
+            }
             if defined.contains(callee) && reach.insert(callee.clone()) {
                 frontier.push(callee.clone());
             }
@@ -225,12 +243,14 @@ mod tests {
         Workspace { files: vec![SourceFile::parse(Path::new("crates/x/src/lib.rs"), src)] }
     }
 
+    const NO_BARRIER: fn(&str) -> bool = |_| false;
+
     #[test]
     fn reachability_follows_textual_calls() {
         let w = ws(
             "fn try_search() { helper(); }\nfn helper() { leaf() }\nfn leaf() {}\nfn island() {}\n",
         );
-        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"));
+        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"), &NO_BARRIER);
         assert!(r.contains("try_search") && r.contains("helper") && r.contains("leaf"));
         assert!(!r.contains("island"));
     }
@@ -238,8 +258,32 @@ mod tests {
     #[test]
     fn reachability_skips_test_functions() {
         let w = ws("fn try_search() {}\n#[cfg(test)]\nmod t {\n    fn try_search_like() { island(); }\n}\nfn island() {}\n");
-        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"));
+        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"), &NO_BARRIER);
         assert!(!r.contains("island"), "test-only callers must not extend the zone");
+    }
+
+    #[test]
+    fn reachability_requires_call_syntax() {
+        // `cfg.start` and `search: x` are a field read and a struct
+        // literal field — neither is a call, so `start`/`search` stay
+        // out even though same-named functions exist. The turbofish
+        // form still counts as a call.
+        let w = ws("fn try_search(cfg: &C) { let _ = cfg.start; mk(C { search: 0 }); cast::<u32>(); }\nfn start() { island() }\nfn search() { island() }\nfn cast() {}\nfn mk() {}\nfn island() {}\n");
+        let r = reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"), &NO_BARRIER);
+        assert!(r.contains("mk") && r.contains("cast"), "plain and turbofish calls are edges");
+        assert!(!r.contains("start") && !r.contains("search") && !r.contains("island"));
+    }
+
+    #[test]
+    fn reachability_stops_at_barriers() {
+        let w = ws("fn try_search() { compact(); helper(); }\nfn compact() { rebuild() }\nfn rebuild() {}\nfn helper() {}\n");
+        let r =
+            reachable_fns(&w, "crates/x", &|n| n.starts_with("try_search"), &|n| n == "compact");
+        assert!(r.contains("helper"));
+        assert!(
+            !r.contains("compact") && !r.contains("rebuild"),
+            "a barrier excludes itself and everything only it reaches"
+        );
     }
 
     #[test]

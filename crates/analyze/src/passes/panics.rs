@@ -62,9 +62,29 @@ fn is_zone_root(name: &str) -> bool {
     name.starts_with("try_search")
 }
 
+/// Traversal boundaries for the zone. Two kinds of name stop the
+/// reachability walk:
+///
+/// * `new` — a hub the textual resolver cannot disambiguate: nearly
+///   every `new(` on the query path is `Vec::new`/`Arc::new`/a std
+///   constructor, but resolving it to *local* constructors (which
+///   legitimately assert preconditions and call half the crate) would
+///   drag the whole build pipeline into the zone. The query path is
+///   allocation-flat by contract (the hot-path alloc lint enforces
+///   it), so skipping `new` edges loses nothing real.
+/// * the compaction entries — where the dynamic index's *write* path
+///   begins. The read contract the zone audits ends at the snapshot:
+///   a panic inside compaction aborts that compaction before the
+///   epoch publish, so readers keep serving the old snapshot, and the
+///   build/optimize pipeline it invokes is budgeted per-crate like
+///   every other build-side caller.
+fn is_zone_barrier(name: &str) -> bool {
+    name == "new" || name == "compact_once" || name == "compactor_loop"
+}
+
 /// Run the pass over a loaded workspace.
 pub fn run(ws: &Workspace) -> PassResult {
-    let zone = super::reachable_fns(ws, "crates/cagra", &is_zone_root);
+    let zone = super::reachable_fns(ws, "crates/cagra", &is_zone_root, &is_zone_barrier);
     let mut findings = Vec::new();
     for file in &ws.files {
         let code = file.masks.code.as_bytes();

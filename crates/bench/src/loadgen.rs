@@ -75,12 +75,32 @@ impl LoadStats {
     }
 
     /// Exact percentile (nearest-rank) over the collected latencies.
+    ///
+    /// Edge-case contract (ISSUE 10 bugfix), pinned by unit tests:
+    /// * no samples → `0` (never an index panic);
+    /// * `p <= 0`, NaN, or any `p` below `100/n` (a rank that rounds
+    ///   to less than one sample) → the minimum sample — nearest-rank
+    ///   never interpolates below the smallest observation;
+    /// * `p >= 100` → the maximum sample (out-of-range `p` clamps
+    ///   rather than reading past the end).
     pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.e2e_ns.is_empty() {
+        let n = self.e2e_ns.len();
+        let (Some(&first), Some(&last)) = (self.e2e_ns.first(), self.e2e_ns.last()) else {
             return 0;
+        };
+        if p.is_nan() || p <= 0.0 {
+            // Covers p <= 0 and NaN: the smallest observation.
+            return first;
         }
-        let rank = ((p / 100.0) * self.e2e_ns.len() as f64).ceil() as usize;
-        self.e2e_ns[rank.clamp(1, self.e2e_ns.len()) - 1]
+        if p >= 100.0 {
+            return last;
+        }
+        // Nearest-rank: ceil(p/100 * n), at least 1. `p` is finite and
+        // in (0, 100) here, so the product is a finite non-negative
+        // float and the cast cannot wrap; the clamp keeps the rank a
+        // valid index even so.
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.e2e_ns.get(rank.clamp(1, n) - 1).copied().unwrap_or(last)
     }
 
     /// Median end-to-end latency, nanoseconds.
@@ -131,8 +151,8 @@ impl LoadStats {
 /// Closed-loop drive: `clients` threads issue `total_requests` between
 /// them, each firing its next request as soon as the previous answer
 /// lands. Queries are taken round-robin from `queries`.
-pub fn closed_loop<S: VectorStore + Send + Sync + 'static>(
-    service: &Arc<Service<S>>,
+pub fn closed_loop<B: serve::SearchBackend>(
+    service: &Arc<Service<B>>,
     queries: &Dataset,
     k: usize,
     clients: usize,
@@ -172,8 +192,8 @@ pub fn closed_loop<S: VectorStore + Send + Sync + 'static>(
 /// `seed`). Arrivals are fired without waiting for completions —
 /// admission may shed under overload, which is the point — and every
 /// admitted request is then awaited.
-pub fn open_loop<S: VectorStore + Send + Sync + 'static>(
-    service: &Arc<Service<S>>,
+pub fn open_loop<B: serve::SearchBackend>(
+    service: &Arc<Service<B>>,
     queries: &Dataset,
     k: usize,
     rate_qps: f64,
@@ -215,8 +235,8 @@ pub fn open_loop<S: VectorStore + Send + Sync + 'static>(
 
 /// Sweep offered rates low→high against one service, returning
 /// `(rate, stats)` per step — the offered-load vs tail-latency curve.
-pub fn sweep_open_loop<S: VectorStore + Send + Sync + 'static>(
-    service: &Arc<Service<S>>,
+pub fn sweep_open_loop<B: serve::SearchBackend>(
+    service: &Arc<Service<B>>,
     queries: &Dataset,
     k: usize,
     rates: &[f64],
@@ -245,6 +265,32 @@ mod tests {
         assert_eq!(s.p99_ns(), 99);
         assert_eq!(s.percentile_ns(100.0), 100);
         assert_eq!(LoadStats::default().p99_ns(), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_total() {
+        // Empty samples: every percentile is 0, no index panic —
+        // including p = 0, where a naive rank would be 0 too.
+        let empty = LoadStats::default();
+        for p in [0.0, 0.5, 50.0, 100.0, 150.0, -3.0, f64::NAN] {
+            assert_eq!(empty.percentile_ns(p), 0, "empty at p = {p}");
+        }
+        // n = 3: any p at or below 100/n = 33.33.. has nearest rank 1.
+        let s = LoadStats { e2e_ns: vec![10, 20, 30], ..Default::default() };
+        assert_eq!(s.percentile_ns(0.0), 10, "p = 0 is the minimum");
+        assert_eq!(s.percentile_ns(0.001), 10, "p below 100/n is the minimum");
+        assert_eq!(s.percentile_ns(33.0), 10, "p just below 100/n");
+        assert_eq!(s.percentile_ns(33.4), 20, "first rank past 100/n");
+        assert_eq!(s.percentile_ns(100.0), 30);
+        // Out-of-range and non-finite p clamp instead of panicking.
+        assert_eq!(s.percentile_ns(250.0), 30);
+        assert_eq!(s.percentile_ns(-10.0), 10);
+        assert_eq!(s.percentile_ns(f64::NAN), 10);
+        // Single sample: every percentile is that sample.
+        let one = LoadStats { e2e_ns: vec![7], ..Default::default() };
+        for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(one.percentile_ns(p), 7, "single sample at p = {p}");
+        }
     }
 
     #[test]

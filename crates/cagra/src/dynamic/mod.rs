@@ -1,0 +1,752 @@
+//! `cagra::dynamic` — a mutable index over the immutable CAGRA graph
+//! (ROADMAP item 2, ISSUE 10 tentpole).
+//!
+//! CAGRA's fixed-degree graph is build-once: there is no incremental
+//! insert, and the paper's answer to churn is "rebuild". This module
+//! makes that answer *online*. A [`DynamicIndex`] wraps everything
+//! behind an epoch-stamped snapshot pointer ([`EpochPtr`]):
+//!
+//! * **Readers** clone the current [`Snapshot`] and search it with no
+//!   locks held — a snapshot is immutable, so searches race nothing.
+//! * **Inserts** route into a small copy-on-write delta segment
+//!   ([`delta::DeltaSeg`]): brute-force gang-scored while small,
+//!   NSW-linked once it grows. Each mutation publishes a fresh
+//!   snapshot and bumps the epoch.
+//! * **Deletes** are tombstones: a `BTreeSet` of external ids masked
+//!   out when main and delta results merge at the top-k boundary
+//!   (searches over-fetch by the tombstone count so masking cannot
+//!   starve `k`).
+//! * **Compaction** (a background thread, or [`DynamicIndex::compact_now`])
+//!   rebuilds delta + live main rows — minus tombstones — into a
+//!   fresh [`CagraIndex`] *off the writer lock*, then splices: rows
+//!   inserted during the rebuild survive as the new delta (the delta
+//!   is append-only, so the pre-rebuild prefix is exact), tombstones
+//!   added during the rebuild are retained, and the swap is one
+//!   epoch publish concurrent with readers.
+//!
+//! External ids are `u32`, assigned once, never reused. Every mutation
+//! and compaction records into the `dyn.*` observability group (delta
+//! size, tombstone ratio, compaction wall time, epoch swaps).
+
+pub mod delta;
+pub mod epoch;
+
+#[cfg(all(loom, test))]
+mod loom_model;
+
+use crate::build::GraphConfig;
+use crate::error::SearchError;
+use crate::params::SearchParams;
+use crate::search::index::CagraIndex;
+use crate::search::planner::Mode;
+use crate::search::scratch::SearchScratch;
+use dataset::{Dataset, VectorStore};
+use delta::{DeltaConfig, DeltaSeg};
+use distance::Metric;
+pub use epoch::EpochPtr;
+use knn::parallel::{default_threads, parallel_map};
+use knn::topk::{cmp_neighbor, Neighbor};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for a [`DynamicIndex`].
+#[derive(Clone, Debug)]
+pub struct DynamicParams {
+    /// Build configuration for compacted main segments.
+    pub graph: GraphConfig,
+    /// Search parameters for the main-segment traversal. `itopk` is
+    /// raised per query as the tombstone over-fetch requires; `k`
+    /// stays per-request.
+    pub search: SearchParams,
+    /// Delta size that triggers a compaction.
+    pub max_delta: usize,
+    /// Tombstone ratio (deleted / total rows) that triggers a
+    /// compaction.
+    pub max_tombstone_ratio: f64,
+    /// Delta size at which inserts start maintaining NSW links
+    /// (below: brute-force scans, which win at small sizes).
+    pub nsw_threshold: usize,
+    /// NSW links per inserted delta row.
+    pub nsw_degree: usize,
+    /// NSW beam width (`ef`) for delta searches and insertions; the
+    /// effective search beam also scales with delta size, so this is a
+    /// floor, not a cap.
+    pub nsw_ef: usize,
+    /// Smallest live count worth a graph build; below it compaction
+    /// folds everything into a (brute/NSW) delta and no main segment
+    /// exists.
+    pub min_main: usize,
+    /// Run the background compaction thread. Off: compaction happens
+    /// only via [`DynamicIndex::compact_now`] (deterministic tests).
+    pub auto_compact: bool,
+}
+
+impl DynamicParams {
+    /// Defaults for a target main-graph degree.
+    pub fn new(degree: usize) -> Self {
+        DynamicParams {
+            graph: GraphConfig::new(degree),
+            search: SearchParams::for_k(degree.max(10)),
+            max_delta: 512,
+            max_tombstone_ratio: 0.25,
+            nsw_threshold: 128,
+            nsw_degree: 12,
+            nsw_ef: 128,
+            min_main: (4 * degree).max(64),
+            auto_compact: true,
+        }
+    }
+
+    fn delta_cfg(&self) -> DeltaConfig {
+        DeltaConfig {
+            nsw_threshold: self.nsw_threshold,
+            nsw_degree: self.nsw_degree,
+            nsw_ef: self.nsw_ef,
+        }
+    }
+
+    /// Effective floor for building a main segment: a CAGRA build
+    /// needs more rows than the intermediate k-NN degree.
+    fn min_main_eff(&self) -> usize {
+        self.min_main.max(2 * self.graph.d_init() + 2)
+    }
+}
+
+/// The compacted bulk of the index: an immutable CAGRA graph plus the
+/// external id of every row (`ids[row]`, ascending — compaction lays
+/// rows out in external-id order and never relabels).
+pub struct MainSeg {
+    index: CagraIndex<Dataset>,
+    ids: Vec<u32>,
+}
+
+impl MainSeg {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// The wrapped immutable index (observability / tests).
+    pub fn index(&self) -> &CagraIndex<Dataset> {
+        &self.index
+    }
+}
+
+/// One immutable, searchable state of the index. Readers hold an
+/// `Arc<Snapshot>`; mutations build a successor and publish it.
+pub struct Snapshot {
+    main: Option<Arc<MainSeg>>,
+    delta: Arc<DeltaSeg>,
+    deleted: Arc<BTreeSet<u32>>,
+}
+
+impl Snapshot {
+    fn empty(dim: usize) -> Self {
+        Snapshot {
+            main: None,
+            delta: Arc::new(DeltaSeg::empty(dim)),
+            deleted: Arc::new(BTreeSet::new()),
+        }
+    }
+
+    fn main_len(&self) -> usize {
+        self.main.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// Rows physically present (live + tombstoned).
+    fn total_rows(&self) -> usize {
+        self.main_len() + self.delta.len()
+    }
+
+    /// Searchable rows. Every tombstone refers to exactly one present
+    /// row (deletes validate liveness; compaction drops both
+    /// together), so this is exact.
+    pub fn live(&self) -> usize {
+        self.total_rows() - self.deleted.len()
+    }
+
+    fn contains_live(&self, id: u32) -> bool {
+        !self.deleted.contains(&id)
+            && (self.delta.contains(id) || self.main.as_ref().is_some_and(|m| m.contains(id)))
+    }
+}
+
+/// Point-in-time shape of a [`DynamicIndex`] (for eval tables and
+/// logs; the `dyn.*` metrics carry the histories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynamicStats {
+    /// Published epoch (snapshot generation).
+    pub epoch: u64,
+    /// Rows in the compacted main segment.
+    pub main: usize,
+    /// Rows in the delta segment.
+    pub delta: usize,
+    /// Tombstoned rows awaiting compaction.
+    pub tombstones: usize,
+    /// Searchable rows.
+    pub live: usize,
+    /// Compactions completed so far.
+    pub compactions: u64,
+}
+
+/// State shared with the background compactor.
+struct Shared {
+    dim: usize,
+    metric: Metric,
+    params: DynamicParams,
+    ptr: EpochPtr<Snapshot>,
+    /// Serializes every snapshot publish; holds the id counter.
+    writer: Mutex<u32>,
+    /// Serializes compactions (manual vs. background).
+    compact_lock: Mutex<u64>,
+    /// Compaction trigger: `(pending, shutdown)` under the gate.
+    gate: Mutex<(bool, bool)>,
+    cv: Condvar,
+    compacting: AtomicBool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A mutable ANN index: immutable CAGRA main segment + delta +
+/// tombstones behind an epoch pointer. All methods take `&self`; the
+/// index is `Sync` and meant to be shared (`Arc<DynamicIndex>`)
+/// between serving threads and mutators. See module docs.
+pub struct DynamicIndex {
+    shared: Arc<Shared>,
+    compactor: Option<JoinHandle<()>>,
+}
+
+impl DynamicIndex {
+    /// An empty index accepting `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, metric: Metric, params: DynamicParams) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        Self::spawn_compactor(Snapshot::empty(dim), dim, metric, params, 0)
+    }
+
+    /// Wrap an already-built index: its rows become the main segment
+    /// with external ids `0..n`, and the id counter continues at `n`.
+    ///
+    /// # Panics
+    /// Panics if `index` was relabeled (renumbering is a static-index
+    /// layout optimization; the dynamic wrapper rebuilds its main
+    /// segment on every compaction, so relabel before serving instead)
+    /// or has zero dimension.
+    pub fn from_index(index: CagraIndex<Dataset>, params: DynamicParams) -> Self {
+        assert!(index.id_map().is_none(), "wrap the index before relabeling");
+        let dim = index.store().dim();
+        assert!(dim > 0, "dim must be positive");
+        let n = index.store().len() as u32;
+        let metric = index.metric();
+        let ids: Vec<u32> = (0..n).collect();
+        let snapshot = Snapshot {
+            main: Some(Arc::new(MainSeg { index, ids })),
+            delta: Arc::new(DeltaSeg::empty(dim)),
+            deleted: Arc::new(BTreeSet::new()),
+        };
+        Self::spawn_compactor(snapshot, dim, metric, params, n)
+    }
+
+    fn spawn_compactor(
+        snapshot: Snapshot,
+        dim: usize,
+        metric: Metric,
+        params: DynamicParams,
+        next_id: u32,
+    ) -> Self {
+        let auto = params.auto_compact;
+        let shared = Arc::new(Shared {
+            dim,
+            metric,
+            params,
+            ptr: EpochPtr::new(Arc::new(snapshot)),
+            writer: Mutex::new(next_id),
+            compact_lock: Mutex::new(0),
+            gate: Mutex::new((false, false)),
+            cv: Condvar::new(),
+            compacting: AtomicBool::new(false),
+        });
+        let compactor = auto.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cagra-dyn-compact".into())
+                .spawn(move || compactor_loop(&shared))
+                .expect("spawn compactor thread")
+        });
+        DynamicIndex { shared, compactor }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.shared.dim
+    }
+
+    /// Distance metric.
+    pub fn metric(&self) -> Metric {
+        self.shared.metric
+    }
+
+    /// Published snapshot generation; bumped by every insert, delete,
+    /// and compaction swap. Cache anything derived from a search
+    /// result set against this.
+    pub fn epoch(&self) -> u64 {
+        self.shared.ptr.epoch()
+    }
+
+    /// Searchable rows right now.
+    pub fn live(&self) -> usize {
+        self.shared.ptr.load().live()
+    }
+
+    /// Whether `id` is present and not tombstoned.
+    pub fn contains(&self, id: u32) -> bool {
+        self.shared.ptr.load().contains_live(id)
+    }
+
+    /// Current shape.
+    pub fn stats(&self) -> DynamicStats {
+        let snap = self.shared.ptr.load();
+        DynamicStats {
+            epoch: self.shared.ptr.epoch(),
+            main: snap.main_len(),
+            delta: snap.delta.len(),
+            tombstones: snap.deleted.len(),
+            live: snap.live(),
+            compactions: *lock(&self.shared.compact_lock),
+        }
+    }
+
+    /// Insert a vector; returns its permanent external id. The row is
+    /// searchable as soon as this returns (the publish happens before
+    /// the return, and ids are never reused).
+    pub fn insert(&self, vector: &[f32]) -> Result<u32, SearchError> {
+        if vector.len() != self.shared.dim {
+            return Err(SearchError::DimMismatch { expected: self.shared.dim, got: vector.len() });
+        }
+        let shared = &*self.shared;
+        let delta_len;
+        let id;
+        {
+            let mut next = lock(&shared.writer);
+            id = *next;
+            // ALLOW(panic): documented hard limit — the u32 external id
+            // space is exhausted only after 2^32 lifetime inserts.
+            *next = next.checked_add(1).unwrap_or_else(|| panic!("external id space exhausted"));
+            let snap = shared.ptr.load();
+            let delta = snap.delta.appended(id, vector, shared.metric, shared.params.delta_cfg());
+            delta_len = delta.len();
+            shared.ptr.publish(Arc::new(Snapshot {
+                main: snap.main.clone(),
+                delta: Arc::new(delta),
+                deleted: snap.deleted.clone(),
+            }));
+        }
+        let m = obs::metrics();
+        m.dyn_inserts.inc();
+        m.dyn_delta_size.record(delta_len as u64);
+        if delta_len >= shared.params.max_delta {
+            self.request_compaction();
+        }
+        Ok(id)
+    }
+
+    /// Tombstone `id`. Returns whether it was live (idempotent:
+    /// deleting a missing or already-deleted id is `false`, not an
+    /// error). The row stops appearing in results as soon as this
+    /// returns; its storage is reclaimed by the next compaction.
+    pub fn delete(&self, id: u32) -> bool {
+        let shared = &*self.shared;
+        let ratio;
+        {
+            let _w = lock(&shared.writer);
+            let snap = shared.ptr.load();
+            if !snap.contains_live(id) {
+                return false;
+            }
+            // ALLOW(alloc): copy-on-write tombstone set — readers of
+            // the published snapshot must not observe the new entry.
+            let mut deleted = (*snap.deleted).clone();
+            deleted.insert(id);
+            ratio = deleted.len() as f64 / snap.total_rows().max(1) as f64;
+            shared.ptr.publish(Arc::new(Snapshot {
+                main: snap.main.clone(),
+                delta: snap.delta.clone(),
+                deleted: Arc::new(deleted),
+            }));
+        }
+        let m = obs::metrics();
+        m.dyn_deletes.inc();
+        m.dyn_tombstone_permille.record((ratio * 1000.0) as u64);
+        if ratio > shared.params.max_tombstone_ratio {
+            self.request_compaction();
+        }
+        true
+    }
+
+    /// Validate a request shape against the *current* snapshot. `k`
+    /// validated here can become stale after deletes — key any cache
+    /// of this answer on [`DynamicIndex::epoch`].
+    pub fn validate_shape(&self, query_dim: usize, k: usize) -> Result<(), SearchError> {
+        if query_dim != self.shared.dim {
+            return Err(SearchError::DimMismatch { expected: self.shared.dim, got: query_dim });
+        }
+        if k == 0 {
+            return Err(SearchError::ZeroK);
+        }
+        let live = self.live();
+        if k > live {
+            return Err(SearchError::KExceedsDataset { k, n: live });
+        }
+        Ok(())
+    }
+
+    /// Top-`k` live neighbors of `query` (external ids, ascending by
+    /// `(dist, id)`).
+    ///
+    /// # Panics
+    /// Panics on invalid input; [`DynamicIndex::try_search`] is the
+    /// non-panicking form.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        // ALLOW(panic): documented panicking wrapper; `try_search` is
+        // the typed-error form.
+        self.try_search(query, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`DynamicIndex::search`].
+    pub fn try_search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, SearchError> {
+        self.validate_shape(query.len(), k)?;
+        Ok(self.search_clamped(query, k))
+    }
+
+    /// Search with `k` clamped to the live count instead of erroring —
+    /// the serving hot path uses this after admission-time validation,
+    /// because concurrent deletes can shrink `live` below a `k` that
+    /// validated moments ago, and a dispatched batch must not panic.
+    /// Returns fewer than `k` results exactly when `k > live`.
+    pub fn search_clamped(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let snap = self.shared.ptr.load();
+        let k = k.min(snap.live());
+        if k == 0 || query.len() != self.shared.dim {
+            return Vec::new();
+        }
+        // Over-fetch both segments by the tombstone count: at most
+        // `deleted.len()` of any prefix can be masked, so the k live
+        // survivors of the merge are always reachable.
+        let masked = &snap.deleted;
+        let mut from_main: Vec<Neighbor> = Vec::new();
+        if let Some(main) = &snap.main {
+            let k_main = (k + masked.len()).min(main.len());
+            let mut params = self.shared.params.search;
+            params.itopk = params.itopk.max(k_main);
+            // Shape is valid by construction (k_main <= n, <= itopk),
+            // so the validation-free entry point is safe here.
+            let mut scratch = SearchScratch::new();
+            scratch.set_record_trace(false);
+            main.index.search_mode_with(query, k_main, &params, Mode::SingleCta, &mut scratch);
+            from_main = scratch
+                .results()
+                .iter()
+                .filter_map(|nb| {
+                    let ext = *main.ids.get(nb.id as usize)?;
+                    (!masked.contains(&ext)).then_some(Neighbor::new(ext, nb.dist))
+                })
+                .collect();
+        }
+        let from_delta =
+            snap.delta.search(query, k, self.shared.metric, masked, self.shared.params.delta_cfg());
+        merge_topk(&from_main, &from_delta, k)
+    }
+
+    /// Thread-parallel batch search (eval/bench convenience). Each
+    /// query independently loads the current snapshot.
+    pub fn search_batch<Q: VectorStore>(&self, queries: &Q, k: usize) -> Vec<Vec<Neighbor>> {
+        let dim = queries.dim();
+        parallel_map(queries.len(), default_threads(), |qi| {
+            let mut q = vec![0.0f32; dim];
+            queries.get_into(qi, &mut q);
+            self.search_clamped(&q, k)
+        })
+    }
+
+    /// Ask the background compactor to run (no-op without one).
+    fn request_compaction(&self) {
+        if self.compactor.is_none() {
+            return;
+        }
+        lock(&self.shared.gate).0 = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Run one compaction synchronously: rebuild live rows into a
+    /// fresh main segment (or a delta-only snapshot when too few
+    /// remain), splice in concurrent mutations, swap. Blocks if the
+    /// background compactor is mid-cycle.
+    pub fn compact_now(&self) {
+        compact_once(&self.shared);
+    }
+
+    /// True while a compaction cycle is rebuilding (test/obs hook).
+    pub fn is_compacting(&self) -> bool {
+        self.shared.compacting.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DynamicIndex {
+    fn drop(&mut self) {
+        lock(&self.shared.gate).1 = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.compactor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn compactor_loop(shared: &Shared) {
+    loop {
+        {
+            let mut gate = lock(&shared.gate);
+            while !gate.0 && !gate.1 {
+                gate = shared.cv.wait(gate).unwrap_or_else(|p| p.into_inner());
+            }
+            if gate.1 {
+                return;
+            }
+            gate.0 = false;
+        }
+        compact_once(shared);
+    }
+}
+
+/// One full compaction cycle. The expensive rebuild runs off the
+/// writer lock — inserts, deletes, and searches proceed concurrently —
+/// and only the splice-and-swap at the end serializes with writers.
+fn compact_once(shared: &Shared) {
+    let mut cycles = lock(&shared.compact_lock);
+    shared.compacting.store(true, Ordering::Release);
+    let t0 = Instant::now();
+    let s0 = shared.ptr.load();
+
+    // Phase 1 (off-lock): gather live rows in ascending external-id
+    // order. Main ids all precede delta ids (the id counter is
+    // monotonic and compaction preserves order), so concatenation
+    // stays sorted.
+    let mut rows: Vec<(u32, Vec<f32>)> = Vec::with_capacity(s0.total_rows());
+    if let Some(main) = &s0.main {
+        let store = main.index.store();
+        for (row, &id) in main.ids.iter().enumerate() {
+            if !s0.deleted.contains(&id) {
+                rows.push((id, store.row(row).to_vec()));
+            }
+        }
+    }
+    for row in 0..s0.delta.len() {
+        let id = s0.delta.ids()[row];
+        if !s0.deleted.contains(&id) {
+            rows.push((id, s0.delta.row(row).to_vec()));
+        }
+    }
+
+    // Phase 2 (off-lock): rebuild. Below the viability floor the rows
+    // stay delta-resident (brute/NSW searchable) and no main exists.
+    let (new_main, leftover) = if rows.len() >= shared.params.min_main_eff() {
+        let mut flat = Vec::with_capacity(rows.len() * shared.dim);
+        let mut ids = Vec::with_capacity(rows.len());
+        for (id, v) in &rows {
+            ids.push(*id);
+            flat.extend_from_slice(v);
+        }
+        let store = Dataset::from_flat(flat, shared.dim);
+        let (index, _report) = CagraIndex::build(store, shared.metric, &shared.params.graph);
+        (Some(Arc::new(MainSeg { index, ids })), Vec::new())
+    } else {
+        (None, rows)
+    };
+
+    // Phase 3 (writer lock): splice concurrent mutations and swap.
+    // The delta is append-only, so everything past s0's length arrived
+    // during the rebuild; tombstones added since s0 still refer to
+    // rows we just kept, so they carry over.
+    {
+        let _w = lock(&shared.writer);
+        let s1 = shared.ptr.load();
+        let mut tail = leftover;
+        for row in s0.delta.len()..s1.delta.len() {
+            tail.push((s1.delta.ids()[row], s1.delta.row(row).to_vec()));
+        }
+        let delta =
+            DeltaSeg::from_rows(shared.dim, &tail, shared.metric, shared.params.delta_cfg());
+        let deleted: BTreeSet<u32> = s1.deleted.difference(&s0.deleted).copied().collect();
+        shared.ptr.publish(Arc::new(Snapshot {
+            main: new_main,
+            delta: Arc::new(delta),
+            deleted: Arc::new(deleted),
+        }));
+    }
+    *cycles += 1;
+    shared.compacting.store(false, Ordering::Release);
+    let m = obs::metrics();
+    m.dyn_compactions.inc();
+    m.dyn_compaction_ns.record(t0.elapsed().as_nanos() as u64);
+}
+
+/// Merge two `(dist, id)`-ascending result lists, keeping the `k`
+/// best. Both sides carry external ids and are already tombstone-free
+/// and duplicate-free (main and delta rows are disjoint).
+fn merge_topk(a: &[Neighbor], b: &[Neighbor], k: usize) -> Vec<Neighbor> {
+    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+    let (mut i, mut j) = (0, 0);
+    while out.len() < k {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => {
+                if cmp_neighbor(x, y).is_le() {
+                    out.push(*x);
+                    i += 1;
+                } else {
+                    out.push(*y);
+                    j += 1;
+                }
+            }
+            (Some(x), None) => {
+                out.push(*x);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push(*y);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> DynamicParams {
+        let mut p = DynamicParams::new(8);
+        p.auto_compact = false;
+        p.nsw_threshold = 32;
+        p.nsw_degree = 6;
+        p.min_main = 48;
+        p.max_delta = 64;
+        p
+    }
+
+    fn vec_for(i: u32, dim: usize) -> Vec<f32> {
+        (0..dim).map(|d| ((i as usize * dim + d) as f32 * 0.173).sin()).collect()
+    }
+
+    #[test]
+    fn empty_index_rejects_and_reports() {
+        let ix = DynamicIndex::new(4, Metric::SquaredL2, small_params());
+        assert_eq!(ix.live(), 0);
+        assert_eq!(ix.epoch(), 0);
+        assert_eq!(ix.try_search(&[0.0; 4], 1), Err(SearchError::KExceedsDataset { k: 1, n: 0 }));
+        assert_eq!(
+            ix.try_search(&[0.0; 3], 1),
+            Err(SearchError::DimMismatch { expected: 4, got: 3 })
+        );
+        assert_eq!(ix.try_search(&[0.0; 4], 0), Err(SearchError::ZeroK));
+        assert!(ix.search_clamped(&[0.0; 4], 5).is_empty());
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids_and_bumps_epoch() {
+        let ix = DynamicIndex::new(4, Metric::SquaredL2, small_params());
+        assert_eq!(ix.insert(&[1.0, 0.0, 0.0, 0.0]), Ok(0));
+        assert_eq!(ix.insert(&[0.0, 1.0, 0.0, 0.0]), Ok(1));
+        assert_eq!(ix.insert(&[9.0]), Err(SearchError::DimMismatch { expected: 4, got: 1 }));
+        assert_eq!(ix.epoch(), 2);
+        assert_eq!(ix.live(), 2);
+        let hits = ix.search(&[1.0, 0.0, 0.0, 0.0], 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn delete_masks_immediately_and_is_idempotent() {
+        let ix = DynamicIndex::new(4, Metric::SquaredL2, small_params());
+        for i in 0..10u32 {
+            ix.insert(&vec_for(i, 4)).unwrap();
+        }
+        let top = ix.search(&vec_for(3, 4), 1)[0].id;
+        assert!(ix.delete(top));
+        assert!(!ix.delete(top), "double delete reports false");
+        assert!(!ix.delete(999), "unknown id reports false");
+        assert!(ix.search(&vec_for(3, 4), 9).iter().all(|nb| nb.id != top));
+        assert_eq!(ix.live(), 9);
+        assert!(!ix.contains(top));
+    }
+
+    #[test]
+    fn compaction_builds_main_and_drops_tombstones() {
+        let ix = DynamicIndex::new(8, Metric::SquaredL2, small_params());
+        for i in 0..200u32 {
+            ix.insert(&vec_for(i, 8)).unwrap();
+        }
+        for id in 0..20u32 {
+            assert!(ix.delete(id));
+        }
+        let before = ix.stats();
+        assert_eq!((before.main, before.delta, before.tombstones), (0, 200, 20));
+        ix.compact_now();
+        let after = ix.stats();
+        assert_eq!((after.main, after.delta, after.tombstones), (180, 0, 0));
+        assert_eq!(after.live, 180);
+        assert_eq!(after.compactions, 1);
+        // Deleted ids stay gone; survivors keep their external ids.
+        let hits = ix.search(&vec_for(30, 8), 5);
+        assert_eq!(hits[0].id, 30);
+        assert!(hits.iter().all(|nb| nb.id >= 20));
+    }
+
+    #[test]
+    fn tiny_live_set_compacts_to_delta_only() {
+        let ix = DynamicIndex::new(4, Metric::SquaredL2, small_params());
+        for i in 0..10u32 {
+            ix.insert(&vec_for(i, 4)).unwrap();
+        }
+        ix.delete(4);
+        ix.compact_now();
+        let s = ix.stats();
+        assert_eq!((s.main, s.delta, s.tombstones, s.live), (0, 9, 0, 9));
+        assert!(ix.search(&vec_for(5, 4), 9).iter().all(|nb| nb.id != 4));
+    }
+
+    #[test]
+    fn from_index_continues_ids_after_the_wrapped_rows() {
+        use dataset::synth::{Family, SynthSpec};
+        let spec = SynthSpec { dim: 8, n: 300, queries: 5, family: Family::Gaussian, seed: 7 };
+        let (base, queries) = spec.generate();
+        let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(8));
+        let ix = DynamicIndex::from_index(index, small_params());
+        assert_eq!(ix.live(), 300);
+        assert_eq!(ix.insert(queries.row(0)), Ok(300));
+        let hits = ix.search(queries.row(0), 3);
+        assert_eq!(hits[0].id, 300, "the fresh exact duplicate must win");
+        assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn merge_prefers_globally_closest_and_breaks_ties_by_id() {
+        let a = [Neighbor::new(1, 0.5), Neighbor::new(3, 2.0)];
+        let b = [Neighbor::new(2, 0.5), Neighbor::new(4, 1.0)];
+        let got = merge_topk(&a, &b, 3);
+        let ids: Vec<u32> = got.iter().map(|nb| nb.id).collect();
+        assert_eq!(ids, vec![1, 2, 4]);
+        assert_eq!(merge_topk(&a, &[], 10).len(), 2);
+        assert!(merge_topk(&[], &[], 3).is_empty());
+    }
+}

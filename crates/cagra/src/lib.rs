@@ -41,6 +41,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod build;
+pub mod dynamic;
 pub mod error;
 pub mod index_io;
 pub mod mmap;
@@ -50,6 +51,7 @@ pub mod search;
 pub mod shard;
 
 pub use build::{build_graph, BuildReport, BuildStats, GraphConfig};
+pub use dynamic::{DynamicIndex, DynamicParams, DynamicStats};
 pub use error::SearchError;
 pub use graph::relabel::{IdMap, Permutation, RelabelStrategy};
 pub use mmap::MmapVectors;

@@ -223,6 +223,20 @@ impl SearchBuffer {
     pub fn topm_ids(&self) -> impl Iterator<Item = u32> + '_ {
         self.topm.iter().filter(|e| e.packed != INVALID).map(|e| node_id(e.packed))
     }
+
+    /// Ids of the *live* top-M entries: non-dummy AND carrying a
+    /// computed distance. Hash-suppressed placeholders sit at
+    /// `dist == f32::MAX` with a real id; which of those survive in an
+    /// underfull list is tie-broken by id, so any consumer that must
+    /// stay invariant under vertex relabeling (the forgettable-hash
+    /// reset re-seed) has to skip them and take only the entries whose
+    /// position is determined by geometry.
+    pub fn topm_live_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.topm
+            .iter()
+            .filter(|e| e.packed != INVALID && e.dist < f32::MAX)
+            .map(|e| node_id(e.packed))
+    }
 }
 
 #[cfg(test)]

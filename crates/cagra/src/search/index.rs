@@ -176,6 +176,8 @@ impl<S: VectorStore> CagraIndex<S> {
     /// Panics on invalid input; [`CagraIndex::try_search`] is the
     /// non-panicking form.
     pub fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Vec<Neighbor> {
+        // ALLOW(panic): documented panicking wrapper; `try_search` is
+        // the typed-error form.
         self.try_search(query, k, params).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -204,6 +206,8 @@ impl<S: VectorStore> CagraIndex<S> {
         params: &SearchParams,
         mode: Mode,
     ) -> (Vec<Neighbor>, SearchTrace) {
+        // ALLOW(panic): documented panicking wrapper; `try_search_mode`
+        // is the typed-error form.
         self.try_search_mode(query, k, params, mode).unwrap_or_else(|e| panic!("{e}"))
     }
 

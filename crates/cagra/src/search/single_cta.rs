@@ -198,10 +198,17 @@ pub fn search_single_cta_mapped<S: VectorStore + ?Sized>(
         }
 
         // Forgettable management: periodic reset keeping only the
-        // current top-M (Sec. IV-B3).
+        // current top-M (Sec. IV-B3). Only *live* entries (computed
+        // distance) are re-registered: hash-suppressed MAX-distance
+        // placeholders survive the top-M boundary id-dependently, and
+        // re-seeding them would make forgettable runs diverge under a
+        // locality relabel. Skipping them keeps the reset positional —
+        // the re-seeded set is exactly the id-mapped image of the
+        // unpermuted one, so relabel parity holds bit-for-bit (a
+        // forgotten placeholder is merely recomputed if re-encountered).
         let mut did_reset = false;
         if reset_interval > 0 && it > 0 && it.is_multiple_of(reset_interval) {
-            hash.reset(buffer.topm_ids());
+            hash.reset(buffer.topm_live_ids());
             did_reset = true;
         }
 

@@ -1,12 +1,15 @@
 //! Relabeling must be invisible in results: a relabeled index returns
 //! bit-identical `Neighbor` lists (original ids *and* distance bits)
 //! to the unpermuted index, for every strategy, both kernel mappings,
-//! and any thread count. The hash policy is pinned to `Standard`
-//! because the forgettable reset re-registers sentinel (MAX-distance)
-//! entries id-dependently at the top-M boundary, which is outside the
-//! parity contract (see DESIGN.md, "Memory locality"). Env-mutating
-//! legs (`CAGRA_THREADS`) live in one `#[test]` because Rust runs
-//! `#[test]`s concurrently.
+//! any thread count, and **both hash policies**. `Standard` is
+//! id-independent by sizing (the table never saturates);
+//! `Forgettable` became part of the contract once the reset re-seed
+//! was restricted to live top-M entries — the historical caveat was
+//! that hash-suppressed MAX-distance placeholders survive the top-M
+//! boundary id-dependently, so re-registering them made forgettable
+//! runs diverge under a permutation (see DESIGN.md, "Memory
+//! locality"). Env-mutating legs (`CAGRA_THREADS`) live in one
+//! `#[test]` because Rust runs `#[test]`s concurrently.
 
 use cagra::search::planner::Mode;
 use cagra::{CagraIndex, GraphConfig, HashPolicy, Permutation, RelabelStrategy, SearchParams};
@@ -70,6 +73,47 @@ fn relabeled_search_is_bit_identical_across_strategies_modes_threads() {
                     &got,
                     &baseline,
                     &format!("{strategy:?}/{mode:?}/threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// The Forgettable-hash leg of the parity contract (ISSUE 10 bugfix):
+/// periodic resets re-seed only live entries, so relabeled forgettable
+/// search is bit-identical too — across strategies, both kernel
+/// mappings, several table sizes, and reset intervals (interval 1 is
+/// the adversarial case: a reset before every expansion).
+#[test]
+fn forgettable_hash_relabeled_search_is_bit_identical() {
+    let spec = SynthSpec {
+        dim: 12,
+        n: 900,
+        queries: 25,
+        family: Family::Clustered { clusters: 12, spread: 0.8 },
+        seed: 1010,
+    };
+    let (base, queries) = spec.generate();
+    let (index, _) = CagraIndex::build(base, Metric::SquaredL2, &GraphConfig::new(16));
+    let k = 10;
+
+    for (bits, reset_interval) in [(8u8, 1u8), (8, 2), (10, 1)] {
+        let params = SearchParams {
+            hash: HashPolicy::Forgettable { bits, reset_interval },
+            ..SearchParams::for_k(k)
+        };
+        for strategy in [RelabelStrategy::Degree, RelabelStrategy::Rcm, RelabelStrategy::Gorder] {
+            let mut relabeled = clone_of(&index);
+            relabeled.relabel(strategy);
+            for mode in [Mode::SingleCta, Mode::MultiCta] {
+                let baseline = index.search_batch_mode(&queries, k, &params, mode);
+                let got = relabeled.search_batch_mode(&queries, k, &params, mode);
+                assert_bit_identical(
+                    &got,
+                    &baseline,
+                    &format!(
+                        "forgettable bits={bits} interval={reset_interval}/{strategy:?}/{mode:?}"
+                    ),
                 );
             }
         }

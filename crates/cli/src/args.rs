@@ -55,6 +55,16 @@ impl Args {
         }
     }
 
+    /// Optional boolean flag (`--name true|false`), default false.
+    pub fn bool_or(&self, name: &str, default: bool) -> Result<bool, String> {
+        match self.flags.get(name).map(String::as_str) {
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(_) => Err(format!("--{name} must be true or false")),
+            None => Ok(default),
+        }
+    }
+
     /// Optional u64 flag with a default.
     pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.flags.get(name) {

@@ -383,6 +383,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
         None => None,
     };
 
+    let dynamic = args.bool_or("dynamic", false)?;
     match load_index(args)? {
         LoadedIndex::F32(ix) => {
             if params.rerank_depth > 0 {
@@ -390,15 +391,53 @@ pub fn serve(args: &Args) -> Result<String, String> {
                     "--rerank needs a PQ bundle (f32 indexes are already exact)".to_string()
                 );
             }
-            serve_index(ix, args, k, params, config, addr, self_test)
+            let (sample, n) = sample_rows(&ix);
+            if dynamic {
+                if ix.id_map().is_some() {
+                    return Err("--dynamic true needs an unrelabeled index (the dynamic \
+                                wrapper owns id assignment; rebuild without --relabel)"
+                        .to_string());
+                }
+                let degree = ix.graph().degree();
+                let backend =
+                    cagra::DynamicIndex::from_index(ix, cagra::DynamicParams::new(degree));
+                serve_index(backend, sample, n, args, k, params, config, addr, self_test)
+            } else {
+                serve_index(ix, sample, n, args, k, params, config, addr, self_test)
+            }
         }
-        LoadedIndex::Pq(ix) => serve_index(ix, args, k, params, config, addr, self_test),
+        LoadedIndex::Pq(ix) => {
+            if dynamic {
+                return Err(
+                    "--dynamic true needs a plain f32 index (PQ bundles are static)".to_string()
+                );
+            }
+            let (sample, n) = sample_rows(&ix);
+            serve_index(ix, sample, n, args, k, params, config, addr, self_test)
+        }
     }
 }
 
-/// The serve body, generic over the index's storage flavour.
-fn serve_index<S: VectorStore + Send + 'static>(
-    index: CagraIndex<S>,
+/// Sample up to 128 base rows for self-test queries (decoded, so PQ
+/// stores work too), plus the total row count.
+fn sample_rows<S: VectorStore>(index: &CagraIndex<S>) -> (Vec<Vec<f32>>, usize) {
+    let mut row = vec![0.0f32; index.store().dim()];
+    let sample = (0..index.store().len().min(128))
+        .map(|i| {
+            index.store().get_into(i, &mut row);
+            row.clone()
+        })
+        .collect();
+    (sample, index.store().len())
+}
+
+/// The serve body, generic over the search backend (a static index of
+/// either storage flavour, or the dynamic wrapper).
+#[allow(clippy::too_many_arguments)]
+fn serve_index<B: serve::SearchBackend>(
+    backend: B,
+    sample: Vec<Vec<f32>>,
+    n: usize,
     args: &Args,
     k: usize,
     params: SearchParams,
@@ -406,18 +445,8 @@ fn serve_index<S: VectorStore + Send + 'static>(
     addr: &str,
     self_test: Option<usize>,
 ) -> Result<String, String> {
-    // Sample self-test queries from the base before the service takes
-    // ownership of the index (decoded rows, so PQ stores work too).
-    let mut row = vec![0.0f32; index.store().dim()];
-    let sample: Vec<Vec<f32>> = (0..index.store().len().min(128))
-        .map(|i| {
-            index.store().get_into(i, &mut row);
-            row.clone()
-        })
-        .collect();
-    let n = index.store().len();
     let service = std::sync::Arc::new(
-        serve::Service::start(index, config).map_err(|e| format!("start service: {e}"))?,
+        serve::Service::start(backend, config).map_err(|e| format!("start service: {e}"))?,
     );
     let mut server = serve::TcpServer::spawn(std::sync::Arc::clone(&service), addr)
         .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -827,6 +856,18 @@ mod tests {
         .unwrap();
         assert!(out.contains("64 served / 0 failed"), "unexpected report: {out}");
         assert!(!out.contains(" 0 QPS"), "throughput must be nonzero: {out}");
+
+        // The same bundle served through the dynamic wrapper answers
+        // the identical self-test (ids 0..n are preserved verbatim).
+        let out = serve(&Args::from_pairs(&[
+            ("index", &bundle_path),
+            ("dynamic", "true"),
+            ("self-test", "32"),
+            ("clients", "2"),
+            ("k", "5"),
+        ]))
+        .unwrap();
+        assert!(out.contains("32 served / 0 failed"), "dynamic serve report: {out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,5 +1,6 @@
 //! One runner per table/figure of the paper (ids match DESIGN.md).
 
+pub mod ext_churn;
 pub mod ext_pq;
 pub mod ext_relabel;
 pub mod ext_search_ablation;
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "ext-search",
     "ext-relabel",
     "ext-pq",
+    "ext-churn",
 ];
 
 /// Dispatch an experiment by id. Returns false for unknown ids.
@@ -68,6 +70,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> bool {
         "ext-search" => ext_search_ablation::run(ctx),
         "ext-relabel" => ext_relabel::run(ctx),
         "ext-pq" => ext_pq::run(ctx),
+        "ext-churn" => ext_churn::run(ctx),
         _ => return false,
     }
     true
@@ -117,6 +120,6 @@ mod tests {
 
     #[test]
     fn registry_lists_every_runner() {
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 19);
     }
 }

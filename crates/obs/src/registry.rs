@@ -85,6 +85,23 @@ pub struct Metrics {
     /// End-to-end latency per request (ns), admission to response send.
     pub serve_e2e_latency_ns: Histogram,
 
+    // --- dyn: dynamic index (epoch-swapped mutable wrapper) ---
+    /// Vectors inserted into the delta segment.
+    pub dyn_inserts: Counter,
+    /// Tombstones recorded (successful deletes).
+    pub dyn_deletes: Counter,
+    /// Snapshot publications (every insert/delete/compaction swap).
+    pub dyn_epoch_swaps: Counter,
+    /// Background/manual compactions completed.
+    pub dyn_compactions: Counter,
+    /// Delta-segment size observed at each insert.
+    pub dyn_delta_size: Histogram,
+    /// Tombstone ratio (deleted / total rows) at each delete, in
+    /// permille so the log buckets resolve the low end.
+    pub dyn_tombstone_permille: Histogram,
+    /// Wall time of each compaction (ns), snapshot to publish.
+    pub dyn_compaction_ns: Histogram,
+
     // --- sim: cost-model cycle attribution (tentpole layer 3) ---
     /// Simulated batches costed.
     pub sim_batches: Counter,
@@ -130,6 +147,13 @@ impl Metrics {
             serve_queue_depth: Histogram::new(),
             serve_queue_wait_ns: Histogram::new(),
             serve_e2e_latency_ns: Histogram::new(),
+            dyn_inserts: Counter::new(),
+            dyn_deletes: Counter::new(),
+            dyn_epoch_swaps: Counter::new(),
+            dyn_compactions: Counter::new(),
+            dyn_delta_size: Histogram::new(),
+            dyn_tombstone_permille: Histogram::new(),
+            dyn_compaction_ns: Histogram::new(),
             search_latency_ns: Histogram::new(),
             search_iterations: Histogram::new(),
             search_distances: Histogram::new(),
@@ -153,7 +177,7 @@ impl Metrics {
     }
 
     /// Every counter with its snapshot name, in export order.
-    fn counters(&self) -> [(&'static str, &Counter); 20] {
+    fn counters(&self) -> [(&'static str, &Counter); 24] {
         [
             ("build.graphs", &self.build_graphs),
             ("build.nn_iterations", &self.build_nn_iterations),
@@ -167,6 +191,10 @@ impl Metrics {
             ("serve.rejected", &self.serve_rejected),
             ("serve.invalid", &self.serve_invalid),
             ("serve.batches", &self.serve_batches),
+            ("dyn.inserts", &self.dyn_inserts),
+            ("dyn.deletes", &self.dyn_deletes),
+            ("dyn.epoch_swaps", &self.dyn_epoch_swaps),
+            ("dyn.compactions", &self.dyn_compactions),
             ("sim.batches", &self.sim_batches),
             ("sim.cycles_sort", &self.sim_cycles_sort),
             ("sim.cycles_parent_select", &self.sim_cycles_parent_select),
@@ -194,7 +222,7 @@ impl Metrics {
     }
 
     /// Every histogram with its snapshot name, in export order.
-    fn histograms(&self) -> [(&'static str, &Histogram); 12] {
+    fn histograms(&self) -> [(&'static str, &Histogram); 15] {
         [
             ("search.latency_ns", &self.search_latency_ns),
             ("search.iterations", &self.search_iterations),
@@ -208,6 +236,9 @@ impl Metrics {
             ("serve.queue_depth", &self.serve_queue_depth),
             ("serve.queue_wait_ns", &self.serve_queue_wait_ns),
             ("serve.e2e_latency_ns", &self.serve_e2e_latency_ns),
+            ("dyn.delta_size", &self.dyn_delta_size),
+            ("dyn.tombstone_permille", &self.dyn_tombstone_permille),
+            ("dyn.compaction_ns", &self.dyn_compaction_ns),
         ]
     }
 
@@ -297,9 +328,9 @@ mod tests {
         m.serve_batch_size.record(4);
         let snap = m.snapshot();
         assert_eq!(snap.enabled, crate::compiled_in());
-        assert_eq!(snap.counters.len(), 21);
+        assert_eq!(snap.counters.len(), 25);
         assert_eq!(snap.spans.len(), 7);
-        assert_eq!(snap.histograms.len(), 12);
+        assert_eq!(snap.histograms.len(), 15);
         let get = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
         if crate::compiled_in() {
             assert_eq!(get("build.graphs"), 1);

@@ -23,6 +23,9 @@ pub enum ServeError {
     /// validation. Rejected at admission — an invalid request never
     /// enters the batcher.
     Invalid(SearchError),
+    /// The backend does not implement the requested operation (e.g.
+    /// `insert` against a static index). Carries the operation name.
+    Unsupported(&'static str),
     /// The service is shutting down and no longer admits requests.
     ShuttingDown,
     /// The dispatcher went away before answering (shutdown race).
@@ -40,6 +43,9 @@ impl fmt::Display for ServeError {
                 write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
             }
             ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServeError::Unsupported(op) => {
+                write!(f, "operation '{op}' is not supported by this backend")
+            }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Disconnected => write!(f, "dispatcher disconnected before responding"),
             ServeError::BadConfig(what) => write!(f, "bad serve config: {what}"),

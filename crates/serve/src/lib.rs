@@ -11,11 +11,16 @@
 //!
 //! * [`batcher`] — bounded admission queue + deadline-aware
 //!   micro-batch draining. Pure queueing; no search logic.
-//! * [`service`] — [`Service`] owns a [`cagra::CagraIndex`] and a
-//!   dispatcher thread: pops a batch, plans mode/CTA count from the
-//!   *realized* batch size ([`cagra::search::planner::plan`]), fans
-//!   the batch out over worker threads, answers every request with
-//!   results plus [`ResponseMeta`] (how the request was served).
+//! * [`backend`] — the [`SearchBackend`] trait the service is generic
+//!   over: a static [`cagra::CagraIndex`] (search only, constant
+//!   epoch) or a mutable [`cagra::DynamicIndex`] (insert/delete, an
+//!   epoch that bumps on every visible change and keys the shape
+//!   cache).
+//! * [`service`] — [`Service`] owns a backend and a dispatcher
+//!   thread: pops a batch, plans mode/CTA count from the *realized*
+//!   batch size ([`cagra::search::planner::plan`]), fans the batch
+//!   out over worker threads, answers every request with results plus
+//!   [`ResponseMeta`] (how the request was served).
 //! * [`tcp`] — a std::net front end speaking the length-prefixed
 //!   binary frames of [`proto`], for out-of-process clients
 //!   (`cli serve`). In-process callers (tests, benches, load
@@ -33,6 +38,7 @@
 //! every served result bit-identically via
 //! [`cagra::CagraIndex::try_search_mode`].
 
+pub mod backend;
 pub mod batcher;
 pub mod config;
 pub mod error;
@@ -43,6 +49,7 @@ pub mod tcp;
 #[cfg(all(loom, test))]
 mod loom_model;
 
+pub use backend::SearchBackend;
 pub use batcher::{Job, Response, ResponseMeta};
 pub use config::ServeConfig;
 pub use error::ServeError;

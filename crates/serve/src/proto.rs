@@ -5,21 +5,38 @@
 //! allocation. All integers are little-endian.
 //!
 //! ```text
-//! request payload:
+//! query request payload (op = 1):
 //!   magic  u8 = 0xCA     version u8 = 1    op u8 = 1    reserved u8
 //!   k      u32           dim     u32       dim x f32 query
 //!
-//! response payload:
+//! insert request payload (op = 2):
+//!   magic  u8 = 0xCA     version u8 = 1    op u8 = 2    reserved u8
+//!   dim    u32           dim x f32 vector
+//!
+//! delete request payload (op = 3):
+//!   magic  u8 = 0xCA     version u8 = 1    op u8 = 3    reserved u8
+//!   id     u32
+//!
+//! query response payload:
 //!   magic  u8 = 0xCA     version u8 = 1    status u8    mode u8
 //!   batch_size u32       num_cta u32
 //!   queue_ns   u64       e2e_ns  u64
 //!   n_results  u32       n x (id u32, dist f32)
 //!   msg_len    u32       msg bytes (utf-8; empty on Ok)
+//!
+//! mutation ack payload (answers insert/delete):
+//!   magic  u8 = 0xCA     version u8 = 1    status u8    op u8
+//!   value  u64           (insert: assigned id; delete: 1 = removed)
+//!   msg_len u32          msg bytes (utf-8; empty on Ok)
 //! ```
 //!
-//! The response layout is identical for every status; rejections
-//! (overload, invalid shape, malformed frame, shutdown) carry zero
-//! results, `mode = 0xFF`, and a human-readable message.
+//! The query-response layout is identical for every status;
+//! rejections (overload, invalid shape, malformed frame, shutdown)
+//! carry zero results, `mode = 0xFF`, and a human-readable message.
+//! Mutations are answered with the compact ack frame instead — the
+//! client knows which decoder to run because it knows which op it
+//! sent; only frames the server cannot parse at all fall back to the
+//! query-shaped malformed report (and close the connection).
 
 use crate::batcher::{Response, ResponseMeta};
 use crate::error::ServeError;
@@ -34,6 +51,10 @@ pub const MAGIC: u8 = 0xCA;
 pub const VERSION: u8 = 1;
 /// Request opcode: single-query search.
 pub const OP_QUERY: u8 = 1;
+/// Request opcode: insert one vector (mutable backends).
+pub const OP_INSERT: u8 = 2;
+/// Request opcode: delete one id (mutable backends).
+pub const OP_DELETE: u8 = 3;
 /// Largest accepted payload (16 MiB — far above any valid request at
 /// the dimension caps, far below an allocation hazard).
 pub const MAX_PAYLOAD: usize = 1 << 24;
@@ -53,6 +74,8 @@ pub enum Status {
     Malformed,
     /// Service is shutting down.
     ShuttingDown,
+    /// The backend does not implement the requested operation.
+    Unsupported,
 }
 
 impl Status {
@@ -63,6 +86,7 @@ impl Status {
             Status::Invalid => 2,
             Status::Malformed => 3,
             Status::ShuttingDown => 4,
+            Status::Unsupported => 5,
         }
     }
 
@@ -73,6 +97,7 @@ impl Status {
             2 => Status::Invalid,
             3 => Status::Malformed,
             4 => Status::ShuttingDown,
+            5 => Status::Unsupported,
             other => return Err(ProtoError::Corrupt(format!("unknown status byte {other}"))),
         })
     }
@@ -208,6 +233,28 @@ fn check_header(c: &mut Cursor<'_>) -> Result<(), ProtoError> {
     Ok(())
 }
 
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Single-query search.
+    Query {
+        /// The query vector.
+        query: Vec<f32>,
+        /// Neighbors requested.
+        k: usize,
+    },
+    /// Insert one vector (mutable backends).
+    Insert {
+        /// The vector to add.
+        vector: Vec<f32>,
+    },
+    /// Delete one external id (mutable backends).
+    Delete {
+        /// The id to tombstone.
+        id: u32,
+    },
+}
+
 /// Encode a query request payload.
 pub fn encode_request(query: &[f32], k: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + 4 * query.len());
@@ -220,26 +267,56 @@ pub fn encode_request(query: &[f32], k: usize) -> Vec<u8> {
     out
 }
 
-/// Decode a query request payload into `(query, k)`.
-pub fn decode_request(payload: &[u8]) -> Result<(Vec<f32>, usize), ProtoError> {
-    let mut c = Cursor { buf: payload, at: 0 };
-    check_header(&mut c)?;
-    let op = c.u8("op")?;
-    if op != OP_QUERY {
-        return Err(ProtoError::Corrupt(format!("unknown op {op}")));
+/// Encode an insert request payload.
+pub fn encode_insert(vector: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * vector.len());
+    out.extend_from_slice(&[MAGIC, VERSION, OP_INSERT, 0]);
+    out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+    for v in vector {
+        out.extend_from_slice(&v.to_le_bytes());
     }
-    c.u8("reserved")?;
-    let k = c.u32("k")? as usize;
+    out
+}
+
+/// Encode a delete request payload.
+pub fn encode_delete(id: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&[MAGIC, VERSION, OP_DELETE, 0]);
+    out.extend_from_slice(&id.to_le_bytes());
+    out
+}
+
+/// Read a length-guarded `dim x f32` vector off the cursor.
+fn take_vector(c: &mut Cursor<'_>, what: &str) -> Result<Vec<f32>, ProtoError> {
     let dim = c.u32("dim")? as usize;
     if dim.checked_mul(4).is_none_or(|bytes| bytes > c.remaining()) {
         return Err(ProtoError::Corrupt(format!("dim {dim} exceeds payload")));
     }
-    let mut query = Vec::with_capacity(dim);
+    let mut v = Vec::with_capacity(dim);
     for _ in 0..dim {
-        query.push(c.f32("query component")?);
+        v.push(c.f32(what)?);
     }
+    Ok(v)
+}
+
+/// Decode any request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    check_header(&mut c)?;
+    let op = c.u8("op")?;
+    c.u8("reserved")?;
+    let req = match op {
+        OP_QUERY => {
+            let k = c.u32("k")? as usize;
+            let query = take_vector(&mut c, "query component")?;
+            Request::Query { query, k }
+        }
+        OP_INSERT => Request::Insert { vector: take_vector(&mut c, "vector component")? },
+        OP_DELETE => Request::Delete { id: c.u32("id")? },
+        other => return Err(ProtoError::Corrupt(format!("unknown op {other}"))),
+    };
     c.done()?;
-    Ok((query, k))
+    Ok(req)
 }
 
 fn mode_to_byte(mode: Mode) -> u8 {
@@ -256,13 +333,63 @@ pub fn encode_ok(resp: &Response) -> Vec<u8> {
 
 /// Encode a rejection, mapping the error to its wire status.
 pub fn encode_reject(err: &ServeError) -> Vec<u8> {
-    let status = match err {
+    encode_outcome(reject_status(err), None, &err.to_string())
+}
+
+fn reject_status(err: &ServeError) -> Status {
+    match err {
         ServeError::Overloaded { .. } => Status::Overloaded,
         ServeError::Invalid(_) => Status::Invalid,
+        ServeError::Unsupported(_) => Status::Unsupported,
         ServeError::ShuttingDown | ServeError::Disconnected => Status::ShuttingDown,
         ServeError::BadConfig(_) | ServeError::SpawnFailed => Status::ShuttingDown,
+    }
+}
+
+/// A decoded mutation acknowledgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Outcome class.
+    pub status: Status,
+    /// The op being acknowledged ([`OP_INSERT`] or [`OP_DELETE`]).
+    pub op: u8,
+    /// Meaningful exactly when `status == Ok`: the assigned id for
+    /// inserts, `1`/`0` (removed / not found) for deletes.
+    pub value: u64,
+    /// Human-readable rejection reason (empty on Ok).
+    pub message: String,
+}
+
+/// Encode a mutation acknowledgement for `op` from the backend's
+/// outcome.
+pub fn encode_ack(op: u8, outcome: &Result<u64, ServeError>) -> Vec<u8> {
+    let (status, value, message) = match outcome {
+        Ok(v) => (Status::Ok, *v, String::new()),
+        Err(e) => (reject_status(e), 0, e.to_string()),
     };
-    encode_outcome(status, None, &err.to_string())
+    let mut out = Vec::with_capacity(16 + message.len());
+    out.extend_from_slice(&[MAGIC, VERSION, status.to_byte(), op]);
+    out.extend_from_slice(&value.to_le_bytes());
+    out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decode a mutation acknowledgement.
+pub fn decode_ack(payload: &[u8]) -> Result<Ack, ProtoError> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    check_header(&mut c)?;
+    let status = Status::from_byte(c.u8("status")?)?;
+    let op = c.u8("op")?;
+    if op != OP_INSERT && op != OP_DELETE {
+        return Err(ProtoError::Corrupt(format!("ack for unknown op {op}")));
+    }
+    let value = c.u64("value")?;
+    let msg_len = c.u32("msg_len")? as usize;
+    let message = String::from_utf8(c.take(msg_len, "message")?.to_vec())
+        .map_err(|_| ProtoError::Corrupt("message is not utf-8".into()))?;
+    c.done()?;
+    Ok(Ack { status, op, value, message })
 }
 
 /// Encode a malformed-frame report.
@@ -346,9 +473,36 @@ mod tests {
     fn request_round_trip() {
         let q = vec![1.0f32, -2.5, 3.25];
         let payload = encode_request(&q, 7);
-        let (q2, k) = decode_request(&payload).unwrap();
-        assert_eq!(q2, q);
-        assert_eq!(k, 7);
+        assert_eq!(decode_request(&payload).unwrap(), Request::Query { query: q, k: 7 });
+    }
+
+    #[test]
+    fn mutation_requests_round_trip() {
+        let v = vec![0.5f32, -1.5];
+        assert_eq!(decode_request(&encode_insert(&v)).unwrap(), Request::Insert { vector: v });
+        assert_eq!(decode_request(&encode_delete(42)).unwrap(), Request::Delete { id: 42 });
+        // Unknown op is a typed error, not a panic.
+        let mut p = encode_delete(1);
+        p[2] = 9;
+        assert!(matches!(decode_request(&p), Err(ProtoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn acks_round_trip_for_both_outcomes() {
+        let ok = decode_ack(&encode_ack(OP_INSERT, &Ok(77))).unwrap();
+        assert_eq!(
+            ok,
+            Ack { status: Status::Ok, op: OP_INSERT, value: 77, message: String::new() }
+        );
+        let rejected =
+            decode_ack(&encode_ack(OP_DELETE, &Err(ServeError::Unsupported("delete")))).unwrap();
+        assert_eq!(rejected.status, Status::Unsupported);
+        assert_eq!(rejected.op, OP_DELETE);
+        assert!(rejected.message.contains("delete"));
+        // An ack must name a mutation op.
+        let mut p = encode_ack(OP_INSERT, &Ok(1));
+        p[3] = OP_QUERY;
+        assert!(matches!(decode_ack(&p), Err(ProtoError::Corrupt(_))));
     }
 
     #[test]

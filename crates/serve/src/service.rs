@@ -1,12 +1,12 @@
 //! The long-lived query service: admission → micro-batch → parallel
 //! search → per-request responses.
 
+use crate::backend::SearchBackend;
 use crate::batcher::{Batcher, Job, Response, ResponseMeta};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use cagra::search::planner;
-use cagra::{CagraIndex, SearchScratch};
-use dataset::VectorStore;
+use cagra::SearchScratch;
 use knn::parallel::{default_threads, parallel_map_with};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -26,61 +26,85 @@ impl ResponseHandle {
 }
 
 /// Cache of request shapes that already passed
-/// [`CagraIndex::validate_shape`]. With per-service [`cagra::SearchParams`]
-/// and a fixed index, a shape is fully determined by `k`, so repeat
-/// traffic skips parameter validation entirely — validation runs once
-/// per shape at admission, never per batch dispatch.
+/// [`SearchBackend::validate_shape`], keyed on the backend's
+/// publication epoch. With per-service [`cagra::SearchParams`], a
+/// shape is fully determined by `(epoch, k)`, so repeat traffic skips
+/// parameter validation entirely — validation runs once per shape per
+/// epoch at admission, never per batch dispatch.
+///
+/// The epoch key is what keeps the cache honest against mutable
+/// backends: a [`cagra::DynamicIndex`] bumps its epoch on every
+/// insert, delete, and compaction swap, and `k <= live` can go stale
+/// across any of those. A validated shape from epoch `e` is worthless
+/// at epoch `e+1`, so the first request after a swap clears the cache
+/// and revalidates. Static backends report a constant epoch and cache
+/// forever, exactly as before.
 struct ShapeCache {
-    ks: Mutex<Vec<usize>>,
+    /// `(epoch the cached shapes were validated against, valid ks)`.
+    ks: Mutex<(u64, Vec<usize>)>,
     misses: AtomicU64,
 }
 
 impl ShapeCache {
     fn new() -> Self {
-        ShapeCache { ks: Mutex::new(Vec::new()), misses: AtomicU64::new(0) }
+        ShapeCache { ks: Mutex::new((0, Vec::new())), misses: AtomicU64::new(0) }
     }
 
-    fn contains(&self, k: usize) -> bool {
-        self.ks.lock().unwrap_or_else(|p| p.into_inner()).contains(&k)
+    fn contains(&self, epoch: u64, k: usize) -> bool {
+        let mut g = self.ks.lock().unwrap_or_else(|p| p.into_inner());
+        if g.0 != epoch {
+            g.0 = epoch;
+            g.1.clear();
+            return false;
+        }
+        g.1.contains(&k)
     }
 
-    fn insert(&self, k: usize) {
-        let mut ks = self.ks.lock().unwrap_or_else(|p| p.into_inner());
-        if !ks.contains(&k) {
-            ks.push(k);
+    fn insert(&self, epoch: u64, k: usize) {
+        let mut g = self.ks.lock().unwrap_or_else(|p| p.into_inner());
+        if g.0 != epoch {
+            // A mutation landed between validation and this insert;
+            // drop the stale generation rather than poison the new one.
+            g.0 = epoch;
+            g.1.clear();
+        }
+        if !g.1.contains(&k) {
+            g.1.push(k);
         }
     }
 }
 
-/// A running serving instance over one CAGRA index. Submissions are
-/// thread-safe; one background dispatcher thread owns batching and
-/// search execution. Dropping the service shuts it down (drains the
-/// queue, answers what was admitted, joins the dispatcher).
-pub struct Service<S: VectorStore + Send + 'static> {
-    index: Arc<CagraIndex<S>>,
+/// A running serving instance over one search backend (a static
+/// [`cagra::CagraIndex`] or a mutable [`cagra::DynamicIndex`]).
+/// Submissions are thread-safe; one background dispatcher thread owns
+/// batching and search execution. Dropping the service shuts it down
+/// (drains the queue, answers what was admitted, joins the
+/// dispatcher).
+pub struct Service<B: SearchBackend> {
+    backend: Arc<B>,
     batcher: Arc<Batcher>,
     config: ServeConfig,
     shapes: ShapeCache,
     dispatcher: Option<JoinHandle<()>>,
 }
 
-impl<S: VectorStore + Send + 'static> Service<S> {
-    /// Validate `config`, take ownership of `index`, and start the
+impl<B: SearchBackend> Service<B> {
+    /// Validate `config`, take ownership of `backend`, and start the
     /// dispatcher thread.
-    pub fn start(index: CagraIndex<S>, config: ServeConfig) -> Result<Self, ServeError> {
+    pub fn start(backend: B, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
-        let index = Arc::new(index);
+        let backend = Arc::new(backend);
         let batcher = Arc::new(Batcher::new(config.queue_capacity));
         let dispatcher = {
-            let index = Arc::clone(&index);
+            let backend = Arc::clone(&backend);
             let batcher = Arc::clone(&batcher);
             std::thread::Builder::new()
                 .name("cagra-serve-dispatch".into())
-                .spawn(move || dispatch_loop(&index, &batcher, &config))
+                .spawn(move || dispatch_loop(&*backend, &batcher, &config))
                 .map_err(|_| ServeError::SpawnFailed)?
         };
         Ok(Service {
-            index,
+            backend,
             batcher,
             config,
             shapes: ShapeCache::new(),
@@ -88,9 +112,9 @@ impl<S: VectorStore + Send + 'static> Service<S> {
         })
     }
 
-    /// The index being served.
-    pub fn index(&self) -> &CagraIndex<S> {
-        &self.index
+    /// The backend being served.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The policy this service runs.
@@ -104,7 +128,8 @@ impl<S: VectorStore + Send + 'static> Service<S> {
     }
 
     /// How many times admission had to run full shape validation
-    /// (cache misses). Repeat traffic of one shape costs exactly one.
+    /// (cache misses). Repeat traffic of one shape against one epoch
+    /// costs exactly one.
     pub fn shape_cache_misses(&self) -> u64 {
         self.shapes.misses.load(Ordering::Relaxed)
     }
@@ -114,13 +139,14 @@ impl<S: VectorStore + Send + 'static> Service<S> {
     /// ([`ServeError::Invalid`] for malformed shapes,
     /// [`ServeError::Overloaded`] when shed).
     pub fn submit(&self, query: &[f32], k: usize) -> Result<ResponseHandle, ServeError> {
-        if !(self.shapes.contains(k) && query.len() == self.index.store().dim()) {
+        let epoch = self.backend.epoch();
+        if !(self.shapes.contains(epoch, k) && query.len() == self.backend.dim()) {
             self.shapes.misses.fetch_add(1, Ordering::Relaxed);
-            if let Err(e) = self.index.validate_shape(query.len(), k, &self.config.params) {
+            if let Err(e) = self.backend.validate_shape(query.len(), k, &self.config.params) {
                 obs::metrics().serve_invalid.inc();
                 return Err(ServeError::Invalid(e));
             }
-            self.shapes.insert(k);
+            self.shapes.insert(epoch, k);
         }
         // ALLOW(alloc): admission copies the query exactly once — the
         // queued job must own its vector to outlive the caller.
@@ -131,6 +157,20 @@ impl<S: VectorStore + Send + 'static> Service<S> {
     /// Submit and wait — the closed-loop client call.
     pub fn search_blocking(&self, query: &[f32], k: usize) -> Result<Response, ServeError> {
         self.submit(query, k)?.wait()
+    }
+
+    /// Add a vector through the backend (mutable backends only).
+    /// Mutations bypass the batcher: the backend serializes writers
+    /// itself, and the resulting epoch bump invalidates the shape
+    /// cache on the next submit.
+    pub fn insert(&self, vector: &[f32]) -> Result<u32, ServeError> {
+        self.backend.insert(vector)
+    }
+
+    /// Tombstone an id through the backend (mutable backends only).
+    /// `Ok(false)` means the id was not live.
+    pub fn delete(&self, id: u32) -> Result<bool, ServeError> {
+        self.backend.delete(id)
     }
 
     /// Stop admitting, drain the queue (every admitted request is
@@ -144,7 +184,7 @@ impl<S: VectorStore + Send + 'static> Service<S> {
     }
 }
 
-impl<S: VectorStore + Send + 'static> Drop for Service<S> {
+impl<B: SearchBackend> Drop for Service<B> {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -154,11 +194,7 @@ impl<S: VectorStore + Send + 'static> Drop for Service<S> {
 /// from the realized batch size, fan the batch out over worker
 /// threads, answer every request. Runs until the batcher is closed
 /// and drained.
-fn dispatch_loop<S: VectorStore + Send>(
-    index: &CagraIndex<S>,
-    batcher: &Batcher,
-    config: &ServeConfig,
-) {
+fn dispatch_loop<B: SearchBackend>(backend: &B, batcher: &Batcher, config: &ServeConfig) {
     let worker_cap =
         if config.worker_threads == 0 { default_threads() } else { config.worker_threads };
     // ALLOW(alloc): one-time setup before the loop; both buffers are
@@ -168,8 +204,12 @@ fn dispatch_loop<S: VectorStore + Send>(
     let mut txs: Vec<mpsc::Sender<Response>> = Vec::with_capacity(config.max_batch);
     while batcher.pop_batch(config.max_batch, config.max_wait, &mut jobs, &mut txs) {
         let dispatched = Instant::now();
-        let plan =
-            planner::plan(jobs.len(), config.params.itopk, config.params.num_cta, index.thresholds);
+        let plan = planner::plan(
+            jobs.len(),
+            config.params.itopk,
+            config.params.num_cta,
+            backend.thresholds(),
+        );
         let mut params = config.params;
         params.num_cta = plan.num_cta;
         let m = obs::metrics();
@@ -180,6 +220,8 @@ fn dispatch_loop<S: VectorStore + Send>(
         }
         // No validation here: every job passed shape validation at
         // admission, so the hot path goes straight to the kernels.
+        // (A mutable backend's search is clamped, so even a shape
+        // staled by a concurrent delete degrades instead of failing.)
         let jobs_ref = &jobs;
         let results = parallel_map_with(
             jobs_ref.len(),
@@ -193,10 +235,7 @@ fn dispatch_loop<S: VectorStore + Send>(
                 // ALLOW(panic): `parallel_map_with` hands out `i` in
                 // `0..jobs_ref.len()` by contract.
                 let job = &jobs_ref[i];
-                index.search_mode_with(&job.query, job.k, &params, plan.mode, scratch);
-                // ALLOW(alloc): the response buffer is handed to the
-                // client channel; ownership must leave the scratch.
-                scratch.results().to_vec()
+                backend.search(&job.query, job.k, &params, plan.mode, scratch)
             },
         );
         let batch_size = jobs.len() as u32;

@@ -9,13 +9,13 @@
 //! happens by opening several connections, which is exactly what the
 //! load generators do.
 
+use crate::backend::SearchBackend;
 use crate::batcher::Response;
 use crate::proto::{
-    self, decode_response, encode_malformed, encode_ok, encode_reject, read_frame, write_frame,
-    ProtoError, Served, Status,
+    self, decode_ack, decode_response, encode_ack, encode_malformed, encode_ok, encode_reject,
+    read_frame, write_frame, ProtoError, Request, Served, Status, OP_DELETE, OP_INSERT,
 };
 use crate::service::Service;
-use dataset::VectorStore;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,10 +32,7 @@ pub struct TcpServer {
 impl TcpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and serve
     /// `service` until [`TcpServer::shutdown`] or drop.
-    pub fn spawn<S: VectorStore + Send + 'static>(
-        service: Arc<Service<S>>,
-        addr: &str,
-    ) -> io::Result<TcpServer> {
+    pub fn spawn<B: SearchBackend>(service: Arc<Service<B>>, addr: &str) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -85,7 +82,7 @@ impl Drop for TcpServer {
     }
 }
 
-fn handle_connection<S: VectorStore + Send + 'static>(mut stream: TcpStream, service: &Service<S>) {
+fn handle_connection<B: SearchBackend>(mut stream: TcpStream, service: &Service<B>) {
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(p) => p,
@@ -98,10 +95,14 @@ fn handle_connection<S: VectorStore + Send + 'static>(mut stream: TcpStream, ser
             }
         };
         let outcome = match proto::decode_request(&payload) {
-            Ok((query, k)) => match service.search_blocking(&query, k) {
+            Ok(Request::Query { query, k }) => match service.search_blocking(&query, k) {
                 Ok(resp) => encode_ok(&resp),
                 Err(e) => encode_reject(&e),
             },
+            Ok(Request::Insert { vector }) => {
+                encode_ack(OP_INSERT, &service.insert(&vector).map(u64::from))
+            }
+            Ok(Request::Delete { id }) => encode_ack(OP_DELETE, &service.delete(id).map(u64::from)),
             Err(e) => encode_malformed(&e.to_string()),
         };
         if write_frame(&mut stream, &outcome).is_err() {
@@ -140,6 +141,34 @@ impl Client {
                 .response
                 .ok_or_else(|| ClientError::Proto(ProtoError::Corrupt("Ok without body".into()))),
             status => Err(ClientError::Rejected { status, message: served.message }),
+        }
+    }
+
+    /// Insert one vector, returning the assigned id (mutable backends
+    /// only — a static backend answers `Status::Unsupported`).
+    pub fn insert(&mut self, vector: &[f32]) -> Result<u32, ClientError> {
+        write_frame(&mut self.stream, &proto::encode_insert(vector)).map_err(ClientError::Proto)?;
+        let ack = decode_ack(&read_frame(&mut self.stream).map_err(ClientError::Proto)?)
+            .map_err(ClientError::Proto)?;
+        match ack.status {
+            Status::Ok => u32::try_from(ack.value).map_err(|_| {
+                ClientError::Proto(ProtoError::Corrupt(format!(
+                    "insert id {} not a u32",
+                    ack.value
+                )))
+            }),
+            status => Err(ClientError::Rejected { status, message: ack.message }),
+        }
+    }
+
+    /// Delete one id. `Ok(false)` means the id was not live.
+    pub fn delete(&mut self, id: u32) -> Result<bool, ClientError> {
+        write_frame(&mut self.stream, &proto::encode_delete(id)).map_err(ClientError::Proto)?;
+        let ack = decode_ack(&read_frame(&mut self.stream).map_err(ClientError::Proto)?)
+            .map_err(ClientError::Proto)?;
+        match ack.status {
+            Status::Ok => Ok(ack.value != 0),
+            status => Err(ClientError::Rejected { status, message: ack.message }),
         }
     }
 }

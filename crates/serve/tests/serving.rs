@@ -98,7 +98,7 @@ fn concurrent_clients_get_exactly_one_bit_identical_response_each() {
     for (qi, resp) in &responses {
         assert!(resp.meta.batch_size >= 1);
         assert!(resp.meta.queue_ns <= resp.meta.e2e_ns, "queue time exceeds end-to-end");
-        let fresh = reference(service.index(), &params, queries.row(*qi), resp);
+        let fresh = reference(service.backend(), &params, queries.row(*qi), resp);
         assert_bit_identical(&resp.neighbors, &fresh, &format!("query {qi}"));
     }
 }
@@ -171,7 +171,7 @@ fn malformed_requests_are_rejected_without_poisoning_the_batcher() {
     // The batcher is not poisoned: valid traffic is still served
     // correctly after the rejections.
     let resp = service.search_blocking(queries.row(0), K).expect("service still healthy");
-    let fresh = reference(service.index(), &params, queries.row(0), &resp);
+    let fresh = reference(service.backend(), &params, queries.row(0), &resp);
     assert_bit_identical(&resp.neighbors, &fresh, "post-rejection request");
 }
 
@@ -234,7 +234,7 @@ fn tcp_round_trip_matches_in_process_results() {
     });
     assert_eq!(responses.len(), 32);
     for (qi, resp) in &responses {
-        let fresh = reference(service.index(), &params, queries.row(*qi), resp);
+        let fresh = reference(service.backend(), &params, queries.row(*qi), resp);
         assert_bit_identical(&resp.neighbors, &fresh, &format!("tcp query {qi}"));
     }
 
